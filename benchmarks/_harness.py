@@ -1,0 +1,31 @@
+"""Shared harness for the experiment benchmarks.
+
+Each ``bench_*`` file regenerates one of the paper's tables/figures: it
+runs the corresponding experiment module through pytest-benchmark (one
+round — the experiment itself repeats internally) and prints the result
+table, which is the series the paper's figure plots.
+
+Scales are chosen so the full benchmark suite finishes in a few minutes;
+run ``repro-experiments <ID> --scale 1.0`` for full-size numbers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import run_experiment
+
+__all__ = ["regenerate"]
+
+
+def regenerate(benchmark, experiment_id: str, scale: float, seed: int = 0):
+    """Run one experiment under pytest-benchmark and print its table."""
+    table = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"scale": scale, "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.to_text())
+    assert len(table) > 0
+    return table

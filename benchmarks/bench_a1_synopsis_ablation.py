@@ -1,0 +1,22 @@
+"""A1 — synopsis resolution ablation (sparse vs census regimes)."""
+
+from benchmarks._harness import regenerate
+
+
+def test_a1_synopsis_ablation(benchmark):
+    table = regenerate(benchmark, "A1", scale=0.25)
+
+    def ks_at(distribution, regime, buckets):
+        return next(
+            r["ks"]
+            for r in table.rows
+            if r["distribution"] == distribution
+            and r["regime"] == regime
+            and r["buckets"] == buckets
+        )
+
+    # Census regime: B is the only error source, so more detail must help.
+    assert ks_at("normal", "census", 32) < ks_at("normal", "census", 1)
+    assert ks_at("zipf", "census", 32) < ks_at("zipf", "census", 1)
+    # Sparse regime: B is second-order (within a small factor across sweep).
+    assert ks_at("zipf", "sparse", 32) < 1.5 * ks_at("zipf", "sparse", 1)

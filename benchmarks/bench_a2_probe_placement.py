@@ -1,0 +1,14 @@
+"""A2 — probe placement ablation (uniform vs stratified)."""
+
+from benchmarks._harness import regenerate
+
+
+def test_a2_probe_placement(benchmark):
+    table = regenerate(benchmark, "A2", scale=0.25)
+    rows = [
+        r for r in table.rows
+        if r["distribution"] == "normal" and r["probes"] == 16
+    ]
+    by_placement = {r["placement"]: r["ks"] for r in rows}
+    # Stratification is a variance reduction: not worse, usually better.
+    assert by_placement["stratified"] <= 1.5 * by_placement["uniform"]

@@ -1,0 +1,10 @@
+"""A3 — CDF assembly ablation (interpolate vs mixture, linear vs log)."""
+
+from benchmarks._harness import regenerate
+
+
+def test_a3_interpolation(benchmark):
+    table = regenerate(benchmark, "A3", scale=0.25)
+    rows = {(r["distribution"], r["variant"]): r["ks"] for r in table.rows}
+    # The reconstruction beats the pure HT mixture on smooth data.
+    assert rows[("normal", "interpolate-linear")] < rows[("normal", "mixture-linear")]

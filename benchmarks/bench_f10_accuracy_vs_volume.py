@@ -1,0 +1,13 @@
+"""F10 — accuracy vs. global data volume."""
+
+from benchmarks._harness import regenerate
+
+
+def test_f10_accuracy_vs_volume(benchmark):
+    table = regenerate(benchmark, "F10", scale=0.25)
+    volumes, ks = table.series("n_items", "ks", where={"method": "dfde"})
+    # Paper shape: error flat in volume (within noise).
+    assert ks.max() < 5 * max(ks.min(), 0.01)
+    # Volume estimate tracks truth.
+    v, v_hat = table.series("n_items", "n_items_estimated", where={"method": "dfde"})
+    assert all(abs(a - b) / a < 0.35 for a, b in zip(v, v_hat))

@@ -1,0 +1,16 @@
+"""F11 — continuous estimation under data drift."""
+
+from benchmarks._harness import regenerate
+
+
+def test_f11_drift_tracking(benchmark):
+    table = regenerate(benchmark, "F11", scale=0.25)
+    rows = {r["policy"]: r for r in table.rows}
+    # Paper shape: never-refresh degrades; drift-triggered approaches
+    # every-round accuracy at lower message cost.
+    assert rows["never"]["mean_ks"] > rows["every-round"]["mean_ks"]
+    assert rows["drift-triggered"]["mean_ks"] < rows["never"]["mean_ks"]
+    assert (
+        rows["drift-triggered"]["maintenance_messages"]
+        < rows["every-round"]["maintenance_messages"]
+    )

@@ -1,0 +1,14 @@
+"""F12 — replication vs. data loss under crash churn."""
+
+from benchmarks._harness import regenerate
+
+
+def test_f12_replication(benchmark):
+    table = regenerate(benchmark, "F12", scale=0.25)
+    rows = {r["factor"]: r for r in table.rows}
+    # No replication loses real data; factor >= 3 keeps nearly all of it.
+    assert rows[1]["data_survived"] < 0.99
+    assert rows[3]["data_survived"] > 0.97
+    assert rows[3]["ks_vs_original"] <= rows[1]["ks_vs_original"] + 0.02
+    # Replication bandwidth grows with the factor.
+    assert rows[5]["replication_messages"] > rows[2]["replication_messages"]

@@ -1,0 +1,15 @@
+"""F13 — estimation latency vs. network size."""
+
+from benchmarks._harness import regenerate
+
+
+def test_f13_latency(benchmark):
+    table = regenerate(benchmark, "F13", scale=0.25)
+    sizes, dfde = table.series("n_peers", "latency_rounds", where={"method": "dfde"})
+    _, traversal = table.series(
+        "n_peers", "latency_rounds", where={"method": "exact-traversal"}
+    )
+    # Traversal is linear in N; parallel probing grows only slowly.
+    assert traversal[-1] / traversal[0] > 3
+    assert dfde[-1] / max(dfde[0], 1) < 3
+    assert dfde[-1] < traversal[-1] / 5

@@ -1,0 +1,15 @@
+"""F14 — random vs. load-balanced peer placement."""
+
+from benchmarks._harness import regenerate
+
+
+def test_f14_placement(benchmark):
+    table = regenerate(benchmark, "F14", scale=0.25)
+    rows = {(r["placement"], r["method"]): r for r in table.rows}
+    # Balancing fixes load...
+    assert rows[("balanced", "dfde")]["load_gini"] < 0.1
+    assert rows[("random", "dfde")]["load_gini"] > 0.5
+    # ...but not naive's bias; adaptive is accurate under both placements.
+    assert rows[("balanced", "naive")]["ks"] > 0.3
+    assert rows[("random", "adaptive")]["ks"] < 0.1
+    assert rows[("balanced", "adaptive")]["ks"] < 0.15

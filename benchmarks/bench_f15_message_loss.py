@@ -1,0 +1,13 @@
+"""F15 — robustness to message loss."""
+
+from benchmarks._harness import regenerate
+
+
+def test_f15_message_loss(benchmark):
+    table = regenerate(benchmark, "F15", scale=0.25)
+    rates, ks = table.series("loss_rate", "ks")
+    _, inflation = table.series("loss_rate", "cost_inflation")
+    # Accuracy flat; cost inflates monotonically and stays bounded.
+    assert max(ks) < min(ks) + 0.05
+    assert all(a <= b + 1e-9 for a, b in zip(inflation, inflation[1:]))
+    assert inflation[-1] < 2.5

@@ -1,0 +1,16 @@
+"""F16 — virtual nodes: host load balance vs. estimation cost."""
+
+from benchmarks._harness import regenerate
+
+
+def test_f16_virtual_nodes(benchmark):
+    table = regenerate(benchmark, "F16", scale=0.3)
+    uniform = {r["virtual_per_host"]: r for r in table.rows if r["distribution"] == "uniform"}
+    zipf = {r["virtual_per_host"]: r for r in table.rows if r["distribution"] == "zipf"}
+    # The classic win: uniform-data host Gini collapses with v.
+    assert uniform[16]["host_gini"] < uniform[1]["host_gini"] / 2
+    # The limit: zipf host Gini stays high (virtual nodes can't fix data skew).
+    assert zipf[16]["host_gini"] > 0.5
+    # Adaptive accuracy is v-insensitive; hops grow with the bigger ring.
+    assert zipf[16]["ks_adaptive"] < 0.1
+    assert zipf[16]["hops"] > zipf[1]["hops"]

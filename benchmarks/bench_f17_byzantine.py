@@ -1,0 +1,20 @@
+"""F17 — pollution attacks vs. density trimming."""
+
+from benchmarks._harness import regenerate
+
+
+def test_f17_byzantine(benchmark):
+    table = regenerate(benchmark, "F17", scale=0.25)
+    rows = {
+        (r["distribution"], r["liar_fraction"], r["defense"]): r["ks"]
+        for r in table.rows
+    }
+    # The attack works: 5% liars wreck the trusting estimator.
+    assert rows[("normal", 0.05, "none")] > 5 * rows[("normal", 0.0, "none")]
+    # The defense works on smooth data at every tested fraction.
+    assert rows[("normal", 0.2, "trim-20x")] < 0.1
+    # Plain trim hurts honest heavy skew; adaptive+trim does not...
+    assert rows[("zipf", 0.0, "trim-20x")] > rows[("zipf", 0.0, "none")]
+    assert rows[("zipf", 0.0, "adaptive+trim")] < rows[("zipf", 0.0, "none")]
+    # ...and survives a 10% attack on skew.
+    assert rows[("zipf", 0.1, "adaptive+trim")] < 0.1

@@ -1,0 +1,14 @@
+"""F1 — accuracy vs. probe count, all distributions (dfde + adaptive)."""
+
+from benchmarks._harness import regenerate
+
+
+def test_f1_accuracy_vs_samples(benchmark):
+    table = regenerate(benchmark, "F1", scale=0.25)
+    # Paper shape: error decays with s for the one-shot estimator on the
+    # well-behaved workloads (zipf is variance-dominated at tiny scale).
+    for distribution in ("uniform", "normal", "mixture"):
+        probes, ks = table.series(
+            "probes", "ks", where={"distribution": distribution, "method": "dfde"}
+        )
+        assert ks[-1] < ks[0]

@@ -1,0 +1,10 @@
+"""F2 — accuracy vs. network size at fixed probe budget."""
+
+from benchmarks._harness import regenerate
+
+
+def test_f2_accuracy_vs_network_size(benchmark):
+    table = regenerate(benchmark, "F2", scale=0.25)
+    # Paper shape: error is flat in N (within noise) while hops grow slowly.
+    _, ks = table.series("n_peers", "ks", where={"distribution": "normal", "method": "dfde"})
+    assert ks.max() < 5 * max(ks.min(), 0.01)

@@ -1,0 +1,13 @@
+"""F3 — accuracy vs. zipf skew (naive vs dfde vs adaptive)."""
+
+from benchmarks._harness import regenerate
+
+
+def test_f3_accuracy_vs_skew(benchmark):
+    table = regenerate(benchmark, "F3", scale=0.25)
+    # Paper shape: naive is bias-floored far above dfde; adaptive lowest.
+    alphas, naive = table.series("alpha", "ks", where={"method": "naive"})
+    _, dfde = table.series("alpha", "ks", where={"method": "dfde"})
+    _, adaptive = table.series("alpha", "ks", where={"method": "adaptive"})
+    assert naive.mean() > 2 * dfde.mean()
+    assert adaptive.mean() <= dfde.mean()

@@ -1,0 +1,15 @@
+"""F4 — all methods head to head (accuracy and message cost)."""
+
+from benchmarks._harness import regenerate
+
+
+def test_f4_method_comparison(benchmark):
+    table = regenerate(benchmark, "F4", scale=0.25)
+    rows = {(r["distribution"], r["method"]): r for r in table.rows}
+    # Sampling methods are 10x+ cheaper than gossip/exact.
+    for dist in ("normal", "zipf", "mixture"):
+        assert rows[(dist, "dfde")]["messages"] * 5 < rows[(dist, "gossip")]["messages"]
+    # Parametric wins on its family, loses badly off-family.
+    assert rows[("mixture", "parametric")]["ks"] > 2 * rows[("mixture", "adaptive")]["ks"]
+    # Naive is the worst sampler on skewed data.
+    assert rows[("zipf", "naive")]["ks"] > rows[("zipf", "dfde")]["ks"]

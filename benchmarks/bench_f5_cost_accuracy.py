@@ -1,0 +1,14 @@
+"""F5 — cost-accuracy trade-off curves."""
+
+from benchmarks._harness import regenerate
+
+
+def test_f5_cost_accuracy(benchmark):
+    table = regenerate(benchmark, "F5", scale=0.25)
+    # Paper shape: at comparable accuracy, dfde spends far fewer messages
+    # than gossip's cheapest configuration.
+    dfde = [r for r in table.rows if r["method"] == "dfde"]
+    gossip = [r for r in table.rows if r["method"] == "gossip"]
+    best_dfde = min(dfde, key=lambda r: r["ks"])
+    cheapest_gossip = min(gossip, key=lambda r: r["messages"])
+    assert best_dfde["messages"] < cheapest_gossip["messages"]

@@ -1,0 +1,12 @@
+"""F6 — estimation accuracy under churn."""
+
+from benchmarks._harness import regenerate
+
+
+def test_f6_churn(benchmark):
+    table = regenerate(benchmark, "F6", scale=0.5)
+    rates, ks = table.series("churn_rate", "mean_ks")
+    # Paper shape: graceful degradation — even 10% turnover per round
+    # keeps the estimate usable (well under naive's static bias floor).
+    assert ks[0] < 0.15          # zero-churn control
+    assert ks[-1] < 0.45          # heavy churn still bounded

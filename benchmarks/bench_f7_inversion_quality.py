@@ -1,0 +1,13 @@
+"""F7 — inversion-sample quality: model vs exact rank sampling."""
+
+from benchmarks._harness import regenerate
+
+
+def test_f7_inversion_quality(benchmark):
+    table = regenerate(benchmark, "F7", scale=0.5)
+    exact = [r for r in table.rows if r["mode"] == "exact-rank"]
+    model = [r for r in table.rows if r["mode"] == "model"]
+    # Exact rank samples keep improving with sample count...
+    assert exact[-1]["ks_vs_truth"] < exact[0]["ks_vs_truth"]
+    # ...and model samples cost zero network messages.
+    assert all(r["network_messages"] == 0 for r in model)

@@ -1,0 +1,10 @@
+"""F8 — range-query selectivity estimation."""
+
+from benchmarks._harness import regenerate
+
+
+def test_f8_selectivity(benchmark):
+    table = regenerate(benchmark, "F8", scale=0.25)
+    adaptive = [r for r in table.rows if r["method"] == "adaptive"]
+    # Paper shape: low absolute error across all spans for the full method.
+    assert max(r["mean_abs_error"] for r in adaptive) < 0.1

@@ -1,0 +1,12 @@
+"""F9 — load-balance prediction from density estimates."""
+
+from benchmarks._harness import regenerate
+
+
+def test_f9_load_balance(benchmark):
+    table = regenerate(benchmark, "F9", scale=0.25)
+    rows = {r["distribution"]: r for r in table.rows}
+    # Paper shape: skewed data is detected as far more imbalanced than
+    # uniform, and predictions track actuals.
+    assert rows["zipf"]["actual_gini"] > rows["uniform"]["actual_gini"]
+    assert rows["zipf"]["predicted_gini"] > rows["uniform"]["predicted_gini"]

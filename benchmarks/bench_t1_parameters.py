@@ -1,0 +1,7 @@
+"""T1 — the default-parameter table."""
+
+from benchmarks._harness import regenerate
+
+
+def test_t1_parameters(benchmark):
+    regenerate(benchmark, "T1", scale=1.0)

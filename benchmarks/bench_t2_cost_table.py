@@ -1,0 +1,12 @@
+"""T2 — per-operation cost accounting."""
+
+from benchmarks._harness import regenerate
+
+
+def test_t2_cost_table(benchmark):
+    table = regenerate(benchmark, "T2", scale=0.25)
+    rows = {r["operation"]: r for r in table.rows}
+    probe = next(r for op, r in rows.items() if op.startswith("single probe"))
+    exact = next(r for op, r in rows.items() if "traversal" in op)
+    # A probe is O(log N); the exact pass is Theta(N).
+    assert probe["messages"] * 10 < exact["messages"]

@@ -1,0 +1,69 @@
+"""Estimation in a dynamic network — churn resilience.
+
+Drives the overlay with continuous peer churn (joins, graceful leaves,
+and crashes with data loss) and re-estimates the global distribution
+every few rounds, printing the estimation error and routing cost as the
+ring degrades and the maintenance protocol repairs it.
+
+Run:  python examples/churn_resilience.py
+"""
+
+import numpy as np
+
+from repro import (
+    ChurnConfig,
+    ChurnProcess,
+    DistributionFreeEstimator,
+    RingNetwork,
+    build_dataset,
+    empirical_cdf,
+    evaluate_estimate,
+)
+
+
+def main() -> None:
+    data = build_dataset("mixture", n=50_000, seed=31)
+    network = RingNetwork.create(
+        256, domain=data.distribution.domain.as_tuple(), seed=31
+    )
+    network.load_data(data.values)
+    network.reset_stats()
+
+    churn = ChurnProcess(
+        network,
+        ChurnConfig(
+            join_rate=0.05,       # 5% of peers join per round
+            leave_rate=0.05,      # 5% depart per round...
+            crash_fraction=0.5,   # ...half of them by crashing (data loss)
+            maintenance_rounds=1,
+        ),
+        rng=np.random.default_rng(1),
+    )
+    estimator = DistributionFreeEstimator(probes=64)
+
+    print("round  peers  items    joins  crashes  KS-error  est.hops")
+    total_joins = total_crashes = 0
+    for round_index in range(1, 21):
+        report = churn.run_round()
+        total_joins += report.joins
+        total_crashes += report.crashes
+        if round_index % 4 == 0:
+            # Ground truth is what the network currently stores (crashes
+            # lose data), so this is pure estimation error under churn.
+            truth = empirical_cdf(network.all_values())
+            estimate = estimator.estimate(
+                network, rng=np.random.default_rng(round_index)
+            )
+            error = evaluate_estimate(estimate.cdf, truth, network.domain)
+            print(
+                f"{round_index:>5}  {network.n_peers:>5}  {network.total_count:>7}"
+                f"  {total_joins:>5}  {total_crashes:>7}"
+                f"  {error.ks:8.4f}  {estimate.hops:>8}"
+            )
+    print("\nthe estimate stays usable throughout: stale fingers cost extra "
+          "hops,\nbut the Horvitz-Thompson probes remain unbiased for "
+          "whatever data survives.")
+
+
+if __name__ == "__main__":
+    main()

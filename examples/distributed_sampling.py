@@ -1,0 +1,75 @@
+"""Global random sampling for distributed data mining.
+
+The abstract's third application: mining algorithms need unbiased random
+samples of the *global* data.  The :class:`SamplingService` offers two
+modes — free inversion draws from the estimated CDF ("model") and exact
+rank-routed draws from the live network ("exact").  This example uses
+both to estimate global statistics (mean, median, tail quantile) and
+compares their accuracy and network cost.
+
+Run:  python examples/distributed_sampling.py
+"""
+
+import numpy as np
+
+from repro import (
+    DistributionFreeEstimator,
+    RingNetwork,
+    SamplingService,
+    build_dataset,
+)
+
+
+def describe(name: str, samples: np.ndarray, truth: np.ndarray) -> None:
+    print(f"{name:14s} mean={samples.mean():.4f} (true {truth.mean():.4f})  "
+          f"median={np.median(samples):.4f} (true {np.median(truth):.4f})  "
+          f"p95={np.quantile(samples, 0.95):.4f} "
+          f"(true {np.quantile(truth, 0.95):.4f})")
+
+
+def main() -> None:
+    data = build_dataset("exponential", n=80_000, seed=41)
+    network = RingNetwork.create(
+        384, domain=data.distribution.domain.as_tuple(), seed=41
+    )
+    network.load_data(data.values)
+    network.reset_stats()
+    truth = network.all_values()
+
+    service = SamplingService(
+        network,
+        estimator=DistributionFreeEstimator(probes=96),
+        rng=np.random.default_rng(1),
+    )
+
+    # Model mode: one estimation pass, then unlimited free samples.
+    before = network.stats.messages
+    model_samples = service.sample(2_000, mode="model")
+    model_cost = network.stats.messages - before
+    describe("model mode", model_samples, truth)
+    print(f"{'':14s} cost: {model_cost} messages total "
+          f"({model_cost / 2000:.2f}/sample — one estimate, then free)\n")
+
+    # Exact mode: a prefix-index build, then O(log N) hops per sample.
+    before = network.stats.messages
+    exact_samples = service.sample(2_000, mode="exact")
+    exact_cost = network.stats.messages - before
+    describe("exact mode", exact_samples, truth)
+    print(f"{'':14s} cost: {exact_cost} messages total "
+          f"({exact_cost / 2000:.2f}/sample)\n")
+
+    # The trade-off in one line each.
+    from repro.core.metrics import ks_distance_to_samples
+    from repro.core.cdf import empirical_cdf
+
+    truth_cdf = empirical_cdf(truth)
+    print(f"sample quality (KS vs stored data): "
+          f"model={ks_distance_to_samples(truth_cdf, model_samples):.4f}  "
+          f"exact={ks_distance_to_samples(truth_cdf, exact_samples):.4f}")
+    print("model sampling trades a small bias floor for zero marginal "
+          "cost;\nexact sampling is perfectly unbiased at ~log N hops per "
+          "draw.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Pollution attacks and defense — estimating among liars.
+
+A tenth of the peers lie in their probe replies: each claims 100x its
+true item count, with the fabricated mass parked at value 0.9 (say, an
+attacker trying to convince the network that a key range it controls is
+hot).  This example shows the attack wrecking a trusting estimator, and
+the layered defense — neighbourhood density trimming on top of adaptive
+refinement (suspicious regions get verification probes) — restoring
+near-clean accuracy.
+
+Run:  python examples/pollution_defense.py
+"""
+
+import numpy as np
+
+from repro import (
+    AdaptiveDensityEstimator,
+    ByzantineBehavior,
+    DistributionFreeEstimator,
+    RingNetwork,
+    build_dataset,
+    empirical_cdf,
+    evaluate_estimate,
+)
+from repro.core.byzantine import corrupt_network
+
+
+def main() -> None:
+    data = build_dataset("zipf", n=100_000, seed=61)
+    domain = data.distribution.domain.as_tuple()
+    network = RingNetwork.create(512, domain=domain, seed=61)
+    network.load_data(data.values)
+    network.reset_stats()
+    truth = empirical_cdf(network.all_values())
+
+    attack_value = domain[0] + 0.9 * (domain[1] - domain[0])
+    liars = corrupt_network(
+        network,
+        fraction=0.10,
+        behavior=ByzantineBehavior(count_multiplier=100.0, fake_mass_at=attack_value),
+        rng=np.random.default_rng(1),
+    )
+    print(f"network: {network.n_peers} peers, {len(liars)} of them lying "
+          f"(100x inflated counts at value {attack_value:.2f})")
+
+    estimators = {
+        "trusting (one-shot)": DistributionFreeEstimator(probes=128),
+        "trim only": DistributionFreeEstimator(probes=128, trim_density_ratio=20.0),
+        "adaptive + trim": AdaptiveDensityEstimator(probes=128, trim_density_ratio=20.0),
+    }
+    print(f"\n{'estimator':22s} KS error   F̂(0.9) (true "
+          f"{float(truth(attack_value)):.4f})")
+    for name, estimator in estimators.items():
+        errors, at_target = [], []
+        for rep in range(5):
+            estimate = estimator.estimate(network, rng=np.random.default_rng(10 + rep))
+            report = evaluate_estimate(estimate.cdf, truth, domain)
+            errors.append(report.ks)
+            at_target.append(float(estimate.cdf_at(attack_value)))
+        print(f"{name:22s} {np.mean(errors):8.4f}   {np.mean(at_target):.4f}")
+
+    print("\nthe trusting estimator is dragged towards the attacker's value; "
+          "\nneighbourhood trimming discards the isolated density spikes, and "
+          "\nadaptive refinement keeps honest heavy hitters from being "
+          "mistaken for liars.\nThe residual error is the price of 51 "
+          "adversaries — see experiment F17 for the full sweep.")
+
+
+if __name__ == "__main__":
+    main()

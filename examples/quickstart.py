@@ -1,0 +1,82 @@
+"""Quickstart: estimate a P2P network's global data distribution.
+
+Builds a 512-peer ring storing 100k zipf-skewed values, runs the
+distribution-free estimator with a 64-probe budget, and shows everything
+the resulting estimate can answer — CDF values, quantiles, range
+selectivities, volume/size estimates, and inversion-method samples — next
+to the ground truth and the exact network cost paid.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    AdaptiveDensityEstimator,
+    DistributionFreeEstimator,
+    RingNetwork,
+    build_dataset,
+    empirical_cdf,
+    evaluate_estimate,
+)
+
+
+def main() -> None:
+    # 1. A ring network with order-preserving placement of skewed data.
+    data = build_dataset("zipf", n=100_000, seed=7)
+    network = RingNetwork.create(
+        512, domain=data.distribution.domain.as_tuple(), seed=7
+    )
+    network.load_data(data.values)
+    network.reset_stats()
+    print(f"network: {network.n_peers} peers, {network.total_count} items, "
+          f"domain {network.domain}")
+
+    # 2. One estimation pass: 64 probes, each an O(log N) routed lookup.
+    # The adaptive estimator spends half the budget scouting the ring and
+    # the rest probing where the mass turned out to be — the configuration
+    # that delivers "high accuracy regardless of distribution".
+    estimator = AdaptiveDensityEstimator(probes=64)
+    estimate = estimator.estimate(network, rng=np.random.default_rng(1))
+    print(f"\nestimate cost: {estimate.messages} messages, "
+          f"{estimate.hops} routing hops")
+    print(f"estimated volume n̂ = {estimate.n_items:,.0f} "
+          f"(true {network.total_count:,})")
+    print(f"estimated peers  N̂ = {estimate.n_peers:,.1f} "
+          f"(true {network.n_peers})")
+
+    # 3. What the estimate answers locally, with ground truth alongside.
+    truth = empirical_cdf(network.all_values())
+    print("\npoint      F̂(x)     F(x)")
+    for x in (0.02, 0.05, 0.1, 0.3, 0.7):
+        print(f"x={x:<5}  {float(estimate.cdf_at(x)):8.4f} "
+              f"{float(truth(x)):8.4f}")
+
+    print("\nquantile   estimate   true")
+    values = network.all_values()
+    for q in (0.25, 0.5, 0.9):
+        print(f"q={q:<5}  {float(estimate.quantile(q)):9.4f} "
+              f"{float(np.quantile(values, q)):8.4f}")
+
+    sel = estimate.selectivity(0.05, 0.2)
+    true_sel = float(np.mean((values >= 0.05) & (values < 0.2)))
+    print(f"\nselectivity [0.05, 0.2): estimated {sel:.4f}, true {true_sel:.4f}")
+
+    # 4. Inversion-method variates: free samples from the global data.
+    samples = estimate.sample(5, rng=np.random.default_rng(2))
+    print(f"\n5 inversion samples: {np.array2string(samples, precision=4)}")
+
+    # 5. Overall accuracy, next to the one-shot variant at equal budget.
+    report = evaluate_estimate(estimate.cdf, truth, network.domain)
+    one_shot = DistributionFreeEstimator(probes=64).estimate(
+        network, rng=np.random.default_rng(1)
+    )
+    one_shot_report = evaluate_estimate(one_shot.cdf, truth, network.domain)
+    print(f"\naccuracy (adaptive): KS={report.ks:.4f}  L1={report.l1:.4f}  "
+          f"EMD={report.emd:.5f}")
+    print(f"accuracy (one-shot): KS={one_shot_report.ks:.4f} — adaptive "
+          f"refinement wins on skewed data at the same probe budget")
+
+
+if __name__ == "__main__":
+    main()

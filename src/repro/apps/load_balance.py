@@ -1,0 +1,137 @@
+"""Load-balance analysis — the paper's first motivating application.
+
+Under order-preserving placement, skewed data piles onto the peers owning
+the dense part of the domain.  A peer that knows the global density can
+*predict* the load of any ring segment (``load ≈ n̂ · (F̂(b) − F̂(a))``),
+quantify global imbalance, and compute the equi-depth boundaries an ideal
+rebalancing would install — all without touching more of the network than
+the estimate itself cost.  This module implements those computations and
+their evaluation against the network's actual per-peer loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.estimate import DensityEstimate
+from repro.core.quantile import equi_depth_boundaries
+from repro.ring.network import RingNetwork
+
+__all__ = [
+    "gini_coefficient",
+    "coefficient_of_variation",
+    "LoadBalanceReport",
+    "predict_peer_loads",
+    "analyze_load_balance",
+    "rebalanced_boundaries",
+]
+
+
+def gini_coefficient(loads: np.ndarray) -> float:
+    """Gini coefficient of a load vector (0 = perfectly even)."""
+    arr = np.sort(np.asarray(loads, dtype=float))
+    if arr.size == 0:
+        raise ValueError("need at least one load value")
+    if np.any(arr < 0):
+        raise ValueError("loads must be non-negative")
+    total = arr.sum()
+    if total == 0:
+        return 0.0
+    n = arr.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * np.sum(ranks * arr)) / (n * total) - (n + 1) / n)
+
+
+def coefficient_of_variation(loads: np.ndarray) -> float:
+    """Std/mean of a load vector (0 = perfectly even)."""
+    arr = np.asarray(loads, dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one load value")
+    mean = arr.mean()
+    if mean == 0:
+        return 0.0
+    return float(arr.std() / mean)
+
+
+def predict_peer_loads(network: RingNetwork, estimate: DensityEstimate) -> np.ndarray:
+    """Predicted item count per peer (ring order) from a density estimate.
+
+    Each peer's ownership arc is translated to its value range(s) and the
+    estimated mass inside is scaled by the estimated total volume.  Only
+    the estimate and the (public) peer boundaries are used — no per-peer
+    counts, which is the whole point of predicting.
+    """
+    low, high = network.domain
+    predictions = []
+    for node in network.peers():
+        interval = node.interval
+        if interval.start == interval.end:
+            mass = 1.0
+        elif interval.start < interval.end:
+            a = network.data_hash.to_value(network.space.add(interval.start, 1))
+            after = network.space.add(interval.end, 1)
+            b = high if after == 0 else network.data_hash.to_value(after)
+            mass = max(estimate.cdf.mass_between(min(a, b), max(a, b)), 0.0)
+        else:
+            # Wrapped arc: mass at both domain ends.
+            first_start = network.space.add(interval.start, 1)
+            mass = 0.0
+            if first_start != 0:
+                a = network.data_hash.to_value(first_start)
+                mass += max(estimate.cdf.mass_between(min(a, high), high), 0.0)
+            b = network.data_hash.to_value(interval.end + 1)
+            mass += max(estimate.cdf.mass_between(low, max(b, low)), 0.0)
+        predictions.append(mass * estimate.n_items)
+    return np.asarray(predictions, dtype=float)
+
+
+@dataclass(frozen=True)
+class LoadBalanceReport:
+    """Predicted vs. actual load-imbalance summary."""
+
+    actual_gini: float
+    predicted_gini: float
+    actual_cv: float
+    predicted_cv: float
+    per_peer_mean_abs_error: float   # mean |predicted - actual| per peer
+    hotspot_hit: bool                # did we predict the most-loaded peer's
+    #                                  neighbourhood (top decile) correctly?
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for result tables."""
+        return {
+            "actual_gini": self.actual_gini,
+            "predicted_gini": self.predicted_gini,
+            "actual_cv": self.actual_cv,
+            "predicted_cv": self.predicted_cv,
+            "per_peer_mean_abs_error": self.per_peer_mean_abs_error,
+            "hotspot_hit": float(self.hotspot_hit),
+        }
+
+
+def analyze_load_balance(network: RingNetwork, estimate: DensityEstimate) -> LoadBalanceReport:
+    """Compare predicted load imbalance against the network's actual loads."""
+    actual = network.peer_loads().astype(float)
+    predicted = predict_peer_loads(network, estimate)
+    top_decile = max(int(np.ceil(actual.size * 0.1)), 1)
+    actual_top = set(np.argsort(actual)[-top_decile:].tolist())
+    predicted_hottest = int(np.argmax(predicted))
+    return LoadBalanceReport(
+        actual_gini=gini_coefficient(actual),
+        predicted_gini=gini_coefficient(predicted),
+        actual_cv=coefficient_of_variation(actual),
+        predicted_cv=coefficient_of_variation(predicted),
+        per_peer_mean_abs_error=float(np.mean(np.abs(predicted - actual))),
+        hotspot_hit=predicted_hottest in actual_top,
+    )
+
+
+def rebalanced_boundaries(estimate: DensityEstimate, parts: int) -> np.ndarray:
+    """Value boundaries an ideal load balancer would install.
+
+    ``parts + 1`` equi-depth boundaries of the estimated distribution;
+    placing one peer per part equalises expected load.
+    """
+    return equi_depth_boundaries(estimate.cdf, parts)

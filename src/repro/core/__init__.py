@@ -1,0 +1,116 @@
+"""Core contribution: distribution-free global density estimation.
+
+The CDF machinery, the exact and sampled global-CDF algorithms, the
+inversion-method samplers, and the estimator facade plus its baselines.
+"""
+
+from repro.core.adaptive import AdaptiveDensityEstimator, allocate_refinement_probes
+from repro.core.byzantine import (
+    ByzantineBehavior,
+    corrupt_network,
+    fabricate_summary,
+    trim_outlier_summaries,
+)
+from repro.core.cdf import PiecewiseCDF, empirical_cdf
+from repro.core.confidence import (
+    ConfidenceBand,
+    bootstrap_confidence_band,
+    estimate_with_confidence,
+)
+from repro.core.cdf_compute import (
+    ExactCdfEstimator,
+    compute_global_cdf_broadcast,
+    compute_global_cdf_traversal,
+)
+from repro.core.cdf_sampling import (
+    InterpolatedReconstruction,
+    ProbeResult,
+    assemble_cdf,
+    assemble_cdf_interpolated,
+    collect_probes,
+    estimate_peer_count,
+    estimate_total_items,
+    ht_weights,
+    probe_positions,
+)
+from repro.core.density import DensityCurve, density_from_cdf, smoothed_density_from_cdf
+from repro.core.estimate import DensityEstimate
+from repro.core.estimator import DensityEstimator, DistributionFreeEstimator
+from repro.core.inversion import InversionSampler, inverse_transform_sample
+from repro.core.metrics import (
+    ErrorReport,
+    emd,
+    evaluate_estimate,
+    kl_divergence_binned,
+    ks_distance,
+    ks_distance_to_samples,
+    l1_cdf_distance,
+    l2_cdf_distance,
+    total_variation_binned,
+)
+from repro.core.quantile import (
+    equi_depth_boundaries,
+    interquartile_range,
+    median,
+    quantile,
+    quantiles,
+)
+from repro.core.rank_sampling import PrefixIndex, build_prefix_index, sample_by_rank
+from repro.core.synopsis import PeerSummary, SegmentSummary, summarize_peer
+from repro.core.tracking import ContinuousEstimator, MaintenanceAction
+
+__all__ = [
+    "AdaptiveDensityEstimator",
+    "ByzantineBehavior",
+    "ConfidenceBand",
+    "ContinuousEstimator",
+    "MaintenanceAction",
+    "DensityCurve",
+    "DensityEstimate",
+    "DensityEstimator",
+    "DistributionFreeEstimator",
+    "ErrorReport",
+    "ExactCdfEstimator",
+    "InversionSampler",
+    "PeerSummary",
+    "PiecewiseCDF",
+    "PrefixIndex",
+    "ProbeResult",
+    "SegmentSummary",
+    "InterpolatedReconstruction",
+    "allocate_refinement_probes",
+    "assemble_cdf",
+    "assemble_cdf_interpolated",
+    "bootstrap_confidence_band",
+    "build_prefix_index",
+    "collect_probes",
+    "corrupt_network",
+    "compute_global_cdf_broadcast",
+    "compute_global_cdf_traversal",
+    "density_from_cdf",
+    "emd",
+    "estimate_with_confidence",
+    "empirical_cdf",
+    "equi_depth_boundaries",
+    "estimate_peer_count",
+    "estimate_total_items",
+    "evaluate_estimate",
+    "fabricate_summary",
+    "ht_weights",
+    "interquartile_range",
+    "inverse_transform_sample",
+    "kl_divergence_binned",
+    "ks_distance",
+    "ks_distance_to_samples",
+    "l1_cdf_distance",
+    "l2_cdf_distance",
+    "median",
+    "probe_positions",
+    "quantile",
+    "quantiles",
+    "sample_by_rank",
+    "smoothed_density_from_cdf",
+    "summarize_peer",
+    "total_variation_binned",
+    "trim_outlier_summaries",
+]

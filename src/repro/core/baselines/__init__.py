@@ -1,0 +1,14 @@
+"""Baseline estimators the paper's method is compared against."""
+
+from repro.core.baselines.gossip import PushSumHistogramEstimator
+from repro.core.baselines.naive import NaivePeerSamplingEstimator
+from repro.core.baselines.parametric import ParametricEstimator
+from repro.core.baselines.random_walk import RandomWalkEstimator, metropolis_hastings_walk
+
+__all__ = [
+    "NaivePeerSamplingEstimator",
+    "ParametricEstimator",
+    "PushSumHistogramEstimator",
+    "RandomWalkEstimator",
+    "metropolis_hastings_walk",
+]

@@ -1,0 +1,164 @@
+"""Byzantine peers and estimation robustness.
+
+Probe-based estimation trusts each reply.  A *pollution attack* exploits
+that: a lying peer reports an inflated item count with its claimed mass
+parked at an attacker-chosen value, dragging the Horvitz–Thompson weights
+(one reply with density 100× the honest level dominates the whole
+estimate).  This module implements the attacker — peers marked with a
+:class:`ByzantineBehavior` fabricate their probe replies — and the
+standard statistical defense: *density trimming*, which discards replies
+whose implied density is an extreme outlier against the probe batch's
+median.  The F17 experiment measures both sides: how badly the attack
+hurts the trusting estimator, and what the defense costs on honest skewed
+data (where heavy peers are legitimately outliers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.synopsis import PeerSummary, SegmentSummary
+from repro.ring.network import RingNetwork
+
+__all__ = [
+    "ByzantineBehavior",
+    "corrupt_network",
+    "fabricate_summary",
+    "trim_outlier_summaries",
+]
+
+
+@dataclass(frozen=True)
+class ByzantineBehavior:
+    """How a lying peer fabricates its probe reply.
+
+    Attributes
+    ----------
+    count_multiplier:
+        Claimed item count = multiplier × true count (minimum 1, so even
+        an empty attacker claims data).
+    fake_mass_at:
+        Domain value where the fabricated mass is claimed to sit.  When
+        it falls outside the peer's segment the claim lands in the nearest
+        edge bucket — exactly what a real attacker constrained to its own
+        key range would do.  ``None`` keeps the true shape, only scaled.
+    """
+
+    count_multiplier: float = 100.0
+    fake_mass_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.count_multiplier <= 0:
+            raise ValueError(
+                f"count_multiplier must be positive, got {self.count_multiplier}"
+            )
+
+
+def corrupt_network(
+    network: RingNetwork,
+    fraction: float,
+    behavior: ByzantineBehavior,
+    rng: Optional[np.random.Generator] = None,
+) -> list[int]:
+    """Mark a random ``fraction`` of peers as Byzantine; returns their ids."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    generator = rng if rng is not None else network.rng
+    ids = list(network.peer_ids())
+    n_liars = int(round(fraction * len(ids)))
+    # Choose by index: 64-bit identifiers do not survive the float64 cast
+    # numpy's choice() would apply to them directly.
+    picked = generator.choice(len(ids), size=n_liars, replace=False)
+    liars = [ids[int(i)] for i in picked]
+    liar_set = set(liars)
+    for ident in ids:
+        network.node(ident).byzantine = behavior if ident in liar_set else None
+    return liars
+
+
+def fabricate_summary(honest: PeerSummary, behavior: ByzantineBehavior) -> PeerSummary:
+    """The lie a Byzantine peer sends instead of its honest summary.
+
+    Segment geometry (``ℓ``, value ranges) is kept honest — neighbours can
+    verify it — while counts are inflated and, optionally, concentrated in
+    the bucket nearest ``fake_mass_at``.
+    """
+    claimed_total = max(int(round(honest.local_count * behavior.count_multiplier)), 1)
+    segments: list[SegmentSummary] = []
+    remaining = claimed_total
+    for index, segment in enumerate(honest.segments):
+        if index == len(honest.segments) - 1:
+            claimed = remaining
+        else:
+            share = segment.total / max(honest.local_count, 1)
+            claimed = int(round(claimed_total * share))
+            remaining -= claimed
+        counts = np.zeros(segment.buckets, dtype=np.int64)
+        if behavior.fake_mass_at is not None:
+            edges = segment.bucket_edges()
+            target = int(np.searchsorted(edges, behavior.fake_mass_at, side="right")) - 1
+            target = min(max(target, 0), segment.buckets - 1)
+            counts[target] = claimed
+        elif segment.total > 0:
+            scaled = np.floor(segment.counts * claimed / segment.total).astype(np.int64)
+            scaled[-1] += claimed - int(scaled.sum())
+            counts = scaled
+        else:
+            counts[-1] = claimed
+        segments.append(
+            SegmentSummary(segment.value_low, segment.value_high, counts, edges=segment.edges)
+        )
+    return PeerSummary(
+        peer_id=honest.peer_id,
+        segment_length=honest.segment_length,
+        local_count=claimed_total,
+        segments=tuple(segments),
+    )
+
+
+def trim_outlier_summaries(
+    summaries: Sequence[PeerSummary],
+    max_density_ratio: float = 20.0,
+    neighborhood: int = 4,
+) -> list[PeerSummary]:
+    """Drop replies whose density is wildly inconsistent with their ring
+    neighbourhood.
+
+    A *global* density threshold would throw away honest heavy hitters on
+    skewed data (the head of a zipf ring legitimately has densities far
+    above the median).  Honest density, however, varies smoothly along the
+    ring, while randomly placed liars are isolated spikes: each reply is
+    therefore compared against the **median density of its ``2·k`` ring-
+    nearest other replies** and discarded only when it exceeds
+    ``max_density_ratio`` times that local reference.
+    """
+    if max_density_ratio <= 1.0:
+        raise ValueError(f"max_density_ratio must be > 1, got {max_density_ratio}")
+    if neighborhood < 1:
+        raise ValueError(f"neighborhood must be >= 1, got {neighborhood}")
+    unique: dict[int, PeerSummary] = {}
+    for summary in summaries:
+        unique[summary.peer_id] = summary
+    if len(unique) <= 2:
+        return list(summaries)
+    ordered = sorted(unique.values(), key=lambda s: min(seg.value_low for seg in s.segments))
+    count = len(ordered)
+    dropped: set[int] = set()
+    for index, summary in enumerate(ordered):
+        neighbors = []
+        for offset in range(1, neighborhood + 1):
+            neighbors.append(ordered[(index - offset) % count].density)
+            neighbors.append(ordered[(index + offset) % count].density)
+        reference = float(np.median(neighbors))
+        if reference <= 0:
+            # An all-empty neighbourhood gives no reference; fall back to
+            # the global median so a lone spike there is still caught.
+            reference = float(
+                np.median([s.density for s in ordered if s.local_count > 0] or [0.0])
+            )
+        if reference > 0 and summary.density > max_density_ratio * reference:
+            dropped.add(summary.peer_id)
+    return [s for s in summaries if s.peer_id not in dropped]

@@ -1,0 +1,341 @@
+"""Sampling the global CDF — the paper's core mechanism.
+
+The cheap estimation path probes ``s ≪ N`` ring positions.  Each probe is a
+routed lookup to the peer owning a position, answered with that peer's
+:class:`~repro.core.synopsis.PeerSummary`.  Because a uniform ring position
+lands on a peer with probability proportional to its segment length
+``ℓ_p``, pooling the replies *unweighted* is biased; the Horvitz–Thompson
+correction (weight ``∝ c_p / ℓ_p``) makes the pooled estimate
+
+    F̂(x) = Σ_i w_i · H_i(x),   w_i = (c_i/ℓ_i) / Σ_j (c_j/ℓ_j)
+
+an asymptotically unbiased, distribution-free estimate of the global CDF —
+``H_i`` being peer ``i``'s local CDF from its synopsis.  The same probes
+yield, for free, the total-count estimate ``n̂ = (2^m/s) Σ c_i/ℓ_i`` and
+the network-size estimate ``N̂ = (2^m/s) Σ 1/ℓ_i``.
+
+Probe placement is pluggable: iid uniform positions (the baseline analysed
+above) or a stratified grid with jitter (same unbiasedness, lower variance
+— an ablation the benchmarks measure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cdf import PiecewiseCDF
+from repro.core.synopsis import PeerSummary, summarize_peer
+from repro.ring.messages import MessageType
+from repro.ring.network import RingNetwork
+from repro.ring.routing import route_to_key
+
+__all__ = [
+    "ProbeResult",
+    "probe_positions",
+    "collect_probes",
+    "collect_probes_at",
+    "ht_weights",
+    "estimate_total_items",
+    "estimate_peer_count",
+    "assemble_cdf",
+    "assemble_cdf_interpolated",
+    "InterpolatedReconstruction",
+]
+
+Placement = Literal["uniform", "stratified"]
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """One answered probe: where it went, what came back, what it cost."""
+
+    target: int
+    summary: PeerSummary
+    hops: int
+
+
+def probe_positions(
+    count: int,
+    ring_size: int,
+    rng: np.random.Generator,
+    placement: Placement = "uniform",
+) -> np.ndarray:
+    """Ring positions to probe.
+
+    ``uniform``: iid uniform draws — the textbook HT design.
+    ``stratified``: one uniform draw inside each of ``count`` equal strata —
+    identical marginal distribution (hence identical unbiasedness) with
+    strictly smaller variance for any monotone integrand.
+    """
+    if count < 1:
+        raise ValueError(f"need at least one probe, got {count}")
+    if placement == "uniform":
+        return rng.integers(0, ring_size, size=count, dtype=np.uint64)
+    if placement == "stratified":
+        stratum = ring_size / count
+        offsets = rng.uniform(0.0, 1.0, size=count)
+        positions = ((np.arange(count) + offsets) * stratum).astype(np.uint64)
+        return np.minimum(positions, np.uint64(ring_size - 1))
+    raise ValueError(f"unknown placement {placement!r}")
+
+
+def collect_probes(
+    network: RingNetwork,
+    count: int,
+    buckets: int,
+    rng: Optional[np.random.Generator] = None,
+    placement: Placement = "uniform",
+    synopsis_kind: str = "equi-width",
+) -> list[ProbeResult]:
+    """Route ``count`` probes and gather peer summaries.
+
+    Each probe starts at a uniformly chosen entry peer (as a real client
+    would), routes to the target position (counted hops), and exchanges one
+    request/reply pair with the owner.  Repeat hits on the same peer are
+    kept — deduplicating would break the Horvitz–Thompson design.
+    """
+    generator = rng if rng is not None else network.rng
+    targets = probe_positions(count, network.space.size, generator, placement)
+    return collect_probes_at(network, targets, buckets, synopsis_kind)
+
+
+def collect_probes_at(
+    network: RingNetwork,
+    targets: Sequence[int],
+    buckets: int,
+    synopsis_kind: str = "equi-width",
+) -> list[ProbeResult]:
+    """Probe explicit ring positions (used by adaptive refinement)."""
+    results: list[ProbeResult] = []
+    for target in targets:
+        entry = network.random_peer()
+        route = route_to_key(network, entry, int(target))
+        # Reply payload: the B-bucket synopsis plus (segment length, count).
+        # Under the loss model, a lost request or reply is retransmitted
+        # end to end; every attempt is paid for.
+        while True:
+            network.record(MessageType.PROBE_REQUEST)
+            if not network.delivery_succeeds():
+                continue
+            network.record(MessageType.PROBE_REPLY, payload=buckets + 2)
+            if network.delivery_succeeds():
+                break
+        summary = summarize_peer(network, route.owner, buckets, kind=synopsis_kind)
+        results.append(ProbeResult(target=int(target), summary=summary, hops=route.hops))
+    return results
+
+
+def ht_weights(summaries: Sequence[PeerSummary]) -> np.ndarray:
+    """Normalised Horvitz–Thompson weights ``w_i ∝ c_i / ℓ_i``.
+
+    Peers with no data get weight zero.  Raises if *all* probed peers are
+    empty — there is then no evidence to build a distribution from.
+    """
+    raw = np.asarray([s.density for s in summaries], dtype=float)
+    total = raw.sum()
+    if total <= 0:
+        raise ValueError("all probed peers were empty; cannot estimate a distribution")
+    return raw / total
+
+
+def estimate_total_items(summaries: Sequence[PeerSummary], ring_size: int) -> float:
+    """Unbiased estimate of the global item count, ``n̂ = (2^m/s) Σ c/ℓ``."""
+    if not summaries:
+        raise ValueError("need at least one probe summary")
+    densities = np.asarray([s.density for s in summaries], dtype=float)
+    return float(ring_size * densities.mean())
+
+
+def estimate_peer_count(summaries: Sequence[PeerSummary], ring_size: int) -> float:
+    """Unbiased estimate of the live peer count, ``N̂ = (2^m/s) Σ 1/ℓ``."""
+    if not summaries:
+        raise ValueError("need at least one probe summary")
+    inverse_lengths = np.asarray([1.0 / s.segment_length for s in summaries], dtype=float)
+    return float(ring_size * inverse_lengths.mean())
+
+
+def assemble_cdf(
+    summaries: Sequence[PeerSummary],
+    weights: Sequence[float],
+    domain: tuple[float, float],
+    interpolation: Literal["linear", "step"] = "linear",
+) -> PiecewiseCDF:
+    """Combine per-peer local CDFs into the global estimate ``Σ w_i H_i``.
+
+    The result is pinned to the domain: ``F̂(low) = 0`` and
+    ``F̂(high) = 1`` exactly, so downstream quantile/selectivity queries
+    behave at the edges even when no probe landed there.
+    """
+    weight_arr = np.asarray(weights, dtype=float)
+    if len(summaries) != weight_arr.size:
+        raise ValueError("one weight per summary required")
+    active = [
+        (summary, w)
+        for summary, w in zip(summaries, weight_arr)
+        if w > 0 and summary.local_count > 0
+    ]
+    if not active:
+        raise ValueError("no probed peer carried any data")
+    components = [summary.local_cdf(kind=interpolation) for summary, _ in active]
+    mixture = PiecewiseCDF.mixture(components, [w for _, w in active], kind=interpolation)
+
+    low, high = domain
+    xs = mixture.xs
+    fs = mixture.fs
+    if xs[0] > low:
+        xs = np.concatenate(([low], xs))
+        fs = np.concatenate(([0.0], fs))
+    if xs[-1] < high:
+        xs = np.concatenate((xs, [high]))
+        fs = np.concatenate((fs, [1.0]))
+    fs = fs / fs[-1] if fs[-1] > 0 else fs
+    return PiecewiseCDF(xs, fs, kind=mixture.kind)
+
+
+@dataclass(frozen=True)
+class InterpolatedReconstruction:
+    """Result of :func:`assemble_cdf_interpolated`.
+
+    ``total_items`` is the integral of the reconstructed absolute density —
+    itself an estimate of the global data volume (exact over probed
+    segments, interpolated over gaps).  ``gap_masses`` lists, per
+    inter-segment gap, ``(gap_start_value, gap_end_value, estimated_mass)``
+    — the information adaptive refinement allocates follow-up probes by.
+    """
+
+    cdf: PiecewiseCDF
+    total_items: float
+    gap_masses: tuple[tuple[float, float, float], ...]
+
+
+def _gap_mass(d_left: float, d_right: float, width: float, mode: str) -> float:
+    """Estimated item mass of an unprobed gap from its edge densities.
+
+    ``linear`` uses the trapezoid rule; ``log`` uses the logarithmic mean
+    (exact for exponentially varying density, better for heavy tails).
+    """
+    if width <= 0:
+        return 0.0
+    if mode == "linear" or d_left <= 0 or d_right <= 0:
+        return 0.5 * (d_left + d_right) * width
+    if mode != "log":
+        raise ValueError(f"unknown gap interpolation mode {mode!r}")
+    log_ratio = np.log(d_right / d_left)
+    if abs(log_ratio) < 1e-9:
+        return d_left * width
+    return width * (d_right - d_left) / log_ratio
+
+
+def assemble_cdf_interpolated(
+    summaries: Sequence[PeerSummary],
+    domain: tuple[float, float],
+    gap_interpolation: Literal["linear", "log"] = "linear",
+) -> InterpolatedReconstruction:
+    """Reconstruct the global CDF by density interpolation — the default.
+
+    Probed segments contribute their *exact* synopsis counts; the unprobed
+    gaps between them get mass interpolated from the adjacent segments'
+    edge densities (the ring wrap makes the leading and trailing domain
+    gaps one logical gap).  Compared with the pure HT mixture
+    (:func:`assemble_cdf`), this uses the same evidence but does not assume
+    zero mass off the probed segments, cutting variance several-fold on
+    smooth densities while remaining distribution-free: no parametric form
+    is assumed anywhere, and the reconstruction converges to the exact
+    global CDF as probes cover the ring.
+
+    Duplicate summaries of the same peer are collapsed (repeat probes add
+    no evidence to a reconstruction).
+    """
+    if gap_interpolation not in ("linear", "log"):
+        raise ValueError(f"unknown gap interpolation mode {gap_interpolation!r}")
+    unique: dict[int, PeerSummary] = {}
+    for summary in summaries:
+        unique[summary.peer_id] = summary
+    segments = sorted(
+        (seg for s in unique.values() for seg in s.segments),
+        key=lambda seg: seg.value_low,
+    )
+    if not segments:
+        raise ValueError("no probe evidence to reconstruct from")
+    low, high = domain
+
+    def edge_density(seg, side: str) -> float:
+        """Density (items per value unit) at one edge of a probed segment.
+
+        Uses the outermost bucket with positive width (equi-depth synopses
+        can carry zero-width point-mass buckets whose density is not
+        finite); falls back to the segment's average density.
+        """
+        edges = seg.bucket_edges()
+        indices = range(seg.buckets) if side == "left" else range(seg.buckets - 1, -1, -1)
+        for index in indices:
+            width = float(edges[index + 1] - edges[index])
+            if width > 0:
+                return float(seg.counts[index]) / width
+        span = seg.value_high - seg.value_low
+        return float(seg.total) / span if span > 0 else 0.0
+
+    xs: list[float] = [low]
+    cum: list[float] = [0.0]
+    gaps: list[tuple[float, float, float]] = []
+
+    # The ring is a cycle: the gap after the last segment wraps into the
+    # gap before the first one.  Their interpolation endpoints therefore
+    # come from the last and first probed segments respectively.
+    lead_gap = segments[0].value_low - low
+    trail_gap = high - segments[-1].value_high
+    wrap_width = max(lead_gap, 0.0) + max(trail_gap, 0.0)
+    d_wrap_left = edge_density(segments[-1], "right")
+    d_wrap_right = edge_density(segments[0], "left")
+    wrap_mass = _gap_mass(d_wrap_left, d_wrap_right, wrap_width, gap_interpolation)
+
+    if lead_gap > 0:
+        share = lead_gap / wrap_width if wrap_width > 0 else 0.0
+        lead_mass = wrap_mass * share
+        xs.append(segments[0].value_low)
+        cum.append(cum[-1] + lead_mass)
+        gaps.append((low, segments[0].value_low, lead_mass))
+
+    prev_end = segments[0].value_low
+    prev_density = None
+    for seg in segments:
+        if seg.value_low > prev_end and prev_density is not None:
+            width = seg.value_low - prev_end
+            mass = _gap_mass(
+                prev_density, edge_density(seg, "left"), width, gap_interpolation
+            )
+            xs.append(seg.value_low)
+            cum.append(cum[-1] + mass)
+            gaps.append((prev_end, seg.value_low, mass))
+        edges = seg.bucket_edges()
+        running = cum[-1]
+        for bucket in range(seg.buckets):
+            running += float(seg.counts[bucket])
+            xs.append(float(edges[bucket + 1]))
+            cum.append(running)
+        prev_end = max(prev_end, seg.value_high)
+        prev_density = edge_density(seg, "right")
+
+    if trail_gap > 0:
+        share = trail_gap / wrap_width if wrap_width > 0 else 0.0
+        trail_mass = wrap_mass * share
+        xs.append(high)
+        cum.append(cum[-1] + trail_mass)
+        gaps.append((segments[-1].value_high, high, trail_mass))
+
+    xs_arr = np.asarray(xs, dtype=float)
+    cum_arr = np.asarray(cum, dtype=float)
+    # Collapse duplicate breakpoints keeping the *last* cumulative value at
+    # each x, so no mass is dropped when a degenerate piece has zero width.
+    keep = np.concatenate((np.diff(xs_arr) > 0, [True]))
+    xs_arr, cum_arr = xs_arr[keep], np.maximum.accumulate(cum_arr[keep])
+    total = float(cum_arr[-1])
+    if total <= 0:
+        raise ValueError("all probed peers were empty; cannot estimate a distribution")
+    cdf = PiecewiseCDF(xs_arr, cum_arr / total, kind="linear")
+    return InterpolatedReconstruction(
+        cdf=cdf, total_items=total, gap_masses=tuple(gaps)
+    )

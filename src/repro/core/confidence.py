@@ -1,0 +1,153 @@
+"""Bootstrap confidence bands for the estimated global CDF.
+
+A point estimate of ``F`` is often not enough: a load balancer deciding
+whether to migrate peers, or a query router choosing an execution plan,
+wants to know how much to trust it.  Because the probe design is iid
+(uniform ring positions), the nonparametric bootstrap applies directly:
+resample the probe replies with replacement, rebuild the reconstruction
+for each replicate, and take pointwise quantiles.  The band is computed
+entirely client-side from evidence already collected — zero extra network
+cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Literal, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cdf_sampling import (
+    assemble_cdf_interpolated,
+    collect_probes,
+    estimate_peer_count,
+)
+from repro.core.estimate import DensityEstimate
+from repro.core.synopsis import PeerSummary
+from repro.ring.network import RingNetwork
+
+__all__ = ["ConfidenceBand", "bootstrap_confidence_band", "estimate_with_confidence"]
+
+
+@dataclass(frozen=True)
+class ConfidenceBand:
+    """A pointwise bootstrap band around an estimated CDF."""
+
+    grid: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    level: float
+    replicates: int
+
+    def __post_init__(self) -> None:
+        if not (self.grid.shape == self.lower.shape == self.upper.shape):
+            raise ValueError("grid/lower/upper must have equal shape")
+        if np.any(self.lower > self.upper + 1e-12):
+            raise ValueError("band is inverted (lower > upper)")
+
+    @property
+    def mean_width(self) -> float:
+        """Average vertical width of the band — a scalar uncertainty
+        summary (shrinks as ``O(1/sqrt(probes))``)."""
+        return float(np.mean(self.upper - self.lower))
+
+    def coverage_of(self, truth: Callable[[np.ndarray], np.ndarray]) -> float:
+        """Fraction of grid points where a reference CDF lies in the band."""
+        values = np.asarray(truth(self.grid), dtype=float)
+        inside = (values >= self.lower - 1e-12) & (values <= self.upper + 1e-12)
+        return float(np.mean(inside))
+
+    def contains_point(self, x: float, f_value: float) -> bool:
+        """Is ``(x, F(x)=f_value)`` inside the band (grid-interpolated)?"""
+        lower = float(np.interp(x, self.grid, self.lower))
+        upper = float(np.interp(x, self.grid, self.upper))
+        return lower - 1e-12 <= f_value <= upper + 1e-12
+
+
+def bootstrap_confidence_band(
+    summaries: Sequence[PeerSummary],
+    domain: tuple[float, float],
+    level: float = 0.9,
+    replicates: int = 200,
+    grid_points: int = 128,
+    rng: Optional[np.random.Generator] = None,
+    gap_interpolation: Literal["linear", "log"] = "linear",
+) -> ConfidenceBand:
+    """Pointwise bootstrap band from probe evidence.
+
+    ``summaries`` must be the raw probe replies *with* repetitions — the
+    bootstrap resamples the probe design, so collapsing duplicates first
+    would understate the variance.
+    """
+    if not summaries:
+        raise ValueError("need at least one probe summary")
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"level must be in (0, 1), got {level}")
+    if replicates < 2:
+        raise ValueError(f"need at least 2 bootstrap replicates, got {replicates}")
+    generator = rng if rng is not None else np.random.default_rng()
+    low, high = domain
+    grid = np.linspace(low, high, grid_points)
+
+    curves = np.empty((replicates, grid_points))
+    count = len(summaries)
+    for rep in range(replicates):
+        picks = generator.integers(0, count, size=count)
+        resampled = [summaries[int(i)] for i in picks]
+        try:
+            reconstruction = assemble_cdf_interpolated(
+                resampled, domain, gap_interpolation
+            )
+        except ValueError:
+            # A replicate of all-empty peers carries no curve; resample.
+            curves[rep] = curves[rep - 1] if rep else 0.0
+            continue
+        curves[rep] = np.asarray(reconstruction.cdf(grid), dtype=float)
+
+    alpha = (1.0 - level) / 2.0
+    lower = np.quantile(curves, alpha, axis=0)
+    upper = np.quantile(curves, 1.0 - alpha, axis=0)
+    # A CDF band can be tightened for free with the trivial bounds.
+    lower = np.clip(np.maximum.accumulate(lower), 0.0, 1.0)
+    upper = np.clip(np.maximum.accumulate(upper), 0.0, 1.0)
+    return ConfidenceBand(
+        grid=grid, lower=lower, upper=upper, level=level, replicates=replicates
+    )
+
+
+def estimate_with_confidence(
+    network: RingNetwork,
+    probes: int = 64,
+    synopsis_buckets: int = 8,
+    level: float = 0.9,
+    replicates: int = 200,
+    rng: Optional[np.random.Generator] = None,
+) -> tuple[DensityEstimate, ConfidenceBand]:
+    """One probing pass that yields both the estimate and its band.
+
+    Probes once (same cost as a plain estimate) and reuses the replies for
+    both the point reconstruction and the bootstrap.
+    """
+    generator = rng if rng is not None else network.rng
+    before = network.stats.snapshot()
+    results = collect_probes(network, probes, synopsis_buckets, rng=generator)
+    summaries = [r.summary for r in results]
+    reconstruction = assemble_cdf_interpolated(summaries, network.domain)
+    cost = before.delta(network.stats.snapshot())
+    estimate = DensityEstimate(
+        cdf=reconstruction.cdf,
+        domain=network.domain,
+        n_items=reconstruction.total_items,
+        n_peers=estimate_peer_count(summaries, network.space.size),
+        probes=len(summaries),
+        cost=cost,
+        method="distribution-free+band",
+    )
+    band = bootstrap_confidence_band(
+        summaries,
+        network.domain,
+        level=level,
+        replicates=replicates,
+        rng=generator,
+    )
+    return estimate, band

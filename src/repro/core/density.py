@@ -1,0 +1,103 @@
+"""Density estimation from CDFs.
+
+The paper's deliverable is a *density* estimate; the estimators internally
+produce a CDF.  This module converts: finite differences give a raw
+histogram-style density, and Gaussian kernel smoothing of the CDF
+derivative gives a continuous estimate.  Both operate purely on the CDF
+object, so they apply uniformly to our estimator and to every baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cdf import PiecewiseCDF
+
+__all__ = ["DensityCurve", "density_from_cdf", "smoothed_density_from_cdf"]
+
+
+@dataclass(frozen=True)
+class DensityCurve:
+    """A density sampled on grid-cell midpoints."""
+
+    midpoints: np.ndarray
+    density: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.midpoints.shape != self.density.shape:
+            raise ValueError("midpoints and density must have equal shape")
+        if np.any(self.density < -1e-12):
+            raise ValueError("density must be non-negative")
+
+    @property
+    def total_mass(self) -> float:
+        """Integral of the curve over the grid (≈ 1 for a proper density)."""
+        if self.midpoints.size < 2:
+            return 0.0
+        return float(np.trapezoid(self.density, self.midpoints))
+
+    def at(self, x: float) -> float:
+        """Linear interpolation of the curve at one point."""
+        return float(np.interp(x, self.midpoints, self.density))
+
+    def mode(self) -> float:
+        """Location of the highest density value."""
+        return float(self.midpoints[int(np.argmax(self.density))])
+
+
+def density_from_cdf(
+    cdf: PiecewiseCDF, domain: tuple[float, float], cells: int = 128
+) -> DensityCurve:
+    """Finite-difference density on an even grid over ``domain``."""
+    low, high = domain
+    if not low < high:
+        raise ValueError(f"empty domain ({low}, {high})")
+    if cells < 1:
+        raise ValueError(f"cells must be >= 1, got {cells}")
+    grid = np.linspace(low, high, cells + 1)
+    density = np.clip(cdf.density_on_grid(grid), 0.0, None)
+    midpoints = 0.5 * (grid[:-1] + grid[1:])
+    return DensityCurve(midpoints=midpoints, density=density)
+
+
+def smoothed_density_from_cdf(
+    cdf: PiecewiseCDF,
+    domain: tuple[float, float],
+    cells: int = 128,
+    bandwidth: float | None = None,
+) -> DensityCurve:
+    """Gaussian-kernel-smoothed density from a CDF.
+
+    The raw finite-difference density is convolved with a Gaussian kernel
+    of the given ``bandwidth`` (in domain units; defaults to two grid
+    cells).  Reflection padding at the domain edges avoids the boundary
+    bias a plain convolution would introduce.
+    """
+    raw = density_from_cdf(cdf, domain, cells)
+    low, high = domain
+    cell_width = (high - low) / cells
+    if bandwidth is None:
+        bandwidth = 2.0 * cell_width
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+
+    sigma_cells = bandwidth / cell_width
+    # Reflection padding can mirror at most the full curve.
+    radius = min(max(int(np.ceil(3 * sigma_cells)), 1), cells)
+    offsets = np.arange(-radius, radius + 1)
+    kernel = np.exp(-0.5 * (offsets / sigma_cells) ** 2)
+    kernel /= kernel.sum()
+
+    padded = np.concatenate(
+        [raw.density[radius - 1 :: -1] if radius > 0 else raw.density[:0],
+         raw.density,
+         raw.density[: -radius - 1 : -1]]
+    )
+    smoothed = np.convolve(padded, kernel, mode="valid")
+    # Renormalise: reflection keeps mass approximately, not exactly.
+    mass = np.trapezoid(smoothed, raw.midpoints)
+    if mass > 0:
+        smoothed = smoothed * (raw.total_mass / mass) if raw.total_mass > 0 else smoothed
+    return DensityCurve(midpoints=raw.midpoints, density=np.clip(smoothed, 0.0, None))

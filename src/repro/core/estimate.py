@@ -1,0 +1,107 @@
+"""The user-facing result of a density estimation run.
+
+A :class:`DensityEstimate` bundles the estimated global CDF with the
+side-products every application needs: estimated data volume and network
+size, the exact network cost of producing the estimate, and convenience
+methods for the downstream uses the paper motivates — quantiles, range
+selectivities, density curves, and inversion-method random variates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.cdf import PiecewiseCDF
+from repro.core.density import DensityCurve, density_from_cdf, smoothed_density_from_cdf
+from repro.ring.messages import CostSnapshot
+
+__all__ = ["DensityEstimate"]
+
+
+@dataclass(frozen=True)
+class DensityEstimate:
+    """An estimate of the global data distribution in the network.
+
+    Attributes
+    ----------
+    cdf:
+        The estimated global CDF ``F̂``.
+    domain:
+        The data domain the estimate covers.
+    n_items:
+        Estimated total number of items in the network.
+    n_peers:
+        Estimated number of live peers.
+    probes:
+        Number of peers whose evidence went into the estimate.
+    cost:
+        Network cost (messages/hops) attributable to this estimate.
+    method:
+        Name of the estimator that produced it (for result tables).
+    latency_rounds:
+        Critical-path length in message rounds, accounting for the
+        method's parallelism (parallel probes cost their *maximum* hop
+        count, gossip costs its round count, a ring traversal is fully
+        sequential).  NaN when the producing method does not model it.
+    """
+
+    cdf: PiecewiseCDF
+    domain: tuple[float, float]
+    n_items: float
+    n_peers: float
+    probes: int
+    cost: CostSnapshot
+    method: str
+    latency_rounds: float = float("nan")
+
+    def cdf_at(self, x: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate ``F̂`` at domain points."""
+        return self.cdf(x)
+
+    def quantile(self, q: np.ndarray | float) -> np.ndarray | float:
+        """Estimated ``q``-quantile(s) of the global data, ``q ∈ [0, 1]``."""
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0) | (q_arr > 1)):
+            raise ValueError("quantile levels must lie in [0, 1]")
+        return self.cdf.inverse(q)
+
+    def selectivity(self, low: float, high: float) -> float:
+        """Estimated fraction of items with values in ``[low, high)``."""
+        return self.cdf.mass_between(low, high)
+
+    def count_in_range(self, low: float, high: float) -> float:
+        """Estimated absolute number of items in ``[low, high)``."""
+        return self.selectivity(low, high) * self.n_items
+
+    def sample(self, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Draw ``n`` variates from ``F̂`` by the inversion method.
+
+        These are the "random samples for any arbitrary distribution" of
+        the paper's abstract: locally generated, no further network cost.
+        """
+        generator = rng if rng is not None else np.random.default_rng()
+        return self.cdf.sample(n, generator)
+
+    def density(self, cells: int = 128, smooth: bool = True) -> DensityCurve:
+        """The estimated density over the domain."""
+        if smooth:
+            return smoothed_density_from_cdf(self.cdf, self.domain, cells=cells)
+        return density_from_cdf(self.cdf, self.domain, cells=cells)
+
+    @property
+    def messages(self) -> int:
+        """Total messages this estimate cost."""
+        return self.cost.messages
+
+    @property
+    def hops(self) -> int:
+        """Total routing hops this estimate cost."""
+        return self.cost.hops
+
+    @property
+    def payload(self) -> float:
+        """Total application payload moved (abstract scalar units)."""
+        return self.cost.payload

@@ -1,0 +1,145 @@
+"""Estimator facade: the protocol and the paper's estimator.
+
+Every estimation method in the repository — the paper's distribution-free
+estimator and all four baselines — implements :class:`DensityEstimator`:
+given a live network, return a :class:`~repro.core.estimate.DensityEstimate`.
+Experiments treat methods uniformly through this protocol, so accuracy and
+cost comparisons are apples-to-apples by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.cdf_sampling import (
+    assemble_cdf,
+    assemble_cdf_interpolated,
+    collect_probes,
+    estimate_peer_count,
+    estimate_total_items,
+    ht_weights,
+)
+from repro.core.estimate import DensityEstimate
+from repro.ring.network import RingNetwork
+
+__all__ = ["DensityEstimator", "DistributionFreeEstimator"]
+
+
+@runtime_checkable
+class DensityEstimator(Protocol):
+    """Anything that can estimate the global data distribution."""
+
+    name: str
+
+    def estimate(
+        self, network: RingNetwork, rng: Optional[np.random.Generator] = None
+    ) -> DensityEstimate:
+        """Produce an estimate against the network's current state."""
+        ...
+
+
+@dataclass(frozen=True)
+class DistributionFreeEstimator:
+    """The paper's estimator: sample the global CDF with HT-corrected probes.
+
+    Parameters
+    ----------
+    probes:
+        Number of ring positions to probe (``s``).  Accuracy scales as
+        ``O(1/√s)``; cost scales linearly in ``s`` (each probe is one
+        O(log N)-hop lookup plus a constant-size reply).
+    synopsis_buckets:
+        Histogram resolution ``B`` of each probe reply.  Bounds per-reply
+        bandwidth; larger ``B`` sharpens the estimate *within* probed
+        segments.
+    placement:
+        ``"uniform"`` for iid probe positions (the analysed design) or
+        ``"stratified"`` for variance-reduced stratified placement.
+    synopsis_kind:
+        ``"equi-width"`` buckets (the classic histogram reply) or
+        ``"equi-depth"`` buckets (edges at the peer's local quantiles —
+        same payload, resolution that follows the data; sharper on skewed
+        or atom-heavy local distributions).
+    combine:
+        How probe replies become the global CDF.  ``"interpolate"``
+        (default) reconstructs the density — exact over probed segments,
+        edge-density interpolation over gaps; lowest error per probe.
+        ``"mixture"`` is the pure Horvitz–Thompson weighted mixture of
+        local CDFs — design-unbiased, higher variance; kept as the
+        analysable reference and as an ablation.
+    interpolation:
+        ``"linear"`` (uniform-within-bucket, the default) or ``"step"``
+        (mass at bucket edges) assembly of local CDFs in mixture mode.
+    gap_interpolation:
+        Gap-mass rule in interpolate mode: ``"linear"`` (trapezoid) or
+        ``"log"`` (logarithmic mean, exact for exponential density decay).
+    trim_density_ratio:
+        When set, replies whose implied density exceeds this multiple of
+        the batch median are discarded before assembly — the pollution
+        defense of :mod:`repro.core.byzantine`.  ``None`` trusts every
+        reply (the default).
+    """
+
+    probes: int = 64
+    synopsis_buckets: int = 8
+    synopsis_kind: Literal["equi-width", "equi-depth"] = "equi-width"
+    placement: Literal["uniform", "stratified"] = "uniform"
+    combine: Literal["interpolate", "mixture"] = "interpolate"
+    interpolation: Literal["linear", "step"] = "linear"
+    gap_interpolation: Literal["linear", "log"] = "linear"
+    trim_density_ratio: Optional[float] = None
+    name: str = "distribution-free"
+
+    def __post_init__(self) -> None:
+        if self.probes < 1:
+            raise ValueError(f"probes must be >= 1, got {self.probes}")
+        if self.synopsis_buckets < 1:
+            raise ValueError(f"synopsis_buckets must be >= 1, got {self.synopsis_buckets}")
+        if self.combine not in ("interpolate", "mixture"):
+            raise ValueError(f"unknown combine mode {self.combine!r}")
+
+    def estimate(
+        self, network: RingNetwork, rng: Optional[np.random.Generator] = None
+    ) -> DensityEstimate:
+        """Probe the network and assemble the distribution-free estimate."""
+        before = network.stats.snapshot()
+        results = collect_probes(
+            network,
+            self.probes,
+            self.synopsis_buckets,
+            rng=rng,
+            placement=self.placement,
+            synopsis_kind=self.synopsis_kind,
+        )
+        summaries = [r.summary for r in results]
+        if self.trim_density_ratio is not None:
+            from repro.core.byzantine import trim_outlier_summaries
+
+            summaries = trim_outlier_summaries(summaries, self.trim_density_ratio)
+        if self.combine == "interpolate":
+            reconstruction = assemble_cdf_interpolated(
+                summaries, network.domain, self.gap_interpolation
+            )
+            cdf = reconstruction.cdf
+            n_items = reconstruction.total_items
+        else:
+            weights = ht_weights(summaries)
+            cdf = assemble_cdf(summaries, weights, network.domain, self.interpolation)
+            n_items = estimate_total_items(summaries, network.space.size)
+        cost = before.delta(network.stats.snapshot())
+        # Probes are independent lookups a client issues concurrently:
+        # the critical path is the slowest probe plus its request/reply.
+        latency = max(r.hops for r in results) + 2
+        return DensityEstimate(
+            cdf=cdf,
+            domain=network.domain,
+            n_items=n_items,
+            n_peers=estimate_peer_count(summaries, network.space.size),
+            probes=len(summaries),
+            cost=cost,
+            method=self.name,
+            latency_rounds=float(latency),
+        )

@@ -1,0 +1,164 @@
+"""Error metrics between distributions.
+
+All of the paper's accuracy results reduce to distances between an
+estimated CDF/density and the ground truth.  We provide the standard set —
+Kolmogorov–Smirnov, L1/L2 over the domain, KL divergence and total
+variation on binned densities, and Earth Mover's Distance (which for 1-D
+distributions equals the L1 distance between CDFs) — plus a one-call
+:func:`evaluate_estimate` that bundles them into an :class:`ErrorReport`.
+
+CDF arguments are any callables mapping arrays of domain points to CDF
+values, so :class:`~repro.core.cdf.PiecewiseCDF`, analytic distributions,
+and raw lambdas all work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ErrorReport",
+    "ks_distance",
+    "ks_distance_to_samples",
+    "l1_cdf_distance",
+    "l2_cdf_distance",
+    "emd",
+    "kl_divergence_binned",
+    "total_variation_binned",
+    "evaluate_estimate",
+]
+
+CdfLike = Callable[[np.ndarray], np.ndarray]
+
+
+def ks_distance(estimate: CdfLike, truth: CdfLike, grid: np.ndarray) -> float:
+    """Kolmogorov–Smirnov distance ``sup_x |F̂(x) - F(x)|`` on a grid."""
+    grid = np.asarray(grid, dtype=float)
+    return float(np.max(np.abs(np.asarray(estimate(grid)) - np.asarray(truth(grid)))))
+
+
+def ks_distance_to_samples(estimate: CdfLike, samples: Sequence[float]) -> float:
+    """Exact KS distance between a CDF and an empirical sample.
+
+    Evaluates the supremum at the sample points from both sides, the exact
+    computation for a step empirical CDF — no grid discretisation error.
+    """
+    values = np.sort(np.asarray(samples, dtype=float))
+    if values.size == 0:
+        raise ValueError("need at least one sample")
+    n = values.size
+    est = np.asarray(estimate(values), dtype=float)
+    upper = np.arange(1, n + 1) / n - est
+    lower = est - np.arange(0, n) / n
+    return float(max(upper.max(), lower.max(), 0.0))
+
+
+def l1_cdf_distance(estimate: CdfLike, truth: CdfLike, grid: np.ndarray) -> float:
+    """Mean absolute CDF difference, trapezoid-integrated over the grid,
+    normalised by domain width (so the value is comparable across domains)."""
+    grid = np.asarray(grid, dtype=float)
+    diff = np.abs(np.asarray(estimate(grid)) - np.asarray(truth(grid)))
+    width = grid[-1] - grid[0]
+    if width <= 0:
+        raise ValueError("grid must span a positive width")
+    return float(np.trapezoid(diff, grid) / width)
+
+
+def l2_cdf_distance(estimate: CdfLike, truth: CdfLike, grid: np.ndarray) -> float:
+    """Root-mean-square CDF difference over the grid (Cramér-style)."""
+    grid = np.asarray(grid, dtype=float)
+    diff = np.asarray(estimate(grid)) - np.asarray(truth(grid))
+    width = grid[-1] - grid[0]
+    if width <= 0:
+        raise ValueError("grid must span a positive width")
+    return float(np.sqrt(np.trapezoid(diff * diff, grid) / width))
+
+
+def emd(estimate: CdfLike, truth: CdfLike, grid: np.ndarray) -> float:
+    """Earth Mover's Distance (1-D): ``∫ |F̂ - F| dx`` over the grid."""
+    grid = np.asarray(grid, dtype=float)
+    diff = np.abs(np.asarray(estimate(grid)) - np.asarray(truth(grid)))
+    return float(np.trapezoid(diff, grid))
+
+
+def _binned_densities(
+    estimate: CdfLike, truth: CdfLike, grid: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-cell probability masses of both distributions (non-negative)."""
+    grid = np.asarray(grid, dtype=float)
+    p = np.clip(np.diff(np.asarray(truth(grid), dtype=float)), 0.0, None)
+    q = np.clip(np.diff(np.asarray(estimate(grid), dtype=float)), 0.0, None)
+    p_sum, q_sum = p.sum(), q.sum()
+    if p_sum <= 0 or q_sum <= 0:
+        raise ValueError("distributions carry no mass on the grid")
+    return p / p_sum, q / q_sum
+
+
+def kl_divergence_binned(
+    estimate: CdfLike, truth: CdfLike, grid: np.ndarray, epsilon: float = 1e-12
+) -> float:
+    """KL(truth ‖ estimate) on grid cells, with epsilon-smoothing.
+
+    Smoothing keeps empty estimate cells from producing infinities; with
+    hundreds of cells the floor contributes < 1e-9 nats.
+    """
+    p, q = _binned_densities(estimate, truth, grid)
+    q = np.maximum(q, epsilon)
+    q = q / q.sum()
+    mask = p > 0
+    return float(np.sum(p[mask] * np.log(p[mask] / q[mask])))
+
+
+def total_variation_binned(estimate: CdfLike, truth: CdfLike, grid: np.ndarray) -> float:
+    """Total-variation distance on grid cells, in ``[0, 1]``."""
+    p, q = _binned_densities(estimate, truth, grid)
+    return float(0.5 * np.abs(p - q).sum())
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """All standard metrics for one estimate, in one value object."""
+
+    ks: float
+    l1: float
+    l2: float
+    emd: float
+    kl: float
+    tv: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for result tables."""
+        return {
+            "ks": self.ks,
+            "l1": self.l1,
+            "l2": self.l2,
+            "emd": self.emd,
+            "kl": self.kl,
+            "tv": self.tv,
+        }
+
+
+def evaluate_estimate(
+    estimate: CdfLike,
+    truth: CdfLike,
+    domain: tuple[float, float],
+    grid_points: int = 512,
+) -> ErrorReport:
+    """Compute the full metric bundle on an even grid over ``domain``."""
+    low, high = domain
+    if not low < high:
+        raise ValueError(f"empty domain ({low}, {high})")
+    if grid_points < 3:
+        raise ValueError(f"grid_points must be >= 3, got {grid_points}")
+    grid = np.linspace(low, high, grid_points)
+    return ErrorReport(
+        ks=ks_distance(estimate, truth, grid),
+        l1=l1_cdf_distance(estimate, truth, grid),
+        l2=l2_cdf_distance(estimate, truth, grid),
+        emd=emd(estimate, truth, grid),
+        kl=kl_divergence_binned(estimate, truth, grid),
+        tv=total_variation_binned(estimate, truth, grid),
+    )

@@ -1,0 +1,44 @@
+"""Data substrate: domains, synthetic distributions, and workloads."""
+
+from repro.data.distributions import (
+    DISTRIBUTION_NAMES,
+    BoundedPareto,
+    DiscreteZipf,
+    Distribution,
+    MixtureDistribution,
+    TruncatedExponential,
+    TruncatedNormal,
+    UniformDistribution,
+    bimodal_mixture,
+    make_distribution,
+)
+from repro.data.domain import UNIT_DOMAIN, Domain
+from repro.data.workload import (
+    Dataset,
+    RangeQuery,
+    RangeQueryWorkload,
+    UpdateOp,
+    UpdateStream,
+    build_dataset,
+)
+
+__all__ = [
+    "DISTRIBUTION_NAMES",
+    "BoundedPareto",
+    "Dataset",
+    "DiscreteZipf",
+    "Distribution",
+    "Domain",
+    "MixtureDistribution",
+    "RangeQuery",
+    "RangeQueryWorkload",
+    "TruncatedExponential",
+    "TruncatedNormal",
+    "UNIT_DOMAIN",
+    "UniformDistribution",
+    "UpdateOp",
+    "UpdateStream",
+    "bimodal_mixture",
+    "build_dataset",
+    "make_distribution",
+]

@@ -1,0 +1,20 @@
+"""Experiment harness: one module per evaluation table/figure.
+
+``repro.experiments.registry`` maps experiment ids (T1, F1-F10, T2,
+A1-A3) to runner functions; each returns a
+:class:`~repro.experiments.results.ResultTable` whose rows are the
+series/values the corresponding paper figure reports.  The
+``repro-experiments`` CLI and the ``benchmarks/`` harness are thin
+wrappers over this package.
+"""
+
+from repro.experiments.config import DEFAULTS, ExperimentDefaults, NetworkFixture, setup_network
+from repro.experiments.results import ResultTable
+
+__all__ = [
+    "DEFAULTS",
+    "ExperimentDefaults",
+    "NetworkFixture",
+    "ResultTable",
+    "setup_network",
+]

@@ -1,0 +1,103 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Run one experiment or the whole evaluation suite and print the result
+tables.  ``--scale`` shrinks network/data/repetition sizes proportionally
+(the benchmark harness uses small scales; ``--scale 1.0`` reproduces the
+full evaluation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's evaluation tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids to run (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="proportional size factor for networks/data/repetitions (default 1.0)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    parser.add_argument(
+        "--report",
+        metavar="DIR",
+        default=None,
+        help="also write results as Markdown into this directory",
+    )
+    parser.add_argument(
+        "--plot",
+        metavar="METRIC",
+        default=None,
+        help="append an ASCII chart of this metric (e.g. ks) under each table",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe — not an error.
+        return 0
+
+
+def _main(argv: Optional[Sequence[str]]) -> int:
+    """The CLI body (separated so pipe closure is handled in one place)."""
+    args = _build_parser().parse_args(argv)
+    if args.list:
+        for key in EXPERIMENTS:
+            print(key)
+        return 0
+    ids = [e.upper() for e in args.experiments] or list(EXPERIMENTS)
+    unknown = [e for e in ids if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        return 2
+    tables = []
+    for experiment_id in ids:
+        started = time.perf_counter()
+        table = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        print(table.to_text())
+        if args.plot and args.plot in table.columns:
+            from repro.experiments.plotting import chart_table
+
+            try:
+                print()
+                print(chart_table(table, args.plot))
+            except (KeyError, ValueError) as exc:
+                print(f"[no chart for {experiment_id}: {exc}]")
+        print(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
+        tables.append(table)
+    if args.report:
+        from repro.experiments.reporting import write_report
+
+        index = write_report(tables, args.report)
+        print(f"report written to {index}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

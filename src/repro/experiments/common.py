@@ -1,0 +1,73 @@
+"""Shared measurement helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.estimate import DensityEstimate
+from repro.core.metrics import evaluate_estimate
+from repro.experiments.config import DEFAULTS, NetworkFixture
+
+__all__ = ["MeasuredRun", "measure_estimator", "scale_int", "scale_list"]
+
+
+class MeasuredRun(dict):
+    """Mean accuracy/cost of an estimator over repetitions (a plain dict
+    with the keys ``ks, ks_std, l1, l2, kl, messages, hops, n_items,
+    n_peers``)."""
+
+
+def measure_estimator(
+    fixture: NetworkFixture,
+    estimator,
+    repetitions: int = DEFAULTS.repetitions,
+    seed: int = 0,
+    grid_points: int = DEFAULTS.grid_points,
+) -> MeasuredRun:
+    """Run an estimator ``repetitions`` times and average errors and cost.
+
+    Each repetition gets an independent generator derived from ``seed``;
+    the fixture's network state is untouched (estimation is read-only), so
+    repeats measure pure sampling variance.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    reports = []
+    estimates: list[DensityEstimate] = []
+    for rep in range(repetitions):
+        rng = np.random.default_rng(seed * 10_007 + rep)
+        estimate = estimator.estimate(fixture.network, rng=rng)
+        estimates.append(estimate)
+        reports.append(
+            evaluate_estimate(estimate.cdf, fixture.truth, fixture.domain, grid_points)
+        )
+    return MeasuredRun(
+        ks=float(np.mean([r.ks for r in reports])),
+        ks_std=float(np.std([r.ks for r in reports])),
+        l1=float(np.mean([r.l1 for r in reports])),
+        l2=float(np.mean([r.l2 for r in reports])),
+        kl=float(np.mean([r.kl for r in reports])),
+        messages=float(np.mean([e.messages for e in estimates])),
+        hops=float(np.mean([e.hops for e in estimates])),
+        n_items=float(np.mean([e.n_items for e in estimates])),
+        n_peers=float(np.mean([e.n_peers for e in estimates])),
+    )
+
+
+def scale_int(value: int, scale: float, minimum: int = 1) -> int:
+    """Scale an experiment size down (used by the bench harness)."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return max(int(round(value * scale)), minimum)
+
+
+def scale_list(values: list[int], scale: float, minimum: int = 1) -> list[int]:
+    """Scale a parameter sweep, dropping duplicates introduced by rounding."""
+    scaled = []
+    for value in values:
+        v = scale_int(value, scale, minimum)
+        if v not in scaled:
+            scaled.append(v)
+    return scaled

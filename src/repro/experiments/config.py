@@ -1,0 +1,96 @@
+"""Default experiment parameters (Table T1) and shared setup helpers.
+
+Every experiment builds its world through :func:`setup_network` so that
+the simulation defaults live in exactly one place — the
+:class:`ExperimentDefaults` instance below, which is also what the T1
+"parameters" table prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional
+
+import numpy as np
+
+from repro.core.cdf import PiecewiseCDF, empirical_cdf
+from repro.data.distributions import Distribution, make_distribution
+from repro.data.workload import Dataset, build_dataset
+from repro.ring.network import RingNetwork
+
+__all__ = ["ExperimentDefaults", "DEFAULTS", "NetworkFixture", "setup_network"]
+
+
+@dataclass(frozen=True)
+class ExperimentDefaults:
+    """The simulation defaults every experiment starts from (Table T1)."""
+
+    n_peers: int = 1024            # network size N
+    n_items: int = 100_000         # global data volume n
+    probes: int = 64               # probe budget s
+    synopsis_buckets: int = 8      # per-reply histogram resolution B
+    ring_bits: int = 64            # identifier space width m
+    repetitions: int = 5           # seeds averaged per data point
+    grid_points: int = 512         # metric evaluation grid
+    default_distribution: str = "normal"
+    zipf_alpha: float = 1.0        # skew of the "zipf" workload
+
+    def rows(self) -> list[dict[str, object]]:
+        """One row per parameter, for the T1 table."""
+        return [
+            {"parameter": f.name, "default": getattr(self, f.name)}
+            for f in fields(self)
+        ]
+
+
+DEFAULTS = ExperimentDefaults()
+
+
+@dataclass(frozen=True)
+class NetworkFixture:
+    """A ready-to-probe world: network, its data, and ground truth."""
+
+    network: RingNetwork
+    dataset: Dataset
+    truth: PiecewiseCDF            # empirical CDF of the *stored* data
+    distribution: Distribution
+
+    @property
+    def domain(self) -> tuple[float, float]:
+        """The data domain."""
+        return self.network.domain
+
+
+def setup_network(
+    distribution: str | Distribution = DEFAULTS.default_distribution,
+    n_peers: int = DEFAULTS.n_peers,
+    n_items: int = DEFAULTS.n_items,
+    seed: int = 0,
+    bits: int = DEFAULTS.ring_bits,
+    rng: Optional[np.random.Generator] = None,
+    **dist_params,
+) -> NetworkFixture:
+    """Build a stabilized, loaded network with a clean message ledger.
+
+    The fixture's ``truth`` is the empirical CDF of the values actually
+    stored, so measured errors are pure estimation error (no sampling
+    noise from the dataset generation itself).
+    """
+    if isinstance(distribution, str):
+        dist = make_distribution(distribution, **dist_params)
+    else:
+        if dist_params:
+            raise ValueError("dist_params only apply when distribution is given by name")
+        dist = distribution
+    dataset = build_dataset(dist, n_items, seed=seed)
+    network = RingNetwork.create(
+        n_peers,
+        bits=bits,
+        domain=dist.domain.as_tuple(),
+        seed=seed + 1,  # decorrelate peer placement from the data
+        rng=rng,
+    )
+    network.load_data(dataset.values)
+    network.reset_stats()
+    truth = empirical_cdf(network.all_values())
+    return NetworkFixture(network=network, dataset=dataset, truth=truth, distribution=dist)

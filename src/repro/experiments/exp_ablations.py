@@ -1,0 +1,206 @@
+"""A1–A3 — ablations of the design choices DESIGN.md calls out.
+
+* A1: synopsis resolution ``B`` (probe-reply size vs. within-segment detail)
+* A2: probe placement (iid uniform vs. stratified)
+* A3: CDF assembly (interpolated reconstruction vs. HT mixture; linear vs.
+  log gap interpolation; linear vs. step local CDFs)
+"""
+
+from __future__ import annotations
+
+from repro.core.estimator import DistributionFreeEstimator
+from repro.experiments.common import measure_estimator, scale_int
+from repro.experiments.config import DEFAULTS, setup_network
+from repro.experiments.results import ResultTable
+
+__all__ = [
+    "run_synopsis_ablation",
+    "run_placement_ablation",
+    "run_assembly_ablation",
+    "run_synopsis_kind_ablation",
+]
+
+BUCKET_SWEEP = [1, 2, 4, 8, 16, 32]
+DISTRIBUTIONS = ("normal", "zipf")
+
+
+def _fixture_pair(scale: float, seed: int):
+    """The two workloads all three ablations are run on."""
+    n_peers = scale_int(DEFAULTS.n_peers, scale, minimum=32)
+    n_items = scale_int(DEFAULTS.n_items, scale, minimum=2_000)
+    return {
+        name: setup_network(name, n_peers=n_peers, n_items=n_items, seed=seed)
+        for name in DISTRIBUTIONS
+    }
+
+
+def run_synopsis_ablation(scale: float = 1.0, seed: int = 0) -> ResultTable:
+    """A1: sweep the per-reply histogram resolution ``B``.
+
+    Two regimes: *sparse* (the default probe budget, s ≪ N) and *census*
+    (every peer's synopsis collected), because B's role differs sharply
+    between them.
+    """
+    table = ResultTable(
+        experiment_id="A1",
+        title="Synopsis resolution ablation",
+        expectation=(
+            "In the sparse-probe regime, synopsis resolution is second-"
+            "order: probe variance dominates, so error is nearly flat in B "
+            "(on smooth data small B is even slightly better — coarse "
+            "edge densities make smoother gap interpolation). In the "
+            "census regime, B is the *only* error source and error falls "
+            "steadily as B grows."
+        ),
+        columns=["distribution", "regime", "buckets", "ks", "l1"],
+    )
+    repetitions = scale_int(DEFAULTS.repetitions, scale, minimum=2)
+    grid_points = DEFAULTS.grid_points
+    for name, fixture in _fixture_pair(scale, seed).items():
+        for buckets in BUCKET_SWEEP:
+            estimator = DistributionFreeEstimator(
+                probes=DEFAULTS.probes, synopsis_buckets=buckets
+            )
+            run_stats = measure_estimator(fixture, estimator, repetitions, seed)
+            table.add_row(
+                distribution=name,
+                regime="sparse",
+                buckets=buckets,
+                ks=run_stats["ks"],
+                l1=run_stats["l1"],
+            )
+        for buckets in BUCKET_SWEEP:
+            report = _census_error(fixture, buckets, grid_points)
+            table.add_row(
+                distribution=name,
+                regime="census",
+                buckets=buckets,
+                ks=report.ks,
+                l1=report.l1,
+            )
+    return table
+
+
+def _census_error(fixture, buckets: int, grid_points: int):
+    """Synopsis-only error: every peer summarised, exact count weights."""
+    from repro.core.cdf_sampling import assemble_cdf_interpolated
+    from repro.core.metrics import evaluate_estimate
+    from repro.core.synopsis import summarize_peer
+
+    summaries = [
+        summarize_peer(fixture.network, node, buckets)
+        for node in fixture.network.peers()
+    ]
+    reconstruction = assemble_cdf_interpolated(summaries, fixture.domain)
+    return evaluate_estimate(
+        reconstruction.cdf, fixture.truth, fixture.domain, grid_points
+    )
+
+
+def run_synopsis_kind_ablation(scale: float = 1.0, seed: int = 0) -> ResultTable:
+    """A4: equi-width vs equi-depth probe synopses (a negative result).
+
+    Equi-depth buckets sound strictly better (resolution follows the local
+    data) but measured end-to-end they are not: the interpolated assembly
+    leans on *edge densities* for gap masses, and quantile edges make the
+    outermost buckets the widest/sparsest ones, coarsening exactly the
+    signal the gap interpolation needs.  We keep the feature (it is the
+    standard alternative and the comparison is informative) and document
+    the finding.
+    """
+    table = ResultTable(
+        experiment_id="A4",
+        title="Synopsis kind ablation (equi-width vs equi-depth)",
+        expectation=(
+            "Equi-depth synopses are at best on par with equi-width at "
+            "equal payload and slightly worse where gap interpolation "
+            "dominates — a negative result worth knowing: the assembly's "
+            "edge-density estimates want uniform (narrow) edge buckets."
+        ),
+        columns=["distribution", "synopsis_kind", "ks", "l1"],
+    )
+    repetitions = scale_int(DEFAULTS.repetitions, scale, minimum=2)
+    from repro.core.adaptive import AdaptiveDensityEstimator
+
+    for name, fixture in _fixture_pair(scale, seed).items():
+        for kind in ("equi-width", "equi-depth"):
+            estimator = AdaptiveDensityEstimator(
+                probes=DEFAULTS.probes, synopsis_kind=kind
+            )
+            run_stats = measure_estimator(fixture, estimator, repetitions, seed)
+            table.add_row(
+                distribution=name,
+                synopsis_kind=kind,
+                ks=run_stats["ks"],
+                l1=run_stats["l1"],
+            )
+    return table
+
+
+def run_placement_ablation(scale: float = 1.0, seed: int = 0) -> ResultTable:
+    """A2: iid uniform vs. stratified probe placement."""
+    table = ResultTable(
+        experiment_id="A2",
+        title="Probe placement ablation",
+        expectation=(
+            "Stratified placement is never worse than iid uniform and "
+            "reduces error noticeably at small probe budgets (variance "
+            "reduction with identical unbiasedness)."
+        ),
+        columns=["distribution", "placement", "probes", "ks", "l1"],
+    )
+    repetitions = scale_int(DEFAULTS.repetitions, scale, minimum=2)
+    for name, fixture in _fixture_pair(scale, seed).items():
+        for probes in (16, 64):
+            for placement in ("uniform", "stratified"):
+                estimator = DistributionFreeEstimator(probes=probes, placement=placement)
+                run_stats = measure_estimator(fixture, estimator, repetitions, seed)
+                table.add_row(
+                    distribution=name,
+                    placement=placement,
+                    probes=probes,
+                    ks=run_stats["ks"],
+                    l1=run_stats["l1"],
+                )
+    return table
+
+
+def run_assembly_ablation(scale: float = 1.0, seed: int = 0) -> ResultTable:
+    """A3: how probe evidence becomes a CDF."""
+    table = ResultTable(
+        experiment_id="A3",
+        title="CDF assembly ablation",
+        expectation=(
+            "Interpolated reconstruction beats the HT mixture severalfold "
+            "at equal budget (it does not assume zero mass off the probed "
+            "segments); log vs. linear gap interpolation is a wash except "
+            "on heavy tails; step local CDFs are slightly worse than "
+            "linear."
+        ),
+        columns=["distribution", "variant", "ks", "l1"],
+    )
+    repetitions = scale_int(DEFAULTS.repetitions, scale, minimum=2)
+    variants = (
+        ("interpolate-linear", DistributionFreeEstimator(probes=DEFAULTS.probes)),
+        (
+            "interpolate-log",
+            DistributionFreeEstimator(probes=DEFAULTS.probes, gap_interpolation="log"),
+        ),
+        (
+            "mixture-linear",
+            DistributionFreeEstimator(probes=DEFAULTS.probes, combine="mixture"),
+        ),
+        (
+            "mixture-step",
+            DistributionFreeEstimator(
+                probes=DEFAULTS.probes, combine="mixture", interpolation="step"
+            ),
+        ),
+    )
+    for name, fixture in _fixture_pair(scale, seed).items():
+        for variant, estimator in variants:
+            run_stats = measure_estimator(fixture, estimator, repetitions, seed)
+            table.add_row(
+                distribution=name, variant=variant, ks=run_stats["ks"], l1=run_stats["l1"]
+            )
+    return table

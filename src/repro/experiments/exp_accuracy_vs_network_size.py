@@ -1,0 +1,60 @@
+"""F2 — estimation accuracy vs. network size at a fixed probe budget.
+
+The scalability claim: because the estimator samples a *fixed number* of
+ring positions, its accuracy depends on the probe budget and the data
+shape, not on how many peers the ring has — only the per-probe routing
+cost grows (logarithmically).
+"""
+
+from __future__ import annotations
+
+from repro.core.adaptive import AdaptiveDensityEstimator
+from repro.core.estimator import DistributionFreeEstimator
+from repro.experiments.common import measure_estimator, scale_int, scale_list
+from repro.experiments.config import DEFAULTS, setup_network
+from repro.experiments.results import ResultTable
+
+EXPERIMENT_ID = "F2"
+TITLE = "Accuracy vs. network size (fixed probe budget)"
+EXPECTATION = (
+    "KS error stays flat as N grows 32x while per-estimate hops grow only "
+    "logarithmically; accuracy is governed by s, not N."
+)
+
+NETWORK_SIZES = [128, 256, 512, 1024, 2048, 4096]
+DISTRIBUTIONS = ("normal", "mixture")
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ResultTable:
+    """Sweep N with s fixed at the default budget."""
+    table = ResultTable(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        expectation=EXPECTATION,
+        columns=["distribution", "method", "n_peers", "probes", "ks", "l1", "hops"],
+    )
+    n_items = scale_int(DEFAULTS.n_items, scale, minimum=2_000)
+    repetitions = scale_int(DEFAULTS.repetitions, scale, minimum=2)
+    probes = DEFAULTS.probes
+    sizes = scale_list(NETWORK_SIZES, min(scale, 1.0), minimum=16)
+
+    for distribution in DISTRIBUTIONS:
+        for n_peers in sizes:
+            fixture = setup_network(
+                distribution, n_peers=n_peers, n_items=n_items, seed=seed
+            )
+            for method, estimator in (
+                ("dfde", DistributionFreeEstimator(probes=probes)),
+                ("adaptive", AdaptiveDensityEstimator(probes=probes)),
+            ):
+                run_stats = measure_estimator(fixture, estimator, repetitions, seed)
+                table.add_row(
+                    distribution=distribution,
+                    method=method,
+                    n_peers=n_peers,
+                    probes=probes,
+                    ks=run_stats["ks"],
+                    l1=run_stats["l1"],
+                    hops=run_stats["hops"],
+                )
+    return table

@@ -1,0 +1,58 @@
+"""F1 — estimation accuracy vs. probe count, per distribution.
+
+The paper's central accuracy figure: as the probe budget ``s`` grows, the
+distribution-free estimate converges to the true global distribution at
+the Monte-Carlo rate, on *every* distribution shape.
+"""
+
+from __future__ import annotations
+
+from repro.core.adaptive import AdaptiveDensityEstimator
+from repro.core.estimator import DistributionFreeEstimator
+from repro.data.distributions import DISTRIBUTION_NAMES
+from repro.experiments.common import measure_estimator, scale_int, scale_list
+from repro.experiments.config import DEFAULTS, setup_network
+from repro.experiments.results import ResultTable
+
+EXPERIMENT_ID = "F1"
+TITLE = "Accuracy vs. probe count"
+EXPECTATION = (
+    "KS error decays ~O(1/sqrt(s)) for the one-shot estimator on every "
+    "distribution; the adaptive variant is uniformly at or below it, with "
+    "the largest gap on the zipf workload."
+)
+
+PROBE_SWEEP = [8, 16, 32, 64, 128, 256]
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ResultTable:
+    """Sweep probe counts over the full distribution zoo."""
+    table = ResultTable(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        expectation=EXPECTATION,
+        columns=["distribution", "method", "probes", "ks", "ks_std", "l1", "messages"],
+    )
+    n_peers = scale_int(DEFAULTS.n_peers, scale, minimum=32)
+    n_items = scale_int(DEFAULTS.n_items, scale, minimum=2_000)
+    repetitions = scale_int(DEFAULTS.repetitions, scale, minimum=2)
+    probe_sweep = scale_list(PROBE_SWEEP, min(scale, 1.0), minimum=4)
+
+    for distribution in DISTRIBUTION_NAMES:
+        fixture = setup_network(distribution, n_peers=n_peers, n_items=n_items, seed=seed)
+        for probes in probe_sweep:
+            for method, estimator in (
+                ("dfde", DistributionFreeEstimator(probes=probes)),
+                ("adaptive", AdaptiveDensityEstimator(probes=max(probes, 2))),
+            ):
+                run_stats = measure_estimator(fixture, estimator, repetitions, seed)
+                table.add_row(
+                    distribution=distribution,
+                    method=method,
+                    probes=probes,
+                    ks=run_stats["ks"],
+                    ks_std=run_stats["ks_std"],
+                    l1=run_stats["l1"],
+                    messages=run_stats["messages"],
+                )
+    return table

@@ -1,0 +1,98 @@
+"""F17 — pollution attacks and the density-trimming defense.
+
+A fraction of peers lies in probe replies (count inflated 100×, claimed
+mass parked at an attacker-chosen value).  Measured: how far the trusting
+estimator is dragged, how completely density trimming restores accuracy,
+and what the defense costs when there is no attack (trimming can discard
+honest heavy hitters on skewed data).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.adaptive import AdaptiveDensityEstimator
+from repro.core.byzantine import ByzantineBehavior, corrupt_network
+from repro.core.cdf import empirical_cdf
+from repro.core.estimator import DistributionFreeEstimator
+from repro.core.metrics import ks_distance
+from repro.data.workload import build_dataset
+from repro.experiments.common import scale_int
+from repro.experiments.config import DEFAULTS
+from repro.experiments.results import ResultTable
+from repro.ring.network import RingNetwork
+
+EXPERIMENT_ID = "F17"
+TITLE = "Pollution attacks vs. density trimming"
+EXPECTATION = (
+    "Trusting everything, even 5% liars with 100x inflation wreck the "
+    "estimate. Neighbourhood density trimming restores near-clean "
+    "accuracy on smooth data at any tested liar fraction.  On heavy skew "
+    "the one-shot estimator cannot tell an honest head from an isolated "
+    "liar (trim hurts); adaptive+trim resolves it — refinement probes "
+    "verify suspicious regions, so honest heavy hitters gain dense "
+    "neighbourhoods and liars stay isolated — holding near-clean "
+    "accuracy through ~10% liars."
+)
+
+LIAR_FRACTIONS = (0.0, 0.05, 0.10, 0.20)
+DISTRIBUTIONS = ("normal", "zipf")
+ATTACK_VALUE = 0.9
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ResultTable:
+    """Sweep the liar fraction for trusting vs. trimming estimators."""
+    table = ResultTable(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        expectation=EXPECTATION,
+        columns=["distribution", "liar_fraction", "defense", "ks"],
+    )
+    n_peers = scale_int(512, scale, minimum=32)
+    n_items = scale_int(DEFAULTS.n_items, scale, minimum=2_000)
+    repetitions = scale_int(DEFAULTS.repetitions, scale, minimum=2)
+    probes = DEFAULTS.probes
+
+    for distribution in DISTRIBUTIONS:
+        dataset = build_dataset(distribution, n_items, seed=seed)
+        domain = dataset.distribution.domain.as_tuple()
+        attack_value = domain[0] + ATTACK_VALUE * (domain[1] - domain[0])
+        behavior = ByzantineBehavior(count_multiplier=100.0, fake_mass_at=attack_value)
+        for fraction in LIAR_FRACTIONS:
+            network = RingNetwork.create(n_peers, domain=domain, seed=seed + 1)
+            network.load_data(dataset.values)
+            network.reset_stats()
+            corrupt_network(
+                network, fraction, behavior, rng=np.random.default_rng(seed + 41)
+            )
+            # Truth is the honest data — the lie only exists in replies.
+            truth = empirical_cdf(network.all_values())
+            grid = np.linspace(*domain, DEFAULTS.grid_points)
+            for defense, estimator in (
+                ("none", DistributionFreeEstimator(probes=probes)),
+                (
+                    "trim-20x",
+                    DistributionFreeEstimator(probes=probes, trim_density_ratio=20.0),
+                ),
+                (
+                    "adaptive+trim",
+                    AdaptiveDensityEstimator(probes=probes, trim_density_ratio=20.0),
+                ),
+            ):
+                errors = [
+                    ks_distance(
+                        estimator.estimate(
+                            network, rng=np.random.default_rng(seed * 37 + rep)
+                        ).cdf,
+                        truth,
+                        grid,
+                    )
+                    for rep in range(repetitions)
+                ]
+                table.add_row(
+                    distribution=distribution,
+                    liar_fraction=fraction,
+                    defense=defense,
+                    ks=float(np.mean(errors)),
+                )
+    return table

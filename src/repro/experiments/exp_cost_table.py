@@ -1,0 +1,124 @@
+"""T2 — per-operation cost accounting.
+
+The message/hop price of every primitive and estimator in the system, on
+one default network.  This is the table that makes the asymptotic claims
+(O(log N) per probe, Θ(N) per exact pass, Θ(R·N) per gossip estimate)
+concrete.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.adaptive import AdaptiveDensityEstimator
+from repro.core.baselines.gossip import PushSumHistogramEstimator
+from repro.core.baselines.random_walk import RandomWalkEstimator
+from repro.core.cdf_compute import (
+    compute_global_cdf_broadcast,
+    compute_global_cdf_traversal,
+)
+from repro.core.estimator import DistributionFreeEstimator
+from repro.core.rank_sampling import build_prefix_index, sample_by_rank
+from repro.core.cdf_sampling import collect_probes
+from repro.experiments.common import scale_int
+from repro.experiments.config import DEFAULTS, setup_network
+from repro.experiments.results import ResultTable
+
+EXPERIMENT_ID = "T2"
+TITLE = "Per-operation message and hop costs"
+EXPECTATION = (
+    "One probe costs ~log2(N)/2 hops plus 2 messages; a full dfde/adaptive "
+    "estimate costs ~s x that; exact passes cost Theta(N); gossip costs "
+    "rounds x N; a rank sample costs one lookup plus one fetch."
+)
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ResultTable:
+    """Measure every operation on a default mixture-workload network."""
+    table = ResultTable(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        expectation=EXPECTATION,
+        columns=["operation", "messages", "hops", "payload", "unit"],
+    )
+    n_peers = scale_int(DEFAULTS.n_peers, scale, minimum=32)
+    n_items = scale_int(DEFAULTS.n_items, scale, minimum=2_000)
+    fixture = setup_network("mixture", n_peers=n_peers, n_items=n_items, seed=seed)
+    network = fixture.network
+    rng = np.random.default_rng(seed + 17)
+    probes = DEFAULTS.probes
+
+    def measure(label: str, unit: str, action) -> None:
+        before = network.stats.snapshot()
+        action()
+        delta = before.delta(network.stats.snapshot())
+        table.add_row(
+            operation=label,
+            messages=delta.messages,
+            hops=delta.hops,
+            payload=delta.payload,
+            unit=unit,
+        )
+
+    table.add_row(
+        operation=f"(context: N={n_peers}, log2N={math.log2(n_peers):.1f}, s={probes})",
+        messages=0,
+        hops=0,
+        payload=0.0,
+        unit="-",
+    )
+    measure(
+        "single probe (routed lookup + reply)",
+        "per probe",
+        lambda: collect_probes(network, 1, DEFAULTS.synopsis_buckets, rng=rng),
+    )
+    measure(
+        f"dfde estimate (s={probes})",
+        "per estimate",
+        lambda: DistributionFreeEstimator(probes=probes).estimate(network, rng=rng),
+    )
+    measure(
+        f"adaptive estimate (s={probes})",
+        "per estimate",
+        lambda: AdaptiveDensityEstimator(probes=probes).estimate(network, rng=rng),
+    )
+    measure(
+        "random-walk estimate (s=64, walk=16)",
+        "per estimate",
+        lambda: RandomWalkEstimator(probes=probes, walk_length=16).estimate(network, rng=rng),
+    )
+    measure(
+        "exact CDF (successor traversal)",
+        "per pass",
+        lambda: compute_global_cdf_traversal(network),
+    )
+    measure(
+        "exact CDF (finger broadcast)",
+        "per pass",
+        lambda: compute_global_cdf_broadcast(network),
+    )
+    measure(
+        "gossip estimate (30 rounds)",
+        "per estimate",
+        lambda: PushSumHistogramEstimator(rounds=30).estimate(network, rng=rng),
+    )
+
+    index_holder: dict[str, object] = {}
+    measure(
+        "prefix index build",
+        "per build",
+        lambda: index_holder.__setitem__("index", build_prefix_index(network)),
+    )
+    before = network.stats.snapshot()
+    sample_by_rank(network, index_holder["index"], 10, rng=rng)
+    delta = before.delta(network.stats.snapshot())
+    table.add_row(
+        operation="rank sample",
+        messages=delta.messages / 10.0,
+        hops=delta.hops / 10.0,
+        payload=delta.payload / 10.0,
+        unit="per sample",
+    )
+    return table

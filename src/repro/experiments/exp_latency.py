@@ -1,0 +1,68 @@
+"""F13 — estimation latency (critical-path rounds) vs. network size.
+
+Message counts measure bandwidth; *latency* measures how long a client
+waits.  Parallel probing finishes in one round-trip of the slowest probe
+(O(log N)); the broadcast finishes in O(log N) tree levels; the successor
+traversal and the random walk are fully sequential (Θ(N) and Θ(s·L));
+gossip takes its round count.  This experiment sweeps N and reports each
+method's critical path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.adaptive import AdaptiveDensityEstimator
+from repro.core.baselines.gossip import PushSumHistogramEstimator
+from repro.core.baselines.random_walk import RandomWalkEstimator
+from repro.core.cdf_compute import ExactCdfEstimator
+from repro.core.estimator import DistributionFreeEstimator
+from repro.experiments.common import scale_int, scale_list
+from repro.experiments.config import DEFAULTS, setup_network
+from repro.experiments.results import ResultTable
+
+EXPERIMENT_ID = "F13"
+TITLE = "Estimation latency vs. network size"
+EXPECTATION = (
+    "dfde latency grows ~log N (one parallel probe wave); adaptive is "
+    "~2x that (two waves); broadcast is O(log N) levels; the traversal "
+    "is Theta(N) and the random walk Theta(s x walk_length), both flat "
+    "in N but far above the parallel methods at every size."
+)
+
+NETWORK_SIZES = [128, 256, 512, 1024, 2048]
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ResultTable:
+    """Measure latency_rounds for every method across network sizes."""
+    table = ResultTable(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        expectation=EXPECTATION,
+        columns=["n_peers", "method", "latency_rounds", "messages"],
+    )
+    n_items = scale_int(50_000, scale, minimum=2_000)
+    sizes = scale_list(NETWORK_SIZES, min(scale, 1.0), minimum=16)
+    probes = DEFAULTS.probes
+
+    for n_peers in sizes:
+        fixture = setup_network("normal", n_peers=n_peers, n_items=n_items, seed=seed)
+        methods = (
+            ("dfde", DistributionFreeEstimator(probes=probes)),
+            ("adaptive", AdaptiveDensityEstimator(probes=probes)),
+            ("random-walk", RandomWalkEstimator(probes=probes, walk_length=16)),
+            ("exact-traversal", ExactCdfEstimator(strategy="traversal")),
+            ("exact-broadcast", ExactCdfEstimator(strategy="broadcast")),
+            ("gossip", PushSumHistogramEstimator(rounds=30)),
+        )
+        for method, estimator in methods:
+            estimate = estimator.estimate(
+                fixture.network, rng=np.random.default_rng(seed + n_peers)
+            )
+            table.add_row(
+                n_peers=n_peers,
+                method=method,
+                latency_rounds=estimate.latency_rounds,
+                messages=estimate.messages,
+            )
+    return table

@@ -1,0 +1,90 @@
+"""F14 — random vs. load-balanced peer placement.
+
+Ring systems that run load balancers keep peer boundaries near the data's
+equi-depth quantiles, which changes the estimation problem: per-peer
+counts become nearly equal, so peer *positions* carry the distribution
+and the length bias that breaks naive pooling mostly disappears.  This
+experiment compares both placements on skewed data: load imbalance, and
+the accuracy of every sampling estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.load_balance import gini_coefficient
+from repro.core.adaptive import AdaptiveDensityEstimator
+from repro.core.baselines.naive import NaivePeerSamplingEstimator
+from repro.core.baselines.random_walk import RandomWalkEstimator
+from repro.core.cdf import empirical_cdf
+from repro.core.estimator import DistributionFreeEstimator
+from repro.core.metrics import ks_distance
+from repro.data.workload import build_dataset
+from repro.experiments.common import scale_int
+from repro.experiments.config import DEFAULTS
+from repro.experiments.results import ResultTable
+from repro.ring.network import RingNetwork
+
+EXPERIMENT_ID = "F14"
+TITLE = "Random vs. load-balanced peer placement"
+EXPECTATION = (
+    "Balanced placement collapses the load Gini towards 0 but *moves* the "
+    "skew into segment lengths: uniform-position probes now oversample "
+    "the sparse tail, so naive stays biased and even one-shot dfde loses "
+    "accuracy. Uniform-peer sampling (random walk) becomes competitive — "
+    "equal per-peer counts make count-weighted pooling of uniform peers "
+    "nearly exact. The adaptive estimator is the only method accurate "
+    "under BOTH placements."
+)
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ResultTable:
+    """Run all sampling estimators under both placements on zipf data."""
+    table = ResultTable(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        expectation=EXPECTATION,
+        columns=["placement", "load_gini", "method", "ks"],
+    )
+    n_peers = scale_int(512, scale, minimum=32)
+    n_items = scale_int(DEFAULTS.n_items, scale, minimum=2_000)
+    repetitions = scale_int(DEFAULTS.repetitions, scale, minimum=2)
+    probes = DEFAULTS.probes
+
+    dataset = build_dataset("zipf", n_items, seed=seed)
+    domain = dataset.distribution.domain.as_tuple()
+    networks = {
+        "random": RingNetwork.create(n_peers, domain=domain, seed=seed + 1),
+        "balanced": RingNetwork.create_balanced(
+            n_peers, dataset.values, domain=domain, seed=seed + 1
+        ),
+    }
+    for placement, network in networks.items():
+        network.load_data(dataset.values)
+        network.reset_stats()
+        truth = empirical_cdf(network.all_values())
+        grid = np.linspace(*domain, DEFAULTS.grid_points)
+        gini = gini_coefficient(network.peer_loads().astype(float))
+        for method, estimator in (
+            ("naive", NaivePeerSamplingEstimator(probes=probes)),
+            ("dfde", DistributionFreeEstimator(probes=probes)),
+            ("adaptive", AdaptiveDensityEstimator(probes=probes)),
+            ("random-walk", RandomWalkEstimator(probes=probes, walk_length=16)),
+        ):
+            errors = [
+                ks_distance(
+                    estimator.estimate(
+                        network, rng=np.random.default_rng(seed * 17 + rep)
+                    ).cdf,
+                    truth,
+                    grid,
+                )
+                for rep in range(repetitions)
+            ]
+            table.add_row(
+                placement=placement,
+                load_gini=gini,
+                method=method,
+                ks=float(np.mean(errors)),
+            )
+    return table

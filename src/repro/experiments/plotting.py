@@ -1,0 +1,140 @@
+"""Terminal (ASCII) charts for experiment series.
+
+The repository is offline-first (no matplotlib); these renderers turn a
+:class:`~repro.experiments.results.ResultTable` series into a fixed-width
+scatter/line chart that reads well in a terminal or a code block —
+``repro-experiments F1 --plot ks`` appends one chart per grouping column
+under each printed table.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.results import ResultTable, _format_cell
+
+__all__ = ["ascii_chart", "chart_table"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+) -> str:
+    """Render named (x, y) series on one ASCII canvas.
+
+    Each series gets a distinct marker; axes are annotated with the data
+    ranges.  ``log_x`` spaces the x axis logarithmically (parameter sweeps
+    are usually geometric).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 16 or height < 4:
+        raise ValueError("canvas too small to be legible")
+
+    def x_transform(value: float) -> float:
+        if log_x:
+            if value <= 0:
+                raise ValueError("log_x requires positive x values")
+            return math.log10(value)
+        return value
+
+    all_x = [x_transform(float(x)) for xs, _ in series.values() for x in xs]
+    all_y = [float(y) for _, ys in series.values() for y in ys]
+    if not all_x:
+        raise ValueError("series contain no points")
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (name, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            col = int((x_transform(float(x)) - x_min) / x_span * (width - 1))
+            row = int((float(y) - y_min) / y_span * (height - 1))
+            canvas[height - 1 - row][col] = marker
+
+    lines = []
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            label = _format_cell(y_max)
+        elif row_index == height - 1:
+            label = _format_cell(y_min)
+        else:
+            label = ""
+        lines.append(f"{label:>10} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    x_left = _format_cell(10**x_min if log_x else x_min)
+    x_right = _format_cell(10**x_max if log_x else x_max)
+    axis_note = f"{x_label} (log)" if log_x else x_label
+    lines.append(
+        " " * 12 + x_left + " " * max(width - len(x_left) - len(x_right), 1) + x_right
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>12}{axis_note} vs {y_label}:  {legend}")
+    return "\n".join(lines)
+
+
+def chart_table(
+    table: ResultTable,
+    y: str,
+    x: Optional[str] = None,
+    group_by: Optional[str] = None,
+    log_x: Optional[bool] = None,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Chart one metric of a result table, grouped into series.
+
+    ``x`` defaults to the first numeric non-metric column; ``group_by`` to
+    the first string column (e.g. ``method``).  ``log_x`` defaults to
+    auto-detection: geometric-looking sweeps are plotted on a log axis.
+    """
+    if y not in table.columns:
+        raise KeyError(f"no column {y!r} in {list(table.columns)}")
+    if x is None:
+        x = next(
+            (
+                c
+                for c in table.columns
+                if c != y and table.rows and isinstance(table.rows[0][c], (int, float))
+            ),
+            None,
+        )
+    if x is None:
+        raise ValueError("no numeric x column available")
+    if group_by is None:
+        group_by = next(
+            (
+                c
+                for c in table.columns
+                if table.rows and isinstance(table.rows[0][c], str)
+            ),
+            None,
+        )
+    groups = sorted({row[group_by] for row in table.rows}) if group_by else [None]
+    series = {}
+    for group in groups:
+        where = {group_by: group} if group_by else None
+        xs, ys = table.series(x, y, where=where)
+        if xs.size:
+            series[str(group) if group is not None else y] = (xs, ys)
+
+    if log_x is None:
+        xs_all = np.unique(np.concatenate([np.asarray(s[0]) for s in series.values()]))
+        log_x = bool(
+            xs_all.size >= 3 and np.all(xs_all > 0) and xs_all[-1] / max(xs_all[0], 1e-12) >= 16
+        )
+    return ascii_chart(series, width=width, height=height, x_label=x, y_label=y, log_x=log_x)

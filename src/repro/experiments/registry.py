@@ -1,0 +1,86 @@
+"""Registry mapping experiment ids to their runner functions."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    exp_ablations,
+    exp_byzantine,
+    exp_drift_tracking,
+    exp_accuracy_vs_network_size,
+    exp_accuracy_vs_samples,
+    exp_accuracy_vs_skew,
+    exp_accuracy_vs_volume,
+    exp_churn,
+    exp_cost_accuracy,
+    exp_cost_table,
+    exp_inversion_quality,
+    exp_latency,
+    exp_load_balance,
+    exp_message_loss,
+    exp_method_comparison,
+    exp_placement,
+    exp_replication,
+    exp_selectivity,
+    exp_virtual_nodes,
+)
+from repro.experiments.config import DEFAULTS
+from repro.experiments.results import ResultTable
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+
+def _run_t1(scale: float = 1.0, seed: int = 0) -> ResultTable:
+    """T1: the default-parameter table (no simulation involved)."""
+    table = ResultTable(
+        experiment_id="T1",
+        title="Default simulation parameters",
+        expectation="The shared defaults every other experiment perturbs.",
+        columns=["parameter", "default"],
+    )
+    for row in DEFAULTS.rows():
+        table.add_row(**row)
+    return table
+
+
+EXPERIMENTS: dict[str, Callable[..., ResultTable]] = {
+    "T1": _run_t1,
+    "F1": exp_accuracy_vs_samples.run,
+    "F2": exp_accuracy_vs_network_size.run,
+    "F3": exp_accuracy_vs_skew.run,
+    "F4": exp_method_comparison.run,
+    "F5": exp_cost_accuracy.run,
+    "F6": exp_churn.run,
+    "F7": exp_inversion_quality.run,
+    "T2": exp_cost_table.run,
+    "F8": exp_selectivity.run,
+    "F9": exp_load_balance.run,
+    "F10": exp_accuracy_vs_volume.run,
+    "F11": exp_drift_tracking.run,
+    "F12": exp_replication.run,
+    "F13": exp_latency.run,
+    "F14": exp_placement.run,
+    "F15": exp_message_loss.run,
+    "F16": exp_virtual_nodes.run,
+    "F17": exp_byzantine.run,
+    "A1": exp_ablations.run_synopsis_ablation,
+    "A2": exp_ablations.run_placement_ablation,
+    "A3": exp_ablations.run_assembly_ablation,
+    "A4": exp_ablations.run_synopsis_kind_ablation,
+}
+
+
+def run_experiment(experiment_id: str, scale: float = 1.0, seed: int = 0) -> ResultTable:
+    """Run one experiment by id (case-insensitive)."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key](scale=scale, seed=seed)
+
+
+def run_all(scale: float = 1.0, seed: int = 0) -> list[ResultTable]:
+    """Run the full evaluation suite, in presentation order."""
+    return [run_experiment(key, scale=scale, seed=seed) for key in EXPERIMENTS]

@@ -1,0 +1,66 @@
+"""Report writer: persist experiment results as Markdown.
+
+``repro-experiments --report out/`` (or :func:`write_report` directly)
+renders each :class:`~repro.experiments.results.ResultTable` as a Markdown
+section with a GitHub-style table, plus an index file.  The benchmark
+output and EXPERIMENTS.md are hand-curated; this writer is for archiving
+arbitrary runs (different scales, seeds, parameter overrides)
+reproducibly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.experiments.results import ResultTable, _format_cell
+
+__all__ = ["table_to_markdown", "write_report"]
+
+
+def table_to_markdown(table: ResultTable) -> str:
+    """One result table as a Markdown section."""
+    lines = [
+        f"## {table.experiment_id} — {table.title}",
+        "",
+        f"*Expectation:* {table.expectation}",
+        "",
+    ]
+    header = list(table.columns)
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in table.rows:
+        cells = [_format_cell(row[column]) for column in header]
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    tables: Sequence[ResultTable] | Iterable[ResultTable],
+    directory: str | Path,
+    title: str = "Experiment results",
+) -> Path:
+    """Write one Markdown file per table plus an ``index.md``.
+
+    Returns the path of the index file.  The directory is created if
+    missing; existing files with the same names are overwritten.
+    """
+    tables = list(tables)
+    if not tables:
+        raise ValueError("need at least one result table to report")
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    index_lines = [f"# {title}", ""]
+    for table in tables:
+        filename = f"{table.experiment_id.lower()}.md"
+        (out_dir / filename).write_text(table_to_markdown(table), encoding="utf-8")
+        index_lines.append(
+            f"- [{table.experiment_id} — {table.title}]({filename}) "
+            f"({len(table)} rows)"
+        )
+    index_lines.append("")
+    index_path = out_dir / "index.md"
+    index_path.write_text("\n".join(index_lines), encoding="utf-8")
+    return index_path

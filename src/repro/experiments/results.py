@@ -1,0 +1,90 @@
+"""Result tables: the rows/series each experiment reports.
+
+A :class:`ResultTable` is a named list of uniform dict rows plus the
+qualitative expectation the paper licenses for it.  ``to_text()`` renders
+the fixed-width table the benchmark harness prints — the lines you compare
+against the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["ResultTable"]
+
+
+def _format_cell(value: object) -> str:
+    """Human-stable formatting: 4 significant digits for floats."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-4:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class ResultTable:
+    """One experiment's output: rows plus provenance."""
+
+    experiment_id: str
+    title: str
+    expectation: str            # the qualitative paper-shape being tested
+    columns: Sequence[str]
+    rows: list[dict[str, object]] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        """Append a row; keys must match the declared columns."""
+        missing = set(self.columns) - set(values)
+        extra = set(values) - set(self.columns)
+        if missing or extra:
+            raise ValueError(
+                f"row keys mismatch: missing {sorted(missing)}, extra {sorted(extra)}"
+            )
+        self.rows.append(dict(values))
+
+    def column(self, name: str) -> list[object]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(f"no column {name!r} in {list(self.columns)}")
+        return [row[name] for row in self.rows]
+
+    def series(self, x: str, y: str, where: dict[str, object] | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Extract an (x, y) numeric series, optionally filtered by ``where``."""
+        rows: Iterable[dict[str, object]] = self.rows
+        if where:
+            rows = [r for r in rows if all(r.get(k) == v for k, v in where.items())]
+        rows = list(rows)
+        return (
+            np.asarray([float(r[x]) for r in rows]),
+            np.asarray([float(r[y]) for r in rows]),
+        )
+
+    def to_text(self) -> str:
+        """Fixed-width rendering, one line per row."""
+        header = list(self.columns)
+        body = [[_format_cell(row[c]) for c in header] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"expectation: {self.expectation}",
+            "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in body:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.rows)

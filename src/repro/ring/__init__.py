@@ -1,0 +1,50 @@
+"""Ring-based P2P overlay substrate.
+
+Everything the estimators run on: identifier arithmetic, hashing/placement,
+peer nodes and their local stores, the network simulator with message
+accounting, Chord routing and protocol dynamics, churn processes, and
+network-size estimation.
+"""
+
+from repro.ring.churn import ChurnConfig, ChurnProcess, ChurnRoundReport
+from repro.ring.hashing import ConsistentHash, OrderPreservingHash
+from repro.ring.identifier import IdentifierSpace, RingInterval
+from repro.ring.messages import CostSnapshot, MessageStats, MessageType
+from repro.ring.network import NetworkError, RingNetwork
+from repro.ring.node import PeerNode
+from repro.ring.replication import RecoveryReport, ReplicationManager
+from repro.ring.serialization import load_network, network_from_dict, network_to_dict, save_network
+from repro.ring.routing import RouteResult, RoutingError, route_to_key, route_to_value, successor_walk
+from repro.ring.sizing import SizeEstimate, estimate_network_size, estimate_size_from_segments
+from repro.ring.storage import LocalStore
+
+__all__ = [
+    "ChurnConfig",
+    "ChurnProcess",
+    "ChurnRoundReport",
+    "ConsistentHash",
+    "CostSnapshot",
+    "IdentifierSpace",
+    "LocalStore",
+    "MessageStats",
+    "MessageType",
+    "NetworkError",
+    "OrderPreservingHash",
+    "PeerNode",
+    "RecoveryReport",
+    "ReplicationManager",
+    "RingInterval",
+    "RingNetwork",
+    "RouteResult",
+    "RoutingError",
+    "SizeEstimate",
+    "estimate_network_size",
+    "estimate_size_from_segments",
+    "load_network",
+    "network_from_dict",
+    "network_to_dict",
+    "route_to_key",
+    "route_to_value",
+    "save_network",
+    "successor_walk",
+]

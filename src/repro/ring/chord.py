@@ -1,0 +1,224 @@
+"""Chord protocol dynamics: join, leave, crash, and maintenance.
+
+The construction path (:meth:`RingNetwork.create` + ``rebuild_overlay``)
+gives a perfectly stabilized ring for static experiments.  This module
+provides the *incremental* protocol the churn experiments exercise: peers
+join through a routed lookup, take over part of their successor's interval
+(with data handoff), depart gracefully or by crashing, and the background
+``stabilize`` / ``fix_fingers`` maintenance repairs the pointer state — all
+with honest message accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ring.identifier import RingInterval
+from repro.ring.messages import MessageType
+from repro.ring.network import NetworkError, RingNetwork
+from repro.ring.node import PeerNode
+from repro.ring.routing import route_to_key
+
+__all__ = [
+    "join",
+    "leave_gracefully",
+    "crash",
+    "stabilize",
+    "fix_one_finger",
+    "maintenance_round",
+    "random_unused_identifier",
+]
+
+
+def random_unused_identifier(network: RingNetwork, rng: Optional[np.random.Generator] = None) -> int:
+    """Draw a uniform identifier not currently claimed by a live peer."""
+    generator = rng if rng is not None else network.rng
+    while True:
+        ident = int(generator.integers(0, network.space.size, dtype=np.uint64))
+        if ident not in network:
+            return ident
+
+
+def join(network: RingNetwork, new_ident: int, via: Optional[PeerNode] = None) -> PeerNode:
+    """A new peer with identifier ``new_ident`` joins through peer ``via``.
+
+    The join routes a lookup for its own identifier to find its successor,
+    splits the successor's ownership interval, receives the data items that
+    now belong to it, and links itself between predecessor and successor.
+    Its finger table starts as a copy of the successor's (the standard
+    practical bootstrap) and is repaired incrementally by ``fix_fingers``.
+    """
+    network.space.validate(new_ident)
+    if new_ident in network:
+        raise ValueError(f"identifier {new_ident} already in use")
+    if network.n_peers == 0:
+        raise NetworkError("cannot join an empty network; create it first")
+    entry = via if via is not None else network.random_peer()
+
+    network.record(MessageType.JOIN)
+    successor = route_to_key(network, entry, new_ident).owner
+
+    new_node = PeerNode(new_ident, network.space)
+    predecessor_id = successor.predecessor_id
+    new_node.predecessor_id = predecessor_id
+    new_node.successor_id = successor.ident
+    # Bootstrap fingers and successor list from the successor; fix_fingers
+    # and stabilize refine them incrementally.
+    new_node.fingers = list(successor.fingers)
+    new_node.set_finger(0, successor.ident)
+    new_node.successor_list = [successor.ident, *successor.successor_list][
+        : network.SUCCESSOR_LIST_LENGTH
+    ]
+
+    # Hand off the data the new node now owns: ring interval (pred, new].
+    if predecessor_id is not None:
+        taken_interval = RingInterval(network.space, predecessor_id, new_ident)
+    else:
+        taken_interval = RingInterval(network.space, successor.ident, new_ident)
+    moved = successor.store.pop_where(
+        lambda value: taken_interval.contains(network.data_hash(value))
+    )
+    new_node.store.insert_many(moved)
+    network.record(MessageType.DATA_TRANSFER, payload=len(moved))
+
+    # Link in: successor's predecessor, predecessor's successor.
+    successor.predecessor_id = new_ident
+    if predecessor_id is not None:
+        predecessor = network.try_node(predecessor_id)
+        if predecessor is not None:
+            predecessor.successor_id = new_ident
+            network.record(MessageType.NOTIFY)
+
+    network._register(new_node)
+    return new_node
+
+
+def leave_gracefully(network: RingNetwork, ident: int) -> None:
+    """Peer departs politely: ships its data to its successor and relinks.
+
+    The last peer of the network may not leave (the data would have no home).
+    """
+    node = network.node(ident)
+    if network.n_peers == 1:
+        raise NetworkError("the last peer cannot leave the network")
+    network.record(MessageType.LEAVE)
+
+    successor = _live_neighbor(network, node.successor_id, node.ident)
+    moved = node.store.pop_all()
+    successor.store.insert_many(moved)
+    network.record(MessageType.DATA_TRANSFER, payload=len(moved))
+
+    # Relink neighbours around the departing peer.
+    successor.predecessor_id = node.predecessor_id
+    if node.predecessor_id is not None:
+        predecessor = network.try_node(node.predecessor_id)
+        if predecessor is not None:
+            predecessor.successor_id = successor.ident
+            network.record(MessageType.NOTIFY)
+
+    node.alive = False
+    network._unregister(ident)
+
+
+def crash(network: RingNetwork, ident: int) -> int:
+    """Peer fails abruptly; its data is lost (no replication in this model).
+
+    Returns the number of items lost.  Neighbour pointers are left stale on
+    purpose — only subsequent :func:`stabilize` rounds repair the ring,
+    which is what makes churn genuinely stress the estimators.
+    """
+    node = network.node(ident)
+    if network.n_peers == 1:
+        raise NetworkError("the last peer cannot crash away the whole network")
+    lost = node.store.count
+    node.store.pop_all()
+    node.alive = False
+    network._unregister(ident)
+    return lost
+
+
+def stabilize(network: RingNetwork, node: PeerNode) -> None:
+    """One Chord stabilization step for ``node``.
+
+    Ask the successor for its predecessor; adopt it if it sits between;
+    then notify the successor so it can adopt us as predecessor.  A dead
+    successor pointer is repaired through the successor-list fallback
+    (modelled by one oracle repair at the cost of the timed-out probe).
+    """
+    network.record(MessageType.STABILIZE)
+    successor = network.try_node(node.successor_id)
+    if successor is None or not successor.alive:
+        # Timed-out probe, then fall back to the successor list.
+        repaired = network._oracle_successor(network.space.add(node.ident, 1))
+        node.successor_id = repaired
+        successor = network.node(repaired)
+    candidate_id = successor.predecessor_id
+    if candidate_id is not None and candidate_id != node.ident:
+        candidate = network.try_node(candidate_id)
+        if candidate is not None and network.space.in_open(
+            candidate_id, node.ident, successor.ident
+        ):
+            node.successor_id = candidate_id
+            successor = candidate
+    # Refresh the successor list from the (now live) successor: its
+    # identity followed by the head of its own list.
+    length = network.SUCCESSOR_LIST_LENGTH
+    refreshed = [successor.ident]
+    for entry in successor.successor_list:
+        if len(refreshed) >= length:
+            break
+        if entry != node.ident and entry not in refreshed:
+            refreshed.append(entry)
+    node.successor_list = refreshed
+    network.record(MessageType.NOTIFY)
+    _notify(network, successor, node)
+
+
+def _notify(network: RingNetwork, successor: PeerNode, node: PeerNode) -> None:
+    """Chord ``notify``: successor adopts ``node`` as predecessor if better."""
+    current = successor.predecessor_id
+    if current is None or network.try_node(current) is None:
+        successor.predecessor_id = node.ident
+        return
+    if network.space.in_open(node.ident, current, successor.ident):
+        successor.predecessor_id = node.ident
+
+
+def fix_one_finger(network: RingNetwork, node: PeerNode) -> None:
+    """Repair the next finger (round-robin) with one routed lookup."""
+    k = node.next_finger_index
+    node.next_finger_index = (k + 1) % network.space.bits
+    network.record(MessageType.FIX_FINGER)
+    try:
+        result = route_to_key(network, node, node.finger_target(k))
+    except NetworkError:
+        node.set_finger(k, None)
+        return
+    node.set_finger(k, result.owner.ident)
+
+
+def maintenance_round(network: RingNetwork, fingers_per_peer: int = 1) -> None:
+    """One background maintenance round across all live peers.
+
+    Every peer runs one stabilize step and repairs ``fingers_per_peer``
+    fingers.  Iteration order is ring order over the peers alive at the
+    start of the round.
+    """
+    for ident in list(network.peer_ids()):
+        node = network.try_node(ident)
+        if node is None:
+            continue
+        stabilize(network, node)
+        for _ in range(fingers_per_peer):
+            fix_one_finger(network, node)
+
+
+def _live_neighbor(network: RingNetwork, pointer: Optional[int], self_ident: int) -> PeerNode:
+    """Resolve a neighbour pointer, repairing through the oracle if stale."""
+    if pointer is not None:
+        node = network.try_node(pointer)
+        if node is not None and node.alive:
+            return node
+    return network.node(network._oracle_successor(network.space.add(self_ident, 1)))

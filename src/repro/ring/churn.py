@@ -1,0 +1,158 @@
+"""Churn processes: stochastic arrival and departure of peers.
+
+The paper's setting is *dynamic* ring networks, so the churn model matters.
+We drive the overlay with a discrete-round process: in each round a Poisson
+number of peers joins and a Poisson number departs (gracefully or by
+crashing), followed by a configurable amount of background maintenance.
+Rates are expressed per round relative to current network size, the
+convention used in DHT churn studies (a "churn rate" of 0.05 means 5 % of
+peers turn over per round).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.ring import chord
+from repro.ring.network import RingNetwork
+from repro.ring.replication import ReplicationManager
+
+__all__ = ["ChurnConfig", "ChurnProcess", "ChurnRoundReport"]
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Parameters of the churn process.
+
+    Attributes
+    ----------
+    join_rate / leave_rate:
+        Expected joins / departures per round, as a fraction of current
+        network size.  Equal rates keep the network size stationary.
+    crash_fraction:
+        Fraction of departures that are crashes (data loss, stale pointers)
+        rather than graceful leaves.
+    maintenance_rounds:
+        Stabilize/fix-finger rounds executed after each churn round.
+    min_peers:
+        Departures never shrink the network below this floor.
+    """
+
+    join_rate: float = 0.02
+    leave_rate: float = 0.02
+    crash_fraction: float = 0.5
+    maintenance_rounds: int = 1
+    min_peers: int = 8
+
+    def __post_init__(self) -> None:
+        if self.join_rate < 0 or self.leave_rate < 0:
+            raise ValueError("churn rates must be non-negative")
+        if not 0.0 <= self.crash_fraction <= 1.0:
+            raise ValueError(f"crash_fraction must be in [0, 1], got {self.crash_fraction}")
+        if self.maintenance_rounds < 0:
+            raise ValueError("maintenance_rounds must be >= 0")
+        if self.min_peers < 1:
+            raise ValueError("min_peers must be >= 1")
+
+
+@dataclass
+class ChurnRoundReport:
+    """What happened during one churn round."""
+
+    joins: int = 0
+    graceful_leaves: int = 0
+    crashes: int = 0
+    items_lost: int = 0
+    items_recovered: int = 0
+    peers_after: int = 0
+
+    def merge(self, other: "ChurnRoundReport") -> "ChurnRoundReport":
+        """Accumulate another round's report into a running total."""
+        return ChurnRoundReport(
+            joins=self.joins + other.joins,
+            graceful_leaves=self.graceful_leaves + other.graceful_leaves,
+            crashes=self.crashes + other.crashes,
+            items_lost=self.items_lost + other.items_lost,
+            items_recovered=self.items_recovered + other.items_recovered,
+            peers_after=other.peers_after,
+        )
+
+
+@dataclass
+class ChurnProcess:
+    """Drives joins/leaves/crashes against a live network.
+
+    With a :class:`~repro.ring.replication.ReplicationManager` attached,
+    each crash triggers replica recovery at the inheriting peer and a
+    replication round runs every ``replication_every`` churn rounds, so
+    ``items_lost`` shrinks to the staleness window of the replicas.
+    """
+
+    network: RingNetwork
+    config: ChurnConfig = field(default_factory=ChurnConfig)
+    rng: Optional[np.random.Generator] = None
+    replication: Optional[ReplicationManager] = None
+    replication_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rng is None:
+            self.rng = np.random.default_rng()
+        if self.replication_every < 1:
+            raise ValueError("replication_every must be >= 1")
+        self._rounds_run = 0
+        if self.replication is not None and self.replication.factor > 1:
+            self.replication.replicate_round()
+
+    def run_round(self) -> ChurnRoundReport:
+        """Execute one round: joins, then departures, then maintenance."""
+        report = ChurnRoundReport()
+        n = self.network.n_peers
+
+        n_joins = int(self.rng.poisson(self.config.join_rate * n))
+        for _ in range(n_joins):
+            ident = chord.random_unused_identifier(self.network, self.rng)
+            chord.join(self.network, ident)
+            report.joins += 1
+
+        n_leaves = int(self.rng.poisson(self.config.leave_rate * n))
+        for _ in range(n_leaves):
+            if self.network.n_peers <= self.config.min_peers:
+                break
+            victim = self.network.random_peer()
+            if self.rng.random() < self.config.crash_fraction:
+                lost = chord.crash(self.network, victim.ident)
+                report.crashes += 1
+                if self.replication is not None and self.replication.factor > 1:
+                    recovery = self.replication.recover_after_crash(victim.ident)
+                    report.items_recovered += recovery.recovered
+                    lost -= recovery.recovered
+                report.items_lost += max(lost, 0)
+            else:
+                chord.leave_gracefully(self.network, victim.ident)
+                report.graceful_leaves += 1
+
+        for _ in range(self.config.maintenance_rounds):
+            chord.maintenance_round(self.network)
+
+        self._rounds_run += 1
+        if (
+            self.replication is not None
+            and self.replication.factor > 1
+            and self._rounds_run % self.replication_every == 0
+        ):
+            self.replication.replicate_round()
+
+        report.peers_after = self.network.n_peers
+        return report
+
+    def run(self, rounds: int) -> ChurnRoundReport:
+        """Execute ``rounds`` rounds and return the aggregate report."""
+        if rounds < 0:
+            raise ValueError(f"rounds must be >= 0, got {rounds}")
+        total = ChurnRoundReport(peers_after=self.network.n_peers)
+        for _ in range(rounds):
+            total = total.merge(self.run_round())
+        return total

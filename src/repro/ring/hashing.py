@@ -1,0 +1,98 @@
+"""Placement functions: how peers and data land on the ring.
+
+Two placement regimes matter for density estimation:
+
+* **Consistent (uniform) hashing** — the classic DHT placement.  Keys are
+  scattered uniformly, so every peer holds an unbiased random sample of the
+  global data and density estimation is trivial.  We implement it as a
+  baseline substrate and for hashing *peer* identifiers.
+
+* **Order-preserving placement** — the regime the paper targets.  The data
+  value maps monotonically onto ring position, so range queries are local but
+  each peer's data reflects only its own slice of the domain.  Estimating the
+  *global* distribution then genuinely requires the paper's machinery.
+
+Both are deterministic, seedable, and pure functions of their inputs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.ring.identifier import IdentifierSpace
+
+__all__ = ["ConsistentHash", "OrderPreservingHash"]
+
+
+@dataclass(frozen=True)
+class ConsistentHash:
+    """Uniform hashing of arbitrary keys onto the identifier ring.
+
+    Uses SHA-256 truncated to the ring width.  A fixed ``salt`` lets callers
+    derive independent hash functions (e.g. peer ids vs. replica ids) from
+    the same space.
+    """
+
+    space: IdentifierSpace
+    salt: str = ""
+
+    def __call__(self, key: object) -> int:
+        digest = hashlib.sha256(f"{self.salt}:{key!r}".encode()).digest()
+        value = int.from_bytes(digest, "big")
+        return value % self.space.size
+
+    def hash_peer(self, peer_name: object) -> int:
+        """Hash a peer's name; alias making call sites self-documenting."""
+        return self(peer_name)
+
+
+@dataclass(frozen=True)
+class OrderPreservingHash:
+    """Monotone mapping of a scalar data domain onto the ring.
+
+    Values in ``[low, high)`` map linearly onto ``[0, 2**m)``.  Monotonicity
+    is the property everything downstream relies on: the ring order of data
+    equals the value order, so cumulative counts around the ring *are* the
+    global CDF.
+
+    Values outside the domain are clamped; the domain should be chosen wide
+    enough that clamping is a non-event (the workload builders do this).
+    """
+
+    space: IdentifierSpace
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise ValueError(f"empty domain [{self.low}, {self.high})")
+
+    def __call__(self, value: float) -> int:
+        u = (value - self.low) / (self.high - self.low)
+        u = min(max(u, 0.0), 1.0)
+        ident = int(u * self.space.size)
+        return min(ident, self.space.size - 1)
+
+    def to_value(self, ident: int) -> float:
+        """Inverse map: ring position back to a domain value.
+
+        Exact inversion is impossible (the map is many-to-one on fine
+        scales); this returns the left edge of the identifier's value bucket,
+        which is what the estimators need to convert probe positions into
+        domain coordinates.
+        """
+        self.space.validate(ident)
+        u = ident / self.space.size
+        return self.low + u * (self.high - self.low)
+
+    def unit_to_value(self, u: float) -> float:
+        """Map a unit-interval ring coordinate to a domain value."""
+        if not 0.0 <= u <= 1.0:
+            raise ValueError(f"unit position {u} outside [0, 1]")
+        return self.low + u * (self.high - self.low)
+
+    def value_to_unit(self, value: float) -> float:
+        """Map a domain value to its unit-interval ring coordinate."""
+        u = (value - self.low) / (self.high - self.low)
+        return min(max(u, 0.0), 1.0)

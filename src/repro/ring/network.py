@@ -1,0 +1,387 @@
+"""The ring overlay simulator.
+
+:class:`RingNetwork` owns the peers, the order-preserving placement of data,
+and the message ledger.  It is a *synchronous* simulator: operations are
+method calls, and network cost is accounted in messages/hops rather than
+simulated time — which is exactly the cost model the paper's efficiency
+claims are stated in.
+
+Two views coexist deliberately:
+
+* the **overlay view** — each node's own pointers (possibly stale under
+  churn); all cost-counted operations (routing, probing, estimation) use
+  only this view, via :mod:`repro.ring.routing`;
+* the **oracle view** — the simulator's sorted registry of live peers, used
+  for ground truth (true global CDF, true owner) and for free bootstrap
+  tasks like initial construction.  Oracle calls never touch the ledger.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.ring.hashing import OrderPreservingHash
+from repro.ring.identifier import IdentifierSpace
+from repro.ring.messages import MessageStats, MessageType
+from repro.ring.node import PeerNode
+
+__all__ = ["RingNetwork", "NetworkError"]
+
+
+class NetworkError(RuntimeError):
+    """Raised when an overlay operation cannot complete (e.g. empty ring)."""
+
+
+class RingNetwork:
+    """A ring-based P2P network with order-preserving data placement.
+
+    Parameters
+    ----------
+    space:
+        The identifier space shared by peers and data.
+    domain:
+        ``(low, high)`` bounds of the scalar data domain; data values map
+        onto the ring through an order-preserving hash over this range.
+    rng:
+        Source of randomness for peer placement and routing entry points.
+    """
+
+    #: Successor-list length: how many fallback routes stabilization keeps.
+    SUCCESSOR_LIST_LENGTH = 4
+
+    def __init__(
+        self,
+        space: IdentifierSpace,
+        domain: tuple[float, float] = (0.0, 1.0),
+        rng: Optional[np.random.Generator] = None,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.space = space
+        self.data_hash = OrderPreservingHash(space, domain[0], domain[1])
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.stats = MessageStats()
+        self.loss_rate = loss_rate
+        self._nodes: dict[int, PeerNode] = {}
+        self._sorted_ids: list[int] = []
+
+    def delivery_succeeds(self) -> bool:
+        """Draw one message-delivery outcome under the loss model.
+
+        The sender times out on a lost message and retransmits; callers on
+        the cost-counted paths loop on this predicate, paying for every
+        attempt.  ``loss_rate=0`` (the default) short-circuits to True.
+        """
+        if self.loss_rate <= 0.0:
+            return True
+        return bool(self.rng.random() >= self.loss_rate)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        n_peers: int,
+        *,
+        bits: int = 64,
+        domain: tuple[float, float] = (0.0, 1.0),
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        loss_rate: float = 0.0,
+    ) -> "RingNetwork":
+        """Build a stabilized network of ``n_peers`` randomly placed peers.
+
+        Peer identifiers are drawn uniformly at random (the distribution a
+        cryptographic peer-id hash induces).  Construction is an oracle
+        operation: the returned network is fully stabilized with exact
+        finger tables and an empty ledger.  ``loss_rate`` turns on the
+        lossy-delivery model for all subsequent cost-counted operations.
+        """
+        if n_peers < 1:
+            raise ValueError(f"need at least one peer, got {n_peers}")
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        space = IdentifierSpace(bits)
+        network = cls(space, domain=domain, rng=rng, loss_rate=loss_rate)
+        idents: set[int] = set()
+        while len(idents) < n_peers:
+            needed = n_peers - len(idents)
+            draws = rng.integers(0, space.size, size=needed, dtype=np.uint64)
+            idents.update(int(d) for d in draws)
+        for ident in idents:
+            network._register(PeerNode(ident, space))
+        network.rebuild_overlay()
+        return network
+
+    @classmethod
+    def create_balanced(
+        cls,
+        n_peers: int,
+        values,
+        *,
+        bits: int = 64,
+        domain: tuple[float, float] = (0.0, 1.0),
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "RingNetwork":
+        """Build a network whose peers sit at the data's equi-depth quantiles.
+
+        This models a ring system running a load balancer: peer boundaries
+        are placed at the ``i/N`` quantiles of ``values``, so each peer
+        owns (approximately) an equal share of the *data* rather than of
+        the identifier space.  Estimation behaves differently here — peer
+        positions themselves carry distribution information and naive
+        pooling loses most of its bias — which the F14 experiment measures.
+
+        ``values`` are used only to compute boundary positions; call
+        :meth:`load_data` afterwards as usual.
+        """
+        if n_peers < 1:
+            raise ValueError(f"need at least one peer, got {n_peers}")
+        arr = np.sort(np.asarray(list(values), dtype=float))
+        if arr.size < n_peers:
+            raise ValueError(
+                f"balanced placement needs at least one value per peer "
+                f"({arr.size} values for {n_peers} peers)"
+            )
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        space = IdentifierSpace(bits)
+        network = cls(space, domain=domain, rng=rng)
+        quantile_levels = (np.arange(1, n_peers + 1)) / n_peers
+        boundaries = np.quantile(arr, quantile_levels)
+        used: set[int] = set()
+        for boundary in boundaries:
+            ident = network.data_hash(float(boundary))
+            while ident in used:
+                ident = space.add(ident, 1)
+            used.add(ident)
+            network._register(PeerNode(ident, space))
+        network.rebuild_overlay()
+        return network
+
+    @classmethod
+    def create_virtual(
+        cls,
+        n_hosts: int,
+        virtual_per_host: int,
+        *,
+        bits: int = 64,
+        domain: tuple[float, float] = (0.0, 1.0),
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "RingNetwork":
+        """Build a network of ``n_hosts`` physical hosts, each running
+        ``virtual_per_host`` ring nodes at random positions.
+
+        Virtual nodes are Chord's classic load-balancing device: a host's
+        total load is the sum over its v segments, whose relative variance
+        shrinks like ``1/v``.  Host attribution is carried on each node
+        (``PeerNode.host_id``) so :meth:`host_loads` can report the
+        physical balance the F16 experiment measures.
+        """
+        if n_hosts < 1:
+            raise ValueError(f"need at least one host, got {n_hosts}")
+        if virtual_per_host < 1:
+            raise ValueError(f"need at least one virtual node per host, got {virtual_per_host}")
+        network = cls.create(
+            n_hosts * virtual_per_host, bits=bits, domain=domain, seed=seed, rng=rng
+        )
+        # Random ids are exchangeable, so blocks of the sorted id list are
+        # a uniformly random host assignment; shuffle for good measure.
+        ids = list(network.peer_ids())
+        network.rng.shuffle(ids)
+        for index, ident in enumerate(ids):
+            network.node(ident).host_id = index % n_hosts
+        return network
+
+    def host_loads(self) -> dict[int, int]:
+        """Item counts aggregated per physical host."""
+        loads: dict[int, int] = {}
+        for node in self.peers():
+            loads[node.host_id] = loads.get(node.host_id, 0) + node.store.count
+        return loads
+
+    def _register(self, node: PeerNode) -> None:
+        """Insert a node into the oracle registry (no overlay wiring)."""
+        if node.ident in self._nodes:
+            raise ValueError(f"duplicate peer identifier {node.ident}")
+        self._nodes[node.ident] = node
+        bisect.insort(self._sorted_ids, node.ident)
+
+    def _unregister(self, ident: int) -> PeerNode:
+        """Remove a node from the oracle registry."""
+        node = self._nodes.pop(ident)
+        index = bisect.bisect_left(self._sorted_ids, ident)
+        del self._sorted_ids[index]
+        return node
+
+    def rebuild_overlay(self) -> None:
+        """Recompute every peer's pointers exactly (oracle operation).
+
+        Gives each node its true predecessor, successor, and finger table.
+        Used after bulk construction; churn experiments instead rely on the
+        incremental protocol in :mod:`repro.ring.chord`.
+        """
+        ids = self._sorted_ids
+        n = len(ids)
+        if n == 0:
+            return
+        list_length = min(self.SUCCESSOR_LIST_LENGTH, max(n - 1, 1))
+        for index, ident in enumerate(ids):
+            node = self._nodes[ident]
+            node.predecessor_id = ids[index - 1] if n > 1 else ident
+            node.successor_id = ids[(index + 1) % n] if n > 1 else ident
+            node.successor_list = [
+                ids[(index + 1 + offset) % n] for offset in range(list_length)
+            ]
+            for k in range(self.space.bits):
+                node.set_finger(k, self._oracle_successor(node.finger_target(k)))
+
+    def _oracle_successor(self, key: int) -> int:
+        """First live peer at or clockwise after ``key`` (oracle view)."""
+        if not self._sorted_ids:
+            raise NetworkError("network has no peers")
+        index = bisect.bisect_left(self._sorted_ids, key)
+        if index == len(self._sorted_ids):
+            index = 0
+        return self._sorted_ids[index]
+
+    # ------------------------------------------------------------------
+    # Node access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, ident: int) -> bool:
+        return ident in self._nodes
+
+    @property
+    def n_peers(self) -> int:
+        """Number of live peers."""
+        return len(self._nodes)
+
+    def node(self, ident: int) -> PeerNode:
+        """Resolve a live peer by identifier."""
+        node = self._nodes.get(ident)
+        if node is None:
+            raise NetworkError(f"no live peer with identifier {ident}")
+        return node
+
+    def try_node(self, ident: int) -> Optional[PeerNode]:
+        """Resolve a peer, or None if it has departed (stale pointer)."""
+        return self._nodes.get(ident)
+
+    def peer_ids(self) -> Sequence[int]:
+        """Live peer identifiers in ring order."""
+        return tuple(self._sorted_ids)
+
+    def peers(self) -> Iterator[PeerNode]:
+        """Live peers in ring order."""
+        for ident in self._sorted_ids:
+            yield self._nodes[ident]
+
+    def random_peer(self) -> PeerNode:
+        """A live peer chosen uniformly at random (estimation entry point)."""
+        if not self._sorted_ids:
+            raise NetworkError("network has no peers")
+        index = int(self.rng.integers(0, len(self._sorted_ids)))
+        return self._nodes[self._sorted_ids[index]]
+
+    # ------------------------------------------------------------------
+    # Data placement (oracle: bulk load is an out-of-band operation)
+    # ------------------------------------------------------------------
+    def owner_of(self, key: int) -> PeerNode:
+        """True owner of a ring position (oracle view, no cost)."""
+        return self._nodes[self._oracle_successor(key)]
+
+    def owner_of_value(self, value: float) -> PeerNode:
+        """True owner of a data value (oracle view, no cost)."""
+        return self.owner_of(self.data_hash(value))
+
+    def load_data(self, values: Iterable[float]) -> None:
+        """Place data values on their owning peers (oracle bulk load)."""
+        ids = self._sorted_ids
+        if not ids:
+            raise NetworkError("cannot load data into an empty network")
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            return
+        keys = np.fromiter(
+            (self.data_hash(float(v)) for v in arr), dtype=np.uint64, count=arr.size
+        )
+        positions = np.searchsorted(np.asarray(ids, dtype=np.uint64), keys, side="left")
+        positions[positions == len(ids)] = 0
+        order = np.argsort(positions, kind="stable")
+        sorted_positions = positions[order]
+        sorted_values = arr[order]
+        boundaries = np.searchsorted(sorted_positions, np.arange(len(ids) + 1))
+        for index, ident in enumerate(ids):
+            chunk = sorted_values[boundaries[index] : boundaries[index + 1]]
+            if chunk.size:
+                self._nodes[ident].store.insert_many(chunk.tolist())
+
+    def clear_data(self) -> None:
+        """Drop all stored items from every peer."""
+        for node in self._nodes.values():
+            node.store.pop_all()
+
+    # ------------------------------------------------------------------
+    # Ground truth (oracle view, used only for error measurement)
+    # ------------------------------------------------------------------
+    @property
+    def total_count(self) -> int:
+        """Total items across all live peers."""
+        return sum(node.store.count for node in self._nodes.values())
+
+    def all_values(self) -> np.ndarray:
+        """Every stored value, sorted (the ground-truth dataset)."""
+        chunks = [node.store.as_array() for node in self.peers() if node.store.count]
+        if not chunks:
+            return np.empty(0, dtype=float)
+        return np.sort(np.concatenate(chunks))
+
+    def peer_loads(self) -> np.ndarray:
+        """Per-peer item counts in ring order (load-balance ground truth)."""
+        return np.asarray([node.store.count for node in self.peers()], dtype=np.int64)
+
+    def peer_segment_lengths(self) -> np.ndarray:
+        """Per-peer ownership arc lengths in ring order."""
+        return np.asarray([node.segment_length for node in self.peers()], dtype=float)
+
+    # ------------------------------------------------------------------
+    # Message ledger helpers
+    # ------------------------------------------------------------------
+    def record(self, message_type: MessageType, count: int = 1, payload: float = 0.0) -> None:
+        """Record simulated network traffic (optionally carrying payload)."""
+        self.stats.record(message_type, count, payload=payload)
+
+    def record_rpc(
+        self, request: MessageType, reply: MessageType, reply_payload: float = 0.0
+    ) -> None:
+        """Record a request/reply pair; the reply may carry payload."""
+        self.stats.record(request)
+        self.stats.record(reply, payload=reply_payload)
+
+    def reset_stats(self) -> None:
+        """Zero the ledger (typically right after construction/loading)."""
+        self.stats.reset()
+
+    # ------------------------------------------------------------------
+    # Domain helpers
+    # ------------------------------------------------------------------
+    @property
+    def domain(self) -> tuple[float, float]:
+        """The scalar data domain ``(low, high)``."""
+        return (self.data_hash.low, self.data_hash.high)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RingNetwork(peers={self.n_peers}, items={self.total_count}, "
+            f"bits={self.space.bits}, domain={self.domain})"
+        )

@@ -1,0 +1,121 @@
+"""Peer node state.
+
+A :class:`PeerNode` is deliberately thin: identifier, overlay pointers
+(predecessor, successor, finger table), and a local store.  Protocol logic
+(routing, join/leave, stabilization) lives in :mod:`repro.ring.routing` and
+:mod:`repro.ring.chord`; estimation logic never reaches into a node beyond
+the public accessors here, mirroring what a real peer would expose over RPC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ring.identifier import IdentifierSpace, RingInterval
+from repro.ring.storage import LocalStore
+
+__all__ = ["PeerNode"]
+
+
+class PeerNode:
+    """One peer in the ring overlay.
+
+    Overlay pointers hold peer *identifiers*, not object references — the
+    network layer resolves identifiers to nodes, which keeps stale pointers
+    representable (a pointer may name a departed peer until stabilization
+    repairs it, exactly as in a real deployment).
+    """
+
+    def __init__(self, ident: int, space: IdentifierSpace) -> None:
+        space.validate(ident)
+        self.ident = ident
+        self.space = space
+        self.predecessor_id: Optional[int] = None
+        self.successor_id: int = ident  # self-loop until joined
+        self.fingers: list[Optional[int]] = [None] * space.bits
+        self.store = LocalStore()
+        self.alive = True
+        # Round-robin cursor for incremental finger repair (fix_fingers).
+        self.next_finger_index = 0
+        # Successor list: fallback routes when the successor fails.  Kept
+        # short (Chord uses O(log N)); refreshed by stabilization.
+        self.successor_list: list[int] = []
+        # Physical host this (possibly virtual) node runs on.  Plain
+        # networks use one node per host; virtual-node deployments map
+        # several ring nodes to one host id (see RingNetwork.create_virtual).
+        self.host_id: int = ident
+        # Byzantine behaviour (repro.core.byzantine); None = honest peer.
+        self.byzantine = None
+        # Replicas held on behalf of other peers: owner ident -> values
+        # snapshot (see repro.ring.replication).
+        self.replicas: dict[int, tuple[float, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Ownership
+    # ------------------------------------------------------------------
+    @property
+    def interval(self) -> RingInterval:
+        """The arc of keys this peer owns: ``(predecessor, self]``.
+
+        A peer that has not learnt its predecessor yet (mid-join) owns the
+        full ring by the Chord convention; callers that care should check
+        :attr:`predecessor_id` first.
+        """
+        start = self.predecessor_id if self.predecessor_id is not None else self.ident
+        return RingInterval(self.space, start, self.ident)
+
+    def owns(self, key: int) -> bool:
+        """True if ``key`` falls in this peer's ownership arc."""
+        return self.interval.contains(key)
+
+    @property
+    def segment_length(self) -> int:
+        """Length of the ownership arc in identifiers (``ℓ_p``)."""
+        return self.interval.length
+
+    @property
+    def local_count(self) -> int:
+        """Number of locally stored items (``c_p``)."""
+        return self.store.count
+
+    # ------------------------------------------------------------------
+    # Finger table
+    # ------------------------------------------------------------------
+    def finger_target(self, k: int) -> int:
+        """Ring position the ``k``-th finger should point past."""
+        return self.space.finger_target(self.ident, k)
+
+    def set_finger(self, k: int, node_id: Optional[int]) -> None:
+        """Install the ``k``-th finger (``None`` marks it unknown/broken)."""
+        if not 0 <= k < self.space.bits:
+            raise IndexError(f"finger index {k} outside [0, {self.space.bits})")
+        self.fingers[k] = node_id
+
+    def closest_preceding_finger(self, target: int, excluded: frozenset[int] = frozenset()) -> int:
+        """Best known hop towards ``target``: the farthest finger that
+        precedes it, falling back to the successor, then to self.
+
+        This is the node-local half of Chord's ``find_successor``; it never
+        consults global state, so routing cost in the simulator reflects
+        what a real overlay would pay.  ``excluded`` lists peers the caller
+        has already found unreachable (timed out), so retries after a failed
+        hop make progress instead of looping.
+        """
+        for finger_id in reversed(self.fingers):
+            if finger_id is None or finger_id in excluded:
+                continue
+            if self.space.in_open(finger_id, self.ident, target):
+                return finger_id
+        if (
+            self.successor_id != self.ident
+            and self.successor_id not in excluded
+            and self.space.in_open(self.successor_id, self.ident, target)
+        ):
+            return self.successor_id
+        return self.ident
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PeerNode(id={self.ident}, pred={self.predecessor_id}, "
+            f"succ={self.successor_id}, items={self.local_count})"
+        )

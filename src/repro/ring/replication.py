@@ -1,0 +1,135 @@
+"""Successor-list replication: surviving crashes without losing data.
+
+The base model loses a crashed peer's items (no replication), which is
+what the churn experiments quantify.  This module adds the standard Chord
+remedy: every peer periodically pushes a snapshot of its items to its
+``factor - 1`` immediate successors; when a peer crashes, the peer that
+inherits its ring interval promotes the freshest replica snapshot it
+holds.  Items inserted after the last replication round are still lost —
+the staleness window is the price of periodic (rather than synchronous)
+replication, and the F12 experiment measures exactly that trade-off.
+
+Replica state lives on the nodes (``PeerNode.replicas``); this module is
+pure protocol, with every push and recovery counted in the ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ring.messages import MessageType
+from repro.ring.network import RingNetwork
+from repro.ring.node import PeerNode
+from repro.ring.routing import successor_walk
+
+__all__ = ["ReplicationManager", "RecoveryReport"]
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Outcome of recovering one crashed peer's data."""
+
+    owner: int
+    recovered: int     # items promoted from a replica snapshot
+    holders_asked: int
+
+
+@dataclass
+class ReplicationManager:
+    """Drives replication rounds and crash recovery on a network.
+
+    Parameters
+    ----------
+    network:
+        The network to protect.
+    factor:
+        Total copies of each item, including the primary.  ``factor=1``
+        disables replication (the base model).
+    """
+
+    network: RingNetwork
+    factor: int = 3
+
+    def __post_init__(self) -> None:
+        if self.factor < 1:
+            raise ValueError(f"replication factor must be >= 1, got {self.factor}")
+
+    # ------------------------------------------------------------------
+    # Replication rounds
+    # ------------------------------------------------------------------
+    def replicate_node(self, node: PeerNode) -> int:
+        """Push ``node``'s current items to its ``factor - 1`` successors.
+
+        Returns the number of replica holders updated.  One bulk
+        ``DATA_TRANSFER`` message per holder, plus the successor-walk hops
+        to reach them (holders are adjacent, so this is cheap).
+        """
+        if self.factor == 1:
+            return 0
+        snapshot = tuple(node.store.values())
+        holders = successor_walk(self.network, node, self.factor - 1)
+        updated = 0
+        for holder in holders:
+            if holder.ident == node.ident:
+                break  # ring smaller than the replication factor
+            self.network.record(MessageType.DATA_TRANSFER, payload=len(snapshot))
+            holder.replicas[node.ident] = snapshot
+            updated += 1
+        return updated
+
+    def replicate_round(self) -> int:
+        """One replication round across all live peers.
+
+        Returns the total number of replica pushes.  Also drops replica
+        snapshots whose owners are no longer alive and no longer needed
+        (post-recovery garbage collection).
+        """
+        pushes = 0
+        live = set(self.network.peer_ids())
+        for ident in list(live):
+            node = self.network.try_node(ident)
+            if node is None:
+                continue
+            pushes += self.replicate_node(node)
+            for owner in [o for o in node.replicas if o not in live]:
+                del node.replicas[owner]
+        return pushes
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def recover_after_crash(self, crashed_ident: int) -> RecoveryReport:
+        """Promote the crashed peer's replica at its inheriting successor.
+
+        The peer now owning the crashed peer's interval asks its
+        neighbourhood for a snapshot (each ask is one request/reply);
+        recovered items are inserted at their current owners (normally the
+        inheritor itself).  Items newer than the snapshot stay lost.
+        """
+        inheritor = self.network.node(
+            self.network._oracle_successor(self.network.space.add(crashed_ident, 1))
+        )
+        holders_asked = 0
+        snapshot: tuple[float, ...] | None = None
+        # The inheritor checks itself, then walks successors (the replica
+        # holders were the crashed peer's successors — the inheritor first
+        # among them).
+        candidates = [inheritor, *successor_walk(self.network, inheritor, max(self.factor - 1, 0))]
+        for holder in candidates:
+            holders_asked += 1
+            self.network.record_rpc(MessageType.PREFIX_REQUEST, MessageType.PREFIX_REPLY)
+            if crashed_ident in holder.replicas:
+                snapshot = holder.replicas.pop(crashed_ident)
+                break
+        if snapshot is None:
+            return RecoveryReport(owner=crashed_ident, recovered=0, holders_asked=holders_asked)
+        recovered = 0
+        for value in snapshot:
+            owner = self.network.owner_of_value(value)
+            if value not in owner.store:
+                owner.store.insert(value)
+                recovered += 1
+        self.network.record(MessageType.DATA_TRANSFER)
+        return RecoveryReport(
+            owner=crashed_ident, recovered=recovered, holders_asked=holders_asked
+        )

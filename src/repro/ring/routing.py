@@ -1,0 +1,156 @@
+"""Cost-counted routing over the overlay.
+
+These functions implement Chord's iterative ``find_successor`` and plain
+successor walks using only node-local pointers, recording every hop in the
+network's message ledger.  They tolerate the stale pointers churn leaves
+behind: a hop to a departed peer costs a (counted) timeout and the router
+retries from the same node with that peer excluded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ring.messages import MessageType
+from repro.ring.network import NetworkError, RingNetwork
+from repro.ring.node import PeerNode
+
+__all__ = ["RouteResult", "route_to_key", "route_to_value", "successor_walk", "RoutingError"]
+
+
+class RoutingError(NetworkError):
+    """Raised when a lookup cannot make progress (partitioned overlay)."""
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of one lookup: the owning peer and what it cost."""
+
+    owner: PeerNode
+    hops: int
+    timeouts: int
+
+
+def route_to_key(
+    network: RingNetwork,
+    start: PeerNode,
+    key: int,
+    max_hops: int | None = None,
+) -> RouteResult:
+    """Route from ``start`` to the live peer owning ring position ``key``.
+
+    Every forwarding step costs one ``LOOKUP_HOP`` message; a step towards a
+    departed peer costs one hop (the timed-out probe) and is retried with
+    that peer excluded.  Raises :class:`RoutingError` if the hop budget is
+    exhausted, which only happens when churn has disconnected the overlay.
+    """
+    network.space.validate(key)
+    if max_hops is None:
+        # Generous default: stabilized Chord needs O(log N); churned rings
+        # may degenerate towards successor walking, so allow up to N + slack.
+        max_hops = 2 * network.n_peers + network.space.bits
+    current = start
+    hops = 0
+    timeouts = 0
+    if key == current.ident:
+        return RouteResult(owner=current, hops=0, timeouts=0)
+    # Local shortcut: a node whose *live* predecessor precedes the key can
+    # answer immediately.  (If the predecessor has departed, ownership is
+    # uncertain until stabilization, so fall through to standard routing.)
+    if current.predecessor_id is not None and network.try_node(current.predecessor_id):
+        if network.space.in_half_open(key, current.predecessor_id, current.ident):
+            return RouteResult(owner=current, hops=0, timeouts=0)
+    while True:
+        # Standard Chord termination: once key ∈ (current, successor], the
+        # successor is the owner.  Predecessor pointers are never consulted
+        # — they may be stale after a crash, but successor pointers define
+        # ownership and are what stabilization keeps correct.
+        excluded: set[int] = set()
+        successor_id = _live_successor(network, current, excluded)
+        if network.space.in_half_open(key, current.ident, successor_id):
+            owner = network.node(successor_id)
+            if owner.ident != current.ident:
+                # Final delivery hop, retransmitted until it gets through.
+                while True:
+                    network.record(MessageType.LOOKUP_HOP)
+                    hops += 1
+                    if network.delivery_succeeds():
+                        break
+            return RouteResult(owner=owner, hops=hops, timeouts=timeouts)
+        next_node = None
+        while next_node is None:
+            candidate = current.closest_preceding_finger(key, frozenset(excluded))
+            if candidate == current.ident:
+                # No live finger precedes the key: fall through to successor.
+                candidate = _live_successor(network, current, excluded)
+            resolved = network.try_node(candidate)
+            network.record(MessageType.LOOKUP_HOP)
+            hops += 1
+            if hops > max_hops:
+                raise RoutingError(
+                    f"lookup for key {key} exceeded {max_hops} hops from {start.ident}"
+                )
+            if not network.delivery_succeeds():
+                continue  # lost in transit: retransmit to the same candidate
+            if resolved is not None and resolved.alive:
+                next_node = resolved
+            else:
+                timeouts += 1
+                excluded.add(candidate)
+        if next_node.ident == current.ident:
+            raise RoutingError(f"lookup for key {key} stuck at peer {current.ident}")
+        current = next_node
+
+
+def _live_successor(network: RingNetwork, node: PeerNode, excluded: set[int]) -> int:
+    """The node's first live successor: primary pointer, then the list.
+
+    Chord's successor list is exactly this fallback: when the primary
+    successor has failed (and is in ``excluded`` after its timeout), the
+    node tries the next list entry.  Only if the *entire* list is dead —
+    which needs ``len(list)`` simultaneous adjacent failures between two
+    maintenance rounds — do we repair through the oracle, modelling the
+    out-of-band rejoin a real deployment would perform.
+    """
+    candidates = [node.successor_id, *node.successor_list]
+    for candidate in candidates:
+        if candidate in excluded or candidate == node.ident:
+            continue
+        resolved = network.try_node(candidate)
+        if resolved is not None and resolved.alive:
+            return candidate
+    return network._oracle_successor(network.space.add(node.ident, 1))
+
+
+def route_to_value(
+    network: RingNetwork,
+    start: PeerNode,
+    value: float,
+    max_hops: int | None = None,
+) -> RouteResult:
+    """Route to the peer owning a *data value* (order-preserving position)."""
+    return route_to_key(network, start, network.data_hash(value), max_hops=max_hops)
+
+
+def successor_walk(
+    network: RingNetwork,
+    start: PeerNode,
+    steps: int,
+) -> list[PeerNode]:
+    """Walk ``steps`` successor pointers from ``start``, counting each hop.
+
+    Returns the peers visited after each step (length ``steps``).  Departed
+    successors are skipped through the same repair path routing uses.
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    visited: list[PeerNode] = []
+    current = start
+    for _ in range(steps):
+        network.record(MessageType.SUCCESSOR_WALK)
+        succ = network.try_node(current.successor_id)
+        if succ is None or not succ.alive:
+            succ = network.node(_live_successor(network, current, set()))
+        current = succ
+        visited.append(current)
+    return visited

@@ -1,0 +1,98 @@
+"""Checkpointing: serialize a network's full state to JSON and back.
+
+Long experiments (churn campaigns, drift runs) benefit from reproducible
+snapshots: a checkpoint captures every peer's identifier, overlay pointers
+(including possibly-stale ones — they are state, not derivable), stored
+values, and replica snapshots, plus the network-level configuration.  The
+message ledger is *not* checkpointed: costs belong to a run, not a state.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.ring.identifier import IdentifierSpace
+from repro.ring.network import RingNetwork
+from repro.ring.node import PeerNode
+
+__all__ = ["network_to_dict", "network_from_dict", "save_network", "load_network"]
+
+_FORMAT_VERSION = 1
+
+
+def network_to_dict(network: RingNetwork) -> dict[str, Any]:
+    """Snapshot a network (peers, pointers, data, replicas) as plain data."""
+    peers = []
+    for node in network.peers():
+        peers.append(
+            {
+                "ident": node.ident,
+                "predecessor": node.predecessor_id,
+                "successor": node.successor_id,
+                "fingers": list(node.fingers),
+                "successor_list": list(node.successor_list),
+                "next_finger_index": node.next_finger_index,
+                "values": list(node.store.values()),
+                "replicas": {
+                    str(owner): list(snapshot)
+                    for owner, snapshot in node.replicas.items()
+                },
+            }
+        )
+    return {
+        "format_version": _FORMAT_VERSION,
+        "bits": network.space.bits,
+        "domain": list(network.domain),
+        "loss_rate": network.loss_rate,
+        "peers": peers,
+    }
+
+
+def network_from_dict(payload: dict[str, Any]) -> RingNetwork:
+    """Rebuild a network from a :func:`network_to_dict` snapshot.
+
+    Overlay pointers are restored verbatim (stale state is preserved);
+    only the oracle registry is reconstructed.  The restored network gets
+    a fresh ledger and a fresh default generator — pass reproducibility
+    concerns through your own seeds as usual.
+    """
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint format version: {version!r}")
+    space = IdentifierSpace(int(payload["bits"]))
+    domain = tuple(payload["domain"])
+    network = RingNetwork(space, domain=domain, loss_rate=float(payload["loss_rate"]))
+    for entry in payload["peers"]:
+        node = PeerNode(int(entry["ident"]), space)
+        node.predecessor_id = (
+            int(entry["predecessor"]) if entry["predecessor"] is not None else None
+        )
+        node.successor_id = int(entry["successor"])
+        node.fingers = [
+            int(f) if f is not None else None for f in entry["fingers"]
+        ]
+        node.successor_list = [int(s) for s in entry["successor_list"]]
+        node.next_finger_index = int(entry["next_finger_index"])
+        node.store.insert_many(float(v) for v in entry["values"])
+        node.replicas = {
+            int(owner): tuple(float(v) for v in snapshot)
+            for owner, snapshot in entry["replicas"].items()
+        }
+        network._register(node)
+    return network
+
+
+def save_network(network: RingNetwork, path: str | Path) -> Path:
+    """Write a JSON checkpoint; returns the written path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(network_to_dict(network)), encoding="utf-8")
+    return target
+
+
+def load_network(path: str | Path) -> RingNetwork:
+    """Read a JSON checkpoint written by :func:`save_network`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return network_from_dict(payload)

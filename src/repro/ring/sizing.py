@@ -1,0 +1,91 @@
+"""Network-size estimation from segment-length probes.
+
+Several estimators need (an estimate of) the number of live peers ``N``.
+In a ring overlay this is classic: a probe routed to a uniform ring
+position lands on a peer with probability proportional to its segment
+length ``ℓ``, and since segment lengths sum to the whole ring, the
+Horvitz–Thompson estimator
+
+    N̂ = (2^m / s) · Σ_i 1 / ℓ_i
+
+over ``s`` probes is unbiased for ``N``.  The same probes that feed the
+density estimator therefore also yield the size estimate for free — the
+implementation below accepts raw segment lengths so it can reuse them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.ring.messages import MessageType
+from repro.ring.network import RingNetwork
+from repro.ring.routing import route_to_key
+
+__all__ = ["SizeEstimate", "estimate_size_from_segments", "estimate_network_size"]
+
+
+@dataclass(frozen=True)
+class SizeEstimate:
+    """A network-size estimate with its sampling standard error."""
+
+    n_peers: float
+    std_error: float
+    probes: int
+
+    def relative_error(self, true_size: int) -> float:
+        """Signed relative error against a known true size."""
+        if true_size <= 0:
+            raise ValueError(f"true_size must be positive, got {true_size}")
+        return (self.n_peers - true_size) / true_size
+
+
+def estimate_size_from_segments(
+    segment_lengths: Sequence[int], ring_size: int
+) -> SizeEstimate:
+    """Horvitz–Thompson size estimate from probed segment lengths.
+
+    ``segment_lengths`` are the ownership-arc lengths of the peers hit by
+    uniform-position probes (with repetition — a long segment may be hit
+    more than once, and must be counted each time for unbiasedness).
+    """
+    lengths = np.asarray(segment_lengths, dtype=float)
+    if lengths.size == 0:
+        raise ValueError("need at least one probed segment")
+    if np.any(lengths <= 0):
+        raise ValueError("segment lengths must be positive")
+    weights = ring_size / lengths
+    estimate = float(weights.mean())
+    if lengths.size > 1:
+        std_error = float(weights.std(ddof=1) / np.sqrt(lengths.size))
+    else:
+        std_error = float("inf")
+    return SizeEstimate(n_peers=estimate, std_error=std_error, probes=int(lengths.size))
+
+
+def estimate_network_size(
+    network: RingNetwork,
+    probes: int,
+    rng: Optional[np.random.Generator] = None,
+) -> SizeEstimate:
+    """Estimate the live peer count with ``probes`` routed lookups.
+
+    Each probe routes from a random entry peer to a uniform ring position
+    and asks the owner for its segment length (one request/reply pair on
+    top of the routing hops).
+    """
+    if probes < 1:
+        raise ValueError(f"need at least one probe, got {probes}")
+    generator = rng if rng is not None else network.rng
+    lengths: list[int] = []
+    for _ in range(probes):
+        target = int(generator.integers(0, network.space.size, dtype=np.uint64))
+        entry = network.random_peer()
+        owner = route_to_key(network, entry, target).owner
+        network.record_rpc(
+            MessageType.PROBE_REQUEST, MessageType.PROBE_REPLY, reply_payload=1
+        )
+        lengths.append(owner.segment_length)
+    return estimate_size_from_segments(lengths, network.space.size)

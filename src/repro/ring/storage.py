@@ -1,0 +1,186 @@
+"""Per-peer local data store.
+
+Each peer stores the data items (scalar values) whose ring positions fall in
+its ownership interval.  The store keeps items sorted by value, which makes
+the operations the estimators need — counts, rank selection, range counts,
+and histogram synopses — logarithmic or linear in *local* size only.
+
+The store is deliberately value-oriented: the simulator never needs item
+payloads, and keeping bare floats lets a million-item network stay cheap.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["LocalStore"]
+
+
+class LocalStore:
+    """A sorted multiset of scalar data values held by one peer."""
+
+    def __init__(self, values: Iterable[float] = ()) -> None:
+        self._values: list[float] = sorted(float(v) for v in values)
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._values)
+
+    def __contains__(self, value: float) -> bool:
+        i = bisect.bisect_left(self._values, value)
+        return i < len(self._values) and self._values[i] == value
+
+    @property
+    def count(self) -> int:
+        """Number of items held (the ``c_p`` of the paper's analysis)."""
+        return len(self._values)
+
+    def values(self) -> Sequence[float]:
+        """Read-only view of the sorted values."""
+        return tuple(self._values)
+
+    def as_array(self) -> np.ndarray:
+        """Sorted values as a numpy array (copy)."""
+        return np.asarray(self._values, dtype=float)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, value: float) -> None:
+        """Insert one item, keeping sort order."""
+        bisect.insort(self._values, float(value))
+
+    def insert_many(self, values: Iterable[float]) -> None:
+        """Bulk insert; re-sorts once, cheaper than repeated inserts."""
+        incoming = [float(v) for v in values]
+        if not incoming:
+            return
+        self._values.extend(incoming)
+        self._values.sort()
+
+    def remove(self, value: float) -> bool:
+        """Remove one occurrence of ``value``; returns False if absent."""
+        i = bisect.bisect_left(self._values, value)
+        if i < len(self._values) and self._values[i] == value:
+            del self._values[i]
+            return True
+        return False
+
+    def pop_range(self, low: float, high: float) -> list[float]:
+        """Remove and return all items with ``low <= v < high``.
+
+        Used for data handoff when a joining peer takes over part of an
+        interval, or a leaving peer ships everything to its successor.
+        """
+        lo = bisect.bisect_left(self._values, low)
+        hi = bisect.bisect_left(self._values, high)
+        moved = self._values[lo:hi]
+        del self._values[lo:hi]
+        return moved
+
+    def pop_all(self) -> list[float]:
+        """Remove and return every item."""
+        moved = self._values
+        self._values = []
+        return moved
+
+    def pop_where(self, predicate) -> list[float]:
+        """Remove and return all items for which ``predicate(value)`` holds.
+
+        Needed for ownership handoff at joins: the boundary between two
+        peers is defined in ring-identifier space, which a pure value range
+        cannot express when the interval wraps the ring origin.
+        """
+        moved = [v for v in self._values if predicate(v)]
+        if moved:
+            self._values = [v for v in self._values if not predicate(v)]
+        return moved
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def rank_of(self, value: float) -> int:
+        """Number of stored items strictly less than ``value``."""
+        return bisect.bisect_left(self._values, value)
+
+    def count_leq(self, value: float) -> int:
+        """Number of stored items ``<= value`` — the local CDF numerator."""
+        return bisect.bisect_right(self._values, value)
+
+    def count_range(self, low: float, high: float) -> int:
+        """Number of items with ``low <= v < high``."""
+        return bisect.bisect_left(self._values, high) - bisect.bisect_left(self._values, low)
+
+    def kth(self, k: int) -> float:
+        """The item of local rank ``k`` (0-indexed, in sorted order).
+
+        This is the peer-local half of network-wide rank selection: once
+        rank routing has located the owning peer and the residual rank,
+        ``kth`` finishes the inversion.
+        """
+        if not 0 <= k < len(self._values):
+            raise IndexError(f"rank {k} outside [0, {len(self._values)})")
+        return self._values[k]
+
+    def min(self) -> float:
+        """Smallest stored value."""
+        if not self._values:
+            raise ValueError("empty store has no minimum")
+        return self._values[0]
+
+    def max(self) -> float:
+        """Largest stored value."""
+        if not self._values:
+            raise ValueError("empty store has no maximum")
+        return self._values[-1]
+
+    def histogram_range(self, low: float, high: float, buckets: int) -> np.ndarray:
+        """Equi-width bucket counts over ``[low, high)``, range-limited.
+
+        Unlike :meth:`histogram`, items outside the range are *excluded*
+        rather than clamped — needed when a peer's ownership wraps the ring
+        origin and its store spans two disjoint value ranges.
+        """
+        if buckets < 1:
+            raise ValueError(f"buckets must be >= 1, got {buckets}")
+        if not low < high:
+            raise ValueError(f"empty synopsis range [{low}, {high})")
+        lo = bisect.bisect_left(self._values, low)
+        hi = bisect.bisect_left(self._values, high)
+        counts = np.zeros(buckets, dtype=np.int64)
+        if lo == hi:
+            return counts
+        arr = np.asarray(self._values[lo:hi], dtype=float)
+        idx = np.floor((arr - low) / (high - low) * buckets).astype(np.int64)
+        np.clip(idx, 0, buckets - 1, out=idx)
+        np.add.at(counts, idx, 1)
+        return counts
+
+    def histogram(self, low: float, high: float, buckets: int) -> np.ndarray:
+        """Equi-width bucket counts of local items over ``[low, high)``.
+
+        This is the constant-size synopsis a peer ships in a probe reply.
+        Items outside the range (possible transiently during churn) are
+        clamped into the edge buckets so the synopsis total always equals
+        the local count.
+        """
+        if buckets < 1:
+            raise ValueError(f"buckets must be >= 1, got {buckets}")
+        if not low < high:
+            raise ValueError(f"empty synopsis range [{low}, {high})")
+        counts = np.zeros(buckets, dtype=np.int64)
+        if not self._values:
+            return counts
+        arr = np.asarray(self._values, dtype=float)
+        idx = np.floor((arr - low) / (high - low) * buckets).astype(np.int64)
+        np.clip(idx, 0, buckets - 1, out=idx)
+        np.add.at(counts, idx, 1)
+        return counts

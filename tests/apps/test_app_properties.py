@@ -1,0 +1,98 @@
+"""Property-based consistency laws across the application layer."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.aggregates import AggregateEngine
+from repro.apps.histogram import build_equi_depth_histogram
+from repro.core.adaptive import AdaptiveDensityEstimator
+from repro.data.workload import RangeQuery
+
+from tests.conftest import make_loaded_network
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    network, _ = make_loaded_network(n_peers=48, n_items=4_000)
+    estimate = AdaptiveDensityEstimator(probes=48).estimate(
+        network, rng=np.random.default_rng(0)
+    )
+    return network, estimate
+
+
+bounds = st.tuples(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+).map(sorted).filter(lambda pair: pair[1] - pair[0] > 1e-6)
+
+
+class TestAggregateLaws:
+    @SETTINGS
+    @given(pair=bounds, split_frac=st.floats(min_value=0.1, max_value=0.9))
+    def test_count_additive_over_splits(self, world, pair, split_frac):
+        """COUNT[a,c) == COUNT[a,b) + COUNT[b,c) for any split point b."""
+        _, estimate = world
+        engine = AggregateEngine(estimate)
+        low, high = pair
+        mid = low + split_frac * (high - low)
+        whole = engine.query(RangeQuery(low, high)).count
+        left = engine.query(RangeQuery(low, mid)).count if mid > low else 0.0
+        right = engine.query(RangeQuery(mid, high)).count if high > mid else 0.0
+        assert whole == pytest.approx(left + right, rel=1e-6, abs=1e-6)
+
+    @SETTINGS
+    @given(pair=bounds)
+    def test_sum_bounded_by_count_times_range(self, world, pair):
+        """SUM over [a,b) lies in [a·COUNT, b·COUNT]."""
+        _, estimate = world
+        engine = AggregateEngine(estimate)
+        low, high = pair
+        answer = engine.query(RangeQuery(low, high))
+        if answer.count > 1e-9:
+            assert low * answer.count <= answer.total + 1e-6
+            assert answer.total <= high * answer.count + 1e-6
+
+    @SETTINGS
+    @given(pair=bounds)
+    def test_median_inside_range(self, world, pair):
+        _, estimate = world
+        engine = AggregateEngine(estimate)
+        low, high = pair
+        answer = engine.query(RangeQuery(low, high))
+        if answer.count > 1e-6 and not np.isnan(answer.median):
+            assert low - 1e-9 <= answer.median <= high + 1e-9
+
+
+class TestHistogramLaws:
+    @SETTINGS
+    @given(buckets=st.integers(min_value=1, max_value=64))
+    def test_histogram_selectivities_sum_to_one(self, world, buckets):
+        """Summing the histogram's own bucket selectivities gives 1."""
+        _, estimate = world
+        histogram = build_equi_depth_histogram(estimate, buckets)
+        total = sum(
+            histogram.selectivity(
+                float(histogram.boundaries[i]), float(histogram.boundaries[i + 1])
+            )
+            for i in range(buckets)
+        )
+        assert total == pytest.approx(1.0, abs=0.02)
+
+    @SETTINGS
+    @given(pair=bounds)
+    def test_histogram_tracks_estimate_selectivity(self, world, pair):
+        """The 64-bucket histogram approximates the estimate it came from."""
+        _, estimate = world
+        histogram = build_equi_depth_histogram(estimate, 64)
+        low, high = pair
+        assert histogram.selectivity(low, high) == pytest.approx(
+            estimate.selectivity(low, high), abs=0.05
+        )

@@ -1,0 +1,73 @@
+"""Tests for the global sampling service."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.apps.sampling_service import SamplingService
+from repro.core.estimator import DistributionFreeEstimator
+
+from tests.conftest import make_loaded_network
+
+
+@pytest.fixture(scope="module")
+def service_world():
+    network, _ = make_loaded_network(n_peers=48, n_items=4_000)
+    service = SamplingService(
+        network,
+        estimator=DistributionFreeEstimator(probes=48),
+        rng=np.random.default_rng(7),
+    )
+    return network, service
+
+
+class TestSamplingService:
+    def test_model_mode_lazy_builds_estimate(self, service_world):
+        network, service = service_world
+        samples = service.sample(100, mode="model")
+        assert samples.size == 100
+        assert service.estimate is not None
+
+    def test_model_samples_cost_nothing_after_estimate(self, service_world):
+        network, service = service_world
+        service.sample(1, mode="model")  # ensure model exists
+        before = network.stats.messages
+        service.sample(500, mode="model")
+        assert network.stats.messages == before
+
+    def test_exact_mode_lazy_builds_index(self, service_world):
+        network, service = service_world
+        samples = service.sample(50, mode="exact")
+        assert samples.size == 50
+        assert service.index is not None
+
+    def test_exact_samples_cost_messages(self, service_world):
+        network, service = service_world
+        service.sample(1, mode="exact")
+        before = network.stats.messages
+        service.sample(20, mode="exact")
+        assert network.stats.messages > before
+
+    def test_both_modes_match_data_distribution(self, service_world):
+        network, service = service_world
+        values = network.all_values()
+        model = service.sample(1500, mode="model")
+        exact = service.sample(1500, mode="exact")
+        assert scipy_stats.ks_2samp(exact, values).pvalue > 0.001
+        # Model samples carry estimation error; still close.
+        assert scipy_stats.ks_2samp(model, values).statistic < 0.1
+
+    def test_refresh_model_returns_estimate(self, service_world):
+        _, service = service_world
+        estimate = service.refresh_model()
+        assert estimate is service.estimate
+
+    def test_unknown_mode_rejected(self, service_world):
+        _, service = service_world
+        with pytest.raises(ValueError):
+            service.sample(1, mode="quantum")
+
+    def test_negative_rejected(self, service_world):
+        _, service = service_world
+        with pytest.raises(ValueError):
+            service.sample(-1)

@@ -1,0 +1,69 @@
+"""Shared fixtures: small pre-built networks reused by read-only tests.
+
+Fixtures here are module- or session-scoped for speed; tests that mutate
+network state (churn, joins) must build their own instances instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cdf import empirical_cdf
+from repro.data.workload import build_dataset
+from repro.ring.identifier import IdentifierSpace
+from repro.ring.network import RingNetwork
+
+
+@pytest.fixture(scope="session")
+def space() -> IdentifierSpace:
+    """The default 64-bit identifier space."""
+    return IdentifierSpace(64)
+
+
+@pytest.fixture(scope="session")
+def small_space() -> IdentifierSpace:
+    """A tiny 8-bit space where exhaustive checks are feasible."""
+    return IdentifierSpace(8)
+
+
+def make_loaded_network(
+    distribution: str = "normal",
+    n_peers: int = 64,
+    n_items: int = 5_000,
+    seed: int = 42,
+    **dist_params,
+):
+    """Build a stabilized, loaded network plus its ground truth."""
+    dataset = build_dataset(distribution, n_items, seed=seed, **dist_params)
+    network = RingNetwork.create(
+        n_peers, domain=dataset.distribution.domain.as_tuple(), seed=seed + 1
+    )
+    network.load_data(dataset.values)
+    network.reset_stats()
+    return network, dataset
+
+
+@pytest.fixture(scope="module")
+def normal_network():
+    """64 peers, 5000 normal-distributed items (read-only use)."""
+    return make_loaded_network("normal")
+
+
+@pytest.fixture(scope="module")
+def zipf_network():
+    """64 peers, 5000 zipf-skewed items (read-only use)."""
+    return make_loaded_network("zipf")
+
+
+@pytest.fixture(scope="module")
+def normal_truth(normal_network):
+    """Empirical CDF of the normal network's stored values."""
+    network, _ = normal_network
+    return empirical_cdf(network.all_values())
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh fixed-seed generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,108 @@
+"""Tests for the adaptive two-phase estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveDensityEstimator, allocate_refinement_probes
+from repro.core.estimator import DistributionFreeEstimator
+from repro.core.metrics import evaluate_estimate
+
+from tests.conftest import make_loaded_network
+
+
+class TestAllocation:
+    def test_proportional_to_mass(self):
+        gaps = ((0.0, 0.1, 90.0), (0.1, 0.2, 10.0))
+        allocation = allocate_refinement_probes(gaps, 10)
+        amounts = {(lo, hi): n for lo, hi, n in allocation}
+        assert amounts[(0.0, 0.1)] == 9
+        assert amounts[(0.1, 0.2)] == 1
+
+    def test_budget_exactly_spent(self):
+        gaps = ((0.0, 0.1, 1.0), (0.1, 0.2, 1.0), (0.2, 0.3, 1.0))
+        allocation = allocate_refinement_probes(gaps, 7)
+        assert sum(n for _, _, n in allocation) == 7
+
+    def test_zero_mass_gaps_skipped(self):
+        gaps = ((0.0, 0.1, 5.0), (0.1, 0.2, 0.0))
+        allocation = allocate_refinement_probes(gaps, 4)
+        assert all(lo == 0.0 for lo, _, _ in allocation)
+
+    def test_all_zero_spreads_evenly(self):
+        gaps = ((0.0, 0.1, 0.0), (0.1, 0.2, 0.0))
+        allocation = allocate_refinement_probes(gaps, 4)
+        assert sum(n for _, _, n in allocation) == 4
+
+    def test_empty_inputs(self):
+        assert allocate_refinement_probes((), 5) == []
+        assert allocate_refinement_probes(((0.0, 1.0, 1.0),), 0) == []
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_refinement_probes(((0.0, 1.0, 1.0),), -1)
+
+
+class TestAdaptiveEstimator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveDensityEstimator(probes=1)
+        with pytest.raises(ValueError):
+            AdaptiveDensityEstimator(scout_fraction=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveDensityEstimator(scout_fraction=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveDensityEstimator(synopsis_buckets=0)
+
+    def test_basic_estimate(self):
+        network, _ = make_loaded_network(n_peers=64, n_items=3_000)
+        from repro.core.cdf import empirical_cdf
+
+        truth = empirical_cdf(network.all_values())
+        estimate = AdaptiveDensityEstimator(probes=32).estimate(
+            network, rng=np.random.default_rng(0)
+        )
+        report = evaluate_estimate(estimate.cdf, truth, network.domain)
+        assert report.ks < 0.1
+        assert estimate.method == "adaptive"
+
+    def test_beats_one_shot_on_skew(self):
+        """The headline: adaptive wins decisively on concentrated data."""
+        network, _ = make_loaded_network(
+            "zipf", n_peers=256, n_items=20_000, seed=3, alpha=1.0
+        )
+        from repro.core.cdf import empirical_cdf
+
+        truth = empirical_cdf(network.all_values())
+
+        def mean_ks(estimator):
+            return np.mean([
+                evaluate_estimate(
+                    estimator.estimate(network, rng=np.random.default_rng(rep)).cdf,
+                    truth,
+                    network.domain,
+                ).ks
+                for rep in range(4)
+            ])
+
+        adaptive = mean_ks(AdaptiveDensityEstimator(probes=48))
+        one_shot = mean_ks(DistributionFreeEstimator(probes=48))
+        assert adaptive < one_shot / 2
+
+    def test_probe_budget_respected(self):
+        network, _ = make_loaded_network(n_peers=64, n_items=1_000)
+        estimate = AdaptiveDensityEstimator(probes=20).estimate(
+            network, rng=np.random.default_rng(1)
+        )
+        # probes reported = scout + refinement actually issued (≤ budget,
+        # and ≥ scout phase size).
+        assert 10 <= estimate.probes <= 20
+
+    def test_volume_estimate_reasonable(self):
+        network, _ = make_loaded_network(n_peers=64, n_items=4_000)
+        estimates = [
+            AdaptiveDensityEstimator(probes=32).estimate(
+                network, rng=np.random.default_rng(rep)
+            )
+            for rep in range(5)
+        ]
+        assert np.mean([e.n_items for e in estimates]) == pytest.approx(4_000, rel=0.25)

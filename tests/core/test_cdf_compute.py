@@ -1,0 +1,94 @@
+"""Tests for the exact global-CDF algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core.cdf import empirical_cdf
+from repro.core.cdf_compute import (
+    ExactCdfEstimator,
+    compute_global_cdf_broadcast,
+    compute_global_cdf_traversal,
+)
+from repro.core.metrics import ks_distance
+from repro.ring.messages import MessageType
+
+from tests.conftest import make_loaded_network
+
+
+@pytest.fixture(scope="module")
+def world():
+    network, dataset = make_loaded_network(n_peers=48, n_items=3_000)
+    truth = empirical_cdf(network.all_values())
+    return network, dataset, truth
+
+
+class TestTraversal:
+    def test_visits_every_peer(self, world):
+        network, _, _ = world
+        estimate = compute_global_cdf_traversal(network)
+        assert estimate.probes == network.n_peers
+        assert estimate.n_peers == network.n_peers
+
+    def test_exact_totals(self, world):
+        network, dataset, _ = world
+        estimate = compute_global_cdf_traversal(network)
+        assert estimate.n_items == dataset.size
+
+    def test_accuracy_bounded_by_synopsis(self, world):
+        network, _, truth = world
+        estimate = compute_global_cdf_traversal(network, buckets=32)
+        grid = np.linspace(*network.domain, 400)
+        assert ks_distance(estimate.cdf, truth, grid) < 0.02
+
+    def test_cost_is_linear_in_peers(self, world):
+        network, _, _ = world
+        network.reset_stats()
+        estimate = compute_global_cdf_traversal(network)
+        assert estimate.cost.hops == network.n_peers - 1
+        assert estimate.cost.messages >= 3 * network.n_peers - 1
+
+    def test_empty_network_data_rejected(self):
+        network, _ = make_loaded_network(n_peers=4, n_items=0)
+        with pytest.raises(ValueError):
+            compute_global_cdf_traversal(network)
+
+
+class TestBroadcast:
+    def test_visits_every_peer_once(self, world):
+        network, _, _ = world
+        estimate = compute_global_cdf_broadcast(network)
+        assert estimate.probes == network.n_peers
+
+    def test_matches_traversal(self, world):
+        network, _, _ = world
+        traversal = compute_global_cdf_traversal(network)
+        broadcast = compute_global_cdf_broadcast(network)
+        grid = np.linspace(*network.domain, 300)
+        assert ks_distance(traversal.cdf, broadcast.cdf, grid) < 1e-9
+
+    def test_message_cost_linear(self, world):
+        network, _, _ = world
+        network.reset_stats()
+        compute_global_cdf_broadcast(network)
+        # 2 messages per non-root peer (delegation + reply), no routing hops.
+        assert network.stats.count_of(MessageType.PREFIX_REQUEST) == network.n_peers - 1
+        assert network.stats.hops == 0
+
+    def test_single_peer(self):
+        network, _ = make_loaded_network(n_peers=1, n_items=100)
+        estimate = compute_global_cdf_broadcast(network)
+        assert estimate.probes == 1
+        assert estimate.n_items == 100
+
+
+class TestEstimatorWrapper:
+    def test_strategies(self, world):
+        network, _, _ = world
+        for strategy in ("broadcast", "traversal"):
+            estimate = ExactCdfEstimator(strategy=strategy).estimate(network)
+            assert estimate.probes == network.n_peers
+
+    def test_unknown_strategy(self, world):
+        network, _, _ = world
+        with pytest.raises(ValueError):
+            ExactCdfEstimator(strategy="magic").estimate(network)

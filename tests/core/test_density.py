@@ -1,0 +1,78 @@
+"""Tests for density reconstruction from CDFs."""
+
+import numpy as np
+import pytest
+
+from repro.core.cdf import PiecewiseCDF
+from repro.core.density import DensityCurve, density_from_cdf, smoothed_density_from_cdf
+
+UNIFORM = PiecewiseCDF([0.0, 1.0], [0.0, 1.0])
+
+
+class TestDensityFromCdf:
+    def test_uniform_density_flat(self):
+        curve = density_from_cdf(UNIFORM, (0.0, 1.0), cells=16)
+        np.testing.assert_allclose(curve.density, np.ones(16))
+
+    def test_total_mass_near_one(self):
+        curve = density_from_cdf(UNIFORM, (0.0, 1.0), cells=64)
+        assert curve.total_mass == pytest.approx(1.0, abs=0.05)
+
+    def test_midpoints_inside_domain(self):
+        curve = density_from_cdf(UNIFORM, (0.0, 1.0), cells=8)
+        assert curve.midpoints.min() > 0.0
+        assert curve.midpoints.max() < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            density_from_cdf(UNIFORM, (1.0, 0.0))
+        with pytest.raises(ValueError):
+            density_from_cdf(UNIFORM, (0.0, 1.0), cells=0)
+
+    def test_at_interpolates(self):
+        curve = density_from_cdf(UNIFORM, (0.0, 1.0), cells=16)
+        assert curve.at(0.5) == pytest.approx(1.0)
+
+    def test_mode_location(self):
+        peaked = PiecewiseCDF([0.0, 0.45, 0.55, 1.0], [0.0, 0.1, 0.9, 1.0])
+        curve = density_from_cdf(peaked, (0.0, 1.0), cells=64)
+        assert abs(curve.mode() - 0.5) < 0.1
+
+
+class TestSmoothedDensity:
+    def test_smoothing_preserves_mass(self):
+        step = PiecewiseCDF.from_samples(np.random.default_rng(0).normal(0.5, 0.1, 500))
+        raw = density_from_cdf(step, (0.0, 1.0), cells=64)
+        smooth = smoothed_density_from_cdf(step, (0.0, 1.0), cells=64)
+        assert smooth.total_mass == pytest.approx(raw.total_mass, rel=0.05)
+
+    def test_smoothing_reduces_roughness(self):
+        step = PiecewiseCDF.from_samples(np.random.default_rng(0).uniform(size=200))
+        raw = density_from_cdf(step, (0.0, 1.0), cells=64)
+        smooth = smoothed_density_from_cdf(step, (0.0, 1.0), cells=64, bandwidth=0.05)
+        raw_roughness = float(np.abs(np.diff(raw.density)).sum())
+        smooth_roughness = float(np.abs(np.diff(smooth.density)).sum())
+        assert smooth_roughness < raw_roughness
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            smoothed_density_from_cdf(UNIFORM, (0.0, 1.0), bandwidth=-0.1)
+
+    def test_large_bandwidth_clamped(self):
+        # Bandwidth far wider than the domain must not crash.
+        curve = smoothed_density_from_cdf(UNIFORM, (0.0, 1.0), cells=16, bandwidth=10.0)
+        assert np.all(curve.density >= 0)
+
+
+class TestDensityCurve:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            DensityCurve(np.zeros(3), np.zeros(4))
+
+    def test_negative_density_rejected(self):
+        with pytest.raises(ValueError):
+            DensityCurve(np.array([0.5]), np.array([-1.0]))
+
+    def test_tiny_curve_mass_zero(self):
+        curve = DensityCurve(np.array([0.5]), np.array([1.0]))
+        assert curve.total_mass == 0.0

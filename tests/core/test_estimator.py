@@ -1,0 +1,140 @@
+"""Tests for the distribution-free estimator (the paper's method)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimate import DensityEstimate
+from repro.core.estimator import DensityEstimator, DistributionFreeEstimator
+from repro.core.metrics import evaluate_estimate
+
+from tests.conftest import make_loaded_network
+
+
+@pytest.fixture(scope="module")
+def normal_world():
+    network, dataset = make_loaded_network(n_peers=128, n_items=8_000)
+    from repro.core.cdf import empirical_cdf
+
+    return network, empirical_cdf(network.all_values())
+
+
+class TestConfiguration:
+    def test_defaults_valid(self):
+        DistributionFreeEstimator()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistributionFreeEstimator(probes=0)
+        with pytest.raises(ValueError):
+            DistributionFreeEstimator(synopsis_buckets=0)
+        with pytest.raises(ValueError):
+            DistributionFreeEstimator(combine="average")
+
+    def test_satisfies_protocol(self):
+        assert isinstance(DistributionFreeEstimator(), DensityEstimator)
+
+
+class TestEstimate:
+    def test_returns_density_estimate(self, normal_world):
+        network, _ = normal_world
+        estimate = DistributionFreeEstimator(probes=16).estimate(
+            network, rng=np.random.default_rng(0)
+        )
+        assert isinstance(estimate, DensityEstimate)
+        assert estimate.probes == 16
+        assert estimate.method == "distribution-free"
+
+    def test_accuracy_threshold(self, normal_world):
+        network, truth = normal_world
+        estimate = DistributionFreeEstimator(probes=64).estimate(
+            network, rng=np.random.default_rng(1)
+        )
+        report = evaluate_estimate(estimate.cdf, truth, network.domain)
+        assert report.ks < 0.10
+
+    def test_error_shrinks_with_probes(self, normal_world):
+        """The O(1/sqrt(s)) convergence trend, averaged over seeds."""
+        network, truth = normal_world
+        mean_ks = {}
+        for probes in (8, 128):
+            errors = [
+                evaluate_estimate(
+                    DistributionFreeEstimator(probes=probes)
+                    .estimate(network, rng=np.random.default_rng(rep))
+                    .cdf,
+                    truth,
+                    network.domain,
+                ).ks
+                for rep in range(6)
+            ]
+            mean_ks[probes] = np.mean(errors)
+        assert mean_ks[128] < mean_ks[8]
+
+    def test_cost_scales_with_probes(self, normal_world):
+        network, _ = normal_world
+        small = DistributionFreeEstimator(probes=8).estimate(
+            network, rng=np.random.default_rng(2)
+        )
+        large = DistributionFreeEstimator(probes=64).estimate(
+            network, rng=np.random.default_rng(2)
+        )
+        assert large.messages > 4 * small.messages
+
+    def test_cost_attribution_is_exact(self, normal_world):
+        """The estimate's cost delta equals the ledger's growth."""
+        network, _ = normal_world
+        before = network.stats.messages
+        estimate = DistributionFreeEstimator(probes=16).estimate(
+            network, rng=np.random.default_rng(3)
+        )
+        assert network.stats.messages - before == estimate.messages
+
+    def test_mixture_mode(self, normal_world):
+        network, truth = normal_world
+        estimate = DistributionFreeEstimator(probes=64, combine="mixture").estimate(
+            network, rng=np.random.default_rng(4)
+        )
+        report = evaluate_estimate(estimate.cdf, truth, network.domain)
+        assert report.ks < 0.3
+
+    def test_interpolate_beats_mixture(self, normal_world):
+        """The A3 ablation, asserted as an invariant over seed averages."""
+        network, truth = normal_world
+        def mean_ks(combine):
+            return np.mean([
+                evaluate_estimate(
+                    DistributionFreeEstimator(probes=32, combine=combine)
+                    .estimate(network, rng=np.random.default_rng(rep))
+                    .cdf,
+                    truth,
+                    network.domain,
+                ).ks
+                for rep in range(6)
+            ])
+        assert mean_ks("interpolate") < mean_ks("mixture")
+
+    def test_volume_and_size_estimates(self, normal_world):
+        network, _ = normal_world
+        estimates = [
+            DistributionFreeEstimator(probes=48).estimate(
+                network, rng=np.random.default_rng(rep)
+            )
+            for rep in range(8)
+        ]
+        assert np.mean([e.n_items for e in estimates]) == pytest.approx(8_000, rel=0.2)
+        assert np.mean([e.n_peers for e in estimates]) == pytest.approx(128, rel=0.2)
+
+    def test_stratified_placement(self, normal_world):
+        network, truth = normal_world
+        estimate = DistributionFreeEstimator(probes=32, placement="stratified").estimate(
+            network, rng=np.random.default_rng(5)
+        )
+        report = evaluate_estimate(estimate.cdf, truth, network.domain)
+        assert report.ks < 0.15
+
+    def test_deterministic_given_rng(self, normal_world):
+        network, _ = normal_world
+        a = DistributionFreeEstimator(probes=16).estimate(network, rng=np.random.default_rng(9))
+        b = DistributionFreeEstimator(probes=16).estimate(network, rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(a.cdf.xs, b.cdf.xs)
+        np.testing.assert_array_equal(a.cdf.fs, b.cdf.fs)

@@ -1,0 +1,165 @@
+"""Property-based tests: estimator invariants over randomised worlds.
+
+Hypothesis drives network size, data volume, distribution choice, probe
+budget, and seeds; the invariants below must hold for *every* draw —
+valid CDF output, domain pinning, positive size estimates, exact cost
+attribution, and monotone quantiles.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive import AdaptiveDensityEstimator
+from repro.core.estimator import DistributionFreeEstimator
+from repro.data.distributions import DISTRIBUTION_NAMES
+
+from tests.conftest import make_loaded_network
+
+# Small worlds keep each hypothesis example fast.
+world_strategy = st.fixed_dictionaries(
+    {
+        "distribution": st.sampled_from(DISTRIBUTION_NAMES),
+        "n_peers": st.integers(min_value=4, max_value=48),
+        "n_items": st.integers(min_value=50, max_value=1_500),
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "probes": st.integers(min_value=2, max_value=32),
+    }
+)
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def build_world(params):
+    network, dataset = make_loaded_network(
+        params["distribution"],
+        n_peers=params["n_peers"],
+        n_items=params["n_items"],
+        seed=params["seed"],
+    )
+    return network, dataset
+
+
+def estimate_or_skip(estimator, network, rng):
+    """Run an estimator, treating the documented no-evidence error as a
+    valid outcome on degenerate worlds (all probed peers empty)."""
+    try:
+        return estimator.estimate(network, rng=rng)
+    except ValueError as exc:
+        assert "empty" in str(exc)
+        return None
+
+
+@SETTINGS
+@given(params=world_strategy)
+def test_dfde_output_is_valid_cdf(params):
+    network, _ = build_world(params)
+    estimate = estimate_or_skip(
+        DistributionFreeEstimator(probes=params["probes"]),
+        network,
+        np.random.default_rng(params["seed"]),
+    )
+    if estimate is None:
+        return
+    low, high = network.domain
+    grid = np.linspace(low, high, 64)
+    values = np.asarray(estimate.cdf(grid))
+    assert np.all(np.diff(values) >= -1e-9)
+    assert values[0] >= -1e-9
+    assert values[-1] == pytest.approx(1.0, abs=1e-9)
+    assert float(estimate.cdf(low)) <= 1e-9 + float(estimate.cdf(high))
+
+
+@SETTINGS
+@given(params=world_strategy)
+def test_adaptive_output_is_valid_cdf(params):
+    network, _ = build_world(params)
+    estimate = estimate_or_skip(
+        AdaptiveDensityEstimator(probes=max(params["probes"], 2)),
+        network,
+        np.random.default_rng(params["seed"]),
+    )
+    if estimate is None:
+        return
+    grid = np.linspace(*network.domain, 64)
+    values = np.asarray(estimate.cdf(grid))
+    assert np.all(np.diff(values) >= -1e-9)
+    assert values[-1] == pytest.approx(1.0, abs=1e-9)
+
+
+@SETTINGS
+@given(params=world_strategy)
+def test_estimates_are_positive_and_cost_attributed(params):
+    network, _ = build_world(params)
+    before = network.stats.messages
+    estimate = estimate_or_skip(
+        DistributionFreeEstimator(probes=params["probes"]),
+        network,
+        np.random.default_rng(params["seed"] + 1),
+    )
+    if estimate is None:
+        return
+    assert estimate.n_items > 0
+    assert estimate.n_peers > 0
+    assert estimate.messages == network.stats.messages - before
+    assert estimate.hops <= estimate.messages
+    assert estimate.payload > 0
+    assert estimate.latency_rounds >= 2
+
+
+@SETTINGS
+@given(params=world_strategy, levels=st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=2, max_size=8
+))
+def test_quantiles_monotone_in_level(params, levels):
+    network, _ = build_world(params)
+    estimate = estimate_or_skip(
+        DistributionFreeEstimator(probes=params["probes"]),
+        network,
+        np.random.default_rng(params["seed"] + 2),
+    )
+    if estimate is None:
+        return
+    ordered = sorted(levels)
+    quantiles = [float(estimate.quantile(q)) for q in ordered]
+    assert all(a <= b + 1e-9 for a, b in zip(quantiles, quantiles[1:]))
+
+
+@SETTINGS
+@given(params=world_strategy)
+def test_samples_stay_in_domain(params):
+    network, _ = build_world(params)
+    estimate = estimate_or_skip(
+        DistributionFreeEstimator(probes=params["probes"]),
+        network,
+        np.random.default_rng(params["seed"] + 3),
+    )
+    if estimate is None:
+        return
+    samples = estimate.sample(200, rng=np.random.default_rng(params["seed"] + 4))
+    low, high = network.domain
+    assert samples.min() >= low - 1e-9
+    assert samples.max() <= high + 1e-9
+
+
+@SETTINGS
+@given(params=world_strategy)
+def test_selectivity_additive(params):
+    network, _ = build_world(params)
+    estimate = estimate_or_skip(
+        DistributionFreeEstimator(probes=params["probes"]),
+        network,
+        np.random.default_rng(params["seed"] + 5),
+    )
+    if estimate is None:
+        return
+    low, high = network.domain
+    mid = (low + high) / 2
+    left = estimate.selectivity(low, mid)
+    right = estimate.selectivity(mid, high)
+    assert left + right == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,72 @@
+"""Tests for inversion-method samplers."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.core.cdf import PiecewiseCDF
+from repro.core.inversion import InversionSampler, inverse_transform_sample
+
+TRIANGULAR = PiecewiseCDF([0.0, 0.5, 1.0], [0.0, 0.8, 1.0], kind="linear")
+
+
+class TestInverseTransform:
+    def test_sample_shape(self):
+        out = inverse_transform_sample(TRIANGULAR, 100, np.random.default_rng(0))
+        assert out.shape == (100,)
+
+    def test_follows_cdf(self):
+        out = inverse_transform_sample(TRIANGULAR, 5000, np.random.default_rng(1))
+        result = scipy_stats.kstest(out, lambda x: np.asarray(TRIANGULAR(x)))
+        assert result.pvalue > 0.001
+
+    def test_default_rng(self):
+        assert inverse_transform_sample(TRIANGULAR, 10).size == 10
+
+
+class TestInversionSampler:
+    def test_plain_sampling(self):
+        sampler = InversionSampler(TRIANGULAR, np.random.default_rng(2))
+        out = sampler.sample(100)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_negative_rejected(self):
+        sampler = InversionSampler(TRIANGULAR)
+        with pytest.raises(ValueError):
+            sampler.sample(-1)
+        with pytest.raises(ValueError):
+            sampler.sample_antithetic(-1)
+        with pytest.raises(ValueError):
+            sampler.sample_stratified(-1)
+
+    def test_antithetic_marginal_correct(self):
+        sampler = InversionSampler(TRIANGULAR, np.random.default_rng(3))
+        out = sampler.sample_antithetic(5000)
+        result = scipy_stats.kstest(out, lambda x: np.asarray(TRIANGULAR(x)))
+        assert result.pvalue > 0.001
+
+    def test_antithetic_odd_count(self):
+        sampler = InversionSampler(TRIANGULAR, np.random.default_rng(4))
+        assert sampler.sample_antithetic(7).size == 7
+
+    def test_antithetic_reduces_mean_variance(self):
+        plain_means, anti_means = [], []
+        for rep in range(200):
+            sampler = InversionSampler(TRIANGULAR, np.random.default_rng(rep))
+            plain_means.append(sampler.sample(40).mean())
+            sampler = InversionSampler(TRIANGULAR, np.random.default_rng(rep + 10_000))
+            anti_means.append(sampler.sample_antithetic(40).mean())
+        assert np.var(anti_means) < np.var(plain_means)
+
+    def test_stratified_covers_quantiles(self):
+        sampler = InversionSampler(TRIANGULAR, np.random.default_rng(5))
+        out = np.sort(sampler.sample_stratified(100))
+        # Every 1%-quantile stratum contributes exactly one draw, so the
+        # empirical CDF is within 1/n of the target everywhere.
+        target = np.asarray(TRIANGULAR(out))
+        empirical = (np.arange(100) + 0.5) / 100
+        assert np.max(np.abs(target - empirical)) <= 0.011
+
+    def test_stratified_zero(self):
+        sampler = InversionSampler(TRIANGULAR)
+        assert sampler.sample_stratified(0).size == 0

@@ -1,0 +1,180 @@
+"""Tests for the synthetic distribution zoo.
+
+Each distribution must satisfy the analytic contracts the estimators rely
+on: a proper CDF over its bounded domain, a density consistent with the
+CDF, and samples that actually follow the CDF (checked with a KS test).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.data.distributions import (
+    DISTRIBUTION_NAMES,
+    BoundedPareto,
+    MixtureDistribution,
+    TruncatedExponential,
+    TruncatedNormal,
+    UniformDistribution,
+    bimodal_mixture,
+    make_distribution,
+)
+from repro.data.domain import Domain
+
+ALL_DISTRIBUTIONS = [make_distribution(name) for name in DISTRIBUTION_NAMES]
+
+
+@pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS, ids=lambda d: d.name)
+class TestCdfContracts:
+    def test_cdf_boundary_values(self, dist):
+        assert dist.cdf(dist.domain.low) == pytest.approx(0.0, abs=1e-9)
+        assert dist.cdf(dist.domain.high) == pytest.approx(1.0, abs=1e-9)
+
+    def test_cdf_monotone(self, dist):
+        grid = dist.domain.grid(400)
+        values = dist.cdf(grid)
+        assert np.all(np.diff(values) >= -1e-12)
+
+    def test_cdf_range(self, dist):
+        grid = dist.domain.grid(200)
+        values = np.asarray(dist.cdf(grid))
+        assert np.all(values >= -1e-12)
+        assert np.all(values <= 1 + 1e-12)
+
+    def test_pdf_nonnegative(self, dist):
+        grid = dist.domain.grid(200)
+        assert np.all(np.asarray(dist.pdf(grid)) >= 0)
+
+    def test_pdf_integrates_to_one(self, dist):
+        grid = dist.domain.grid(4000)
+        mass = np.trapezoid(np.asarray(dist.pdf(grid)), grid)
+        assert mass == pytest.approx(1.0, abs=2e-2)
+
+    def test_pdf_is_cdf_derivative(self, dist):
+        grid = dist.domain.grid(2000)
+        cdf_diff = np.diff(np.asarray(dist.cdf(grid))) / np.diff(grid)
+        midpoints = 0.5 * (grid[:-1] + grid[1:])
+        pdf_mid = np.asarray(dist.pdf(midpoints))
+        # Compare where density is appreciable (derivative estimates are
+        # noisy where the density explodes).
+        mask = pdf_mid < np.percentile(pdf_mid, 95)
+        np.testing.assert_allclose(cdf_diff[mask], pdf_mid[mask], rtol=0.15, atol=0.05)
+
+    def test_pdf_zero_outside_domain(self, dist):
+        outside = np.array([dist.domain.low - 1.0, dist.domain.high + 1.0])
+        np.testing.assert_array_equal(np.asarray(dist.pdf(outside)), [0.0, 0.0])
+
+    def test_samples_within_domain(self, dist):
+        rng = np.random.default_rng(0)
+        samples = dist.sample(2000, rng)
+        assert samples.size == 2000
+        assert samples.min() >= dist.domain.low
+        assert samples.max() <= dist.domain.high
+
+    def test_samples_match_cdf_ks(self, dist):
+        """Goodness of fit: samples must follow the analytic CDF."""
+        rng = np.random.default_rng(1)
+        samples = dist.sample(5000, rng)
+        result = scipy_stats.kstest(samples, lambda x: np.asarray(dist.cdf(x)))
+        assert result.pvalue > 0.001, f"{dist.name}: KS p={result.pvalue}"
+
+    def test_sampling_is_seed_deterministic(self, dist):
+        a = dist.sample(50, np.random.default_rng(7))
+        b = dist.sample(50, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSpecificShapes:
+    def test_uniform_cdf_is_identity_on_unit(self):
+        dist = UniformDistribution()
+        grid = np.linspace(0, 1, 11)
+        np.testing.assert_allclose(dist.cdf(grid), grid)
+
+    def test_normal_median_at_mean(self):
+        dist = TruncatedNormal(mean=0.5, std=0.1)
+        assert dist.cdf(0.5) == pytest.approx(0.5, abs=1e-6)
+
+    def test_normal_invalid_std(self):
+        with pytest.raises(ValueError):
+            TruncatedNormal(std=0.0)
+
+    def test_exponential_concentrates_left(self):
+        dist = TruncatedExponential(rate=5.0)
+        assert dist.cdf(0.3) > 0.7
+
+    def test_exponential_invalid_rate(self):
+        with pytest.raises(ValueError):
+            TruncatedExponential(rate=-1.0)
+
+    def test_pareto_heavier_with_alpha(self):
+        light = BoundedPareto(alpha=0.3)
+        heavy = BoundedPareto(alpha=1.5)
+        probe = 0.1
+        assert heavy.cdf(probe) > light.cdf(probe)
+
+    def test_pareto_needs_positive_low(self):
+        with pytest.raises(ValueError):
+            BoundedPareto(alpha=1.0, _domain=Domain(0.0, 1.0))
+
+    def test_pareto_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            BoundedPareto(alpha=0.0)
+
+    def test_mixture_is_convex_combination(self):
+        mix = bimodal_mixture()
+        x = np.linspace(0, 1, 50)
+        manual = sum(
+            w * np.asarray(c.cdf(x)) for c, w in zip(mix.components, mix.weights)
+        )
+        np.testing.assert_allclose(np.asarray(mix.cdf(x)), manual)
+
+    def test_mixture_is_bimodal(self):
+        mix = bimodal_mixture()
+        grid = np.linspace(0, 1, 500)
+        pdf = np.asarray(mix.pdf(grid))
+        # Density at both centers exceeds density at the valley between.
+        valley = pdf[np.argmin(np.abs(grid - 0.5))]
+        assert pdf[np.argmin(np.abs(grid - 0.25))] > 2 * valley
+        assert pdf[np.argmin(np.abs(grid - 0.75))] > 2 * valley
+
+    def test_mixture_weight_validation(self):
+        comps = (TruncatedNormal(), TruncatedNormal(mean=0.7))
+        with pytest.raises(ValueError):
+            MixtureDistribution(comps, (0.5, 0.6))
+        with pytest.raises(ValueError):
+            MixtureDistribution(comps, (1.0,))
+        with pytest.raises(ValueError):
+            MixtureDistribution((), ())
+
+    def test_mixture_domain_mismatch_rejected(self):
+        comps = (
+            TruncatedNormal(),
+            TruncatedNormal(_domain=Domain(0.0, 2.0)),
+        )
+        with pytest.raises(ValueError):
+            MixtureDistribution(comps, (0.5, 0.5))
+
+
+class TestFactory:
+    def test_all_names_construct(self):
+        for name in DISTRIBUTION_NAMES:
+            assert make_distribution(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_distribution("cauchy")
+
+    def test_params_forwarded(self):
+        dist = make_distribution("zipf", alpha=2.0)
+        assert dist.alpha == 2.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(alpha=st.floats(min_value=0.1, max_value=3.0, allow_nan=False))
+    def test_pareto_cdf_proper_for_any_alpha(self, alpha):
+        dist = BoundedPareto(alpha=alpha)
+        assert dist.cdf(dist.domain.low) == pytest.approx(0.0, abs=1e-9)
+        assert dist.cdf(dist.domain.high) == pytest.approx(1.0, abs=1e-9)
+        grid = dist.domain.grid(100)
+        assert np.all(np.diff(np.asarray(dist.cdf(grid))) >= -1e-12)

@@ -1,0 +1,36 @@
+"""Tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "T1" in out and "F14" in out and "A3" in out
+
+    def test_unknown_id(self, capsys):
+        assert main(["F99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_runs_single_experiment(self, capsys):
+        assert main(["T1"]) == 0
+        out = capsys.readouterr().out
+        assert "Default simulation parameters" in out
+        assert "[T1 finished" in out
+
+    def test_scale_and_seed_flags(self, capsys):
+        assert main(["F3", "--scale", "0.05", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out
+
+    def test_multiple_ids_in_order(self, capsys):
+        assert main(["T1", "F9", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert out.index("T1:") < out.index("F9:")
+
+    def test_lowercase_ids_accepted(self, capsys):
+        assert main(["t1"]) == 0
+        assert "T1" in capsys.readouterr().out

@@ -1,0 +1,65 @@
+"""Tests for experiment configuration and fixtures."""
+
+import pytest
+
+from repro.data.distributions import make_distribution
+from repro.experiments.common import scale_int, scale_list
+from repro.experiments.config import DEFAULTS, setup_network
+
+
+class TestDefaults:
+    def test_rows_cover_all_fields(self):
+        rows = DEFAULTS.rows()
+        names = {row["parameter"] for row in rows}
+        assert "n_peers" in names
+        assert "probes" in names
+        assert len(rows) >= 8
+
+
+class TestSetupNetwork:
+    def test_basic_fixture(self):
+        fixture = setup_network("uniform", n_peers=16, n_items=200, seed=1)
+        assert fixture.network.n_peers == 16
+        assert fixture.network.total_count == 200
+        assert fixture.domain == (0.0, 1.0)
+
+    def test_ledger_is_clean(self):
+        fixture = setup_network("uniform", n_peers=8, n_items=50, seed=1)
+        assert fixture.network.stats.messages == 0
+
+    def test_truth_matches_stored_data(self):
+        fixture = setup_network("normal", n_peers=8, n_items=300, seed=2)
+        values = fixture.network.all_values()
+        assert float(fixture.truth(values.max())) == pytest.approx(1.0)
+
+    def test_distribution_object_accepted(self):
+        dist = make_distribution("zipf", alpha=0.5)
+        fixture = setup_network(dist, n_peers=8, n_items=100, seed=3)
+        assert fixture.distribution is dist
+        assert fixture.domain == dist.domain.as_tuple()
+
+    def test_dist_params_with_object_rejected(self):
+        dist = make_distribution("zipf")
+        with pytest.raises(ValueError):
+            setup_network(dist, n_peers=8, n_items=10, alpha=2.0)
+
+    def test_seed_reproducible(self):
+        a = setup_network("uniform", n_peers=8, n_items=100, seed=5)
+        b = setup_network("uniform", n_peers=8, n_items=100, seed=5)
+        assert list(a.network.peer_ids()) == list(b.network.peer_ids())
+
+
+class TestScaling:
+    def test_scale_int(self):
+        assert scale_int(100, 0.5) == 50
+        assert scale_int(100, 0.001, minimum=4) == 4
+
+    def test_scale_int_invalid(self):
+        with pytest.raises(ValueError):
+            scale_int(100, 0.0)
+
+    def test_scale_list_dedupes(self):
+        assert scale_list([8, 16], 0.1, minimum=2) == [2]
+
+    def test_scale_list_identity(self):
+        assert scale_list([8, 16, 32], 1.0) == [8, 16, 32]

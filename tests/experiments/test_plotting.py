@@ -1,0 +1,71 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments.plotting import ascii_chart, chart_table
+from repro.experiments.results import ResultTable
+
+
+def make_table():
+    table = ResultTable("FX", "demo", "e", ["method", "probes", "ks"])
+    for probes, naive_ks, dfde_ks in ((8, 0.4, 0.2), (32, 0.41, 0.1), (128, 0.39, 0.05)):
+        table.add_row(method="naive", probes=probes, ks=naive_ks)
+        table.add_row(method="dfde", probes=probes, ks=dfde_ks)
+    return table
+
+
+class TestAsciiChart:
+    def test_renders_markers_and_legend(self):
+        chart = ascii_chart(
+            {"a": ([1, 2, 3], [1.0, 2.0, 3.0]), "b": ([1, 2, 3], [3.0, 2.0, 1.0])}
+        )
+        assert "o a" in chart and "x b" in chart
+        assert "o" in chart and "x" in chart
+        assert "+" + "-" * 64 in chart
+
+    def test_axis_labels_show_ranges(self):
+        chart = ascii_chart({"a": ([0, 10], [0.0, 5.0])}, x_label="n", y_label="err")
+        assert "5" in chart and "0" in chart
+        assert "n vs err" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": ([1], [1.0])}, width=4)
+
+    def test_log_x_requires_positive(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": ([0, 1], [1.0, 2.0])}, log_x=True)
+
+    def test_flat_series_ok(self):
+        chart = ascii_chart({"a": ([1, 2], [5.0, 5.0])})
+        assert "o" in chart
+
+
+class TestChartTable:
+    def test_auto_columns(self):
+        chart = chart_table(make_table(), "ks")
+        assert "probes" in chart and "vs ks" in chart
+        assert "dfde" in chart and "naive" in chart
+
+    def test_log_autodetected_for_geometric_sweep(self):
+        chart = chart_table(make_table(), "ks")
+        assert "(log)" in chart
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError):
+            chart_table(make_table(), "latency")
+
+    def test_explicit_grouping(self):
+        chart = chart_table(make_table(), "ks", x="probes", group_by="method")
+        assert "dfde" in chart
+
+    def test_cli_plot_flag(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["F9", "--scale", "0.05", "--plot", "predicted_gini"]) == 0
+        out = capsys.readouterr().out
+        assert "vs predicted_gini" in out

@@ -1,0 +1,77 @@
+"""Tests for the experiment registry: every experiment runs end-to-end.
+
+All experiments run at a tiny scale (small networks, few repetitions) —
+these are smoke-plus-shape tests, not accuracy assertions (those live in
+the core test modules and the benchmark expectations).
+"""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+TINY = 0.05
+
+
+class TestRegistry:
+    def test_known_ids(self):
+        assert set(EXPERIMENTS) == {
+            "T1", "F1", "F2", "F3", "F4", "F5", "F6", "F7",
+            "T2", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16", "F17",
+            "A1", "A2", "A3", "A4",
+        }
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("F99")
+
+    def test_case_insensitive(self):
+        table = run_experiment("t1")
+        assert table.experiment_id == "T1"
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_experiment_runs_and_has_rows(experiment_id):
+    table = run_experiment(experiment_id, scale=TINY, seed=1)
+    assert table.experiment_id == experiment_id
+    assert len(table) > 0
+    assert table.expectation
+    # Every row has every declared column.
+    for row in table.rows:
+        assert set(row) == set(table.columns)
+    # The table renders.
+    text = table.to_text()
+    assert experiment_id in text
+
+
+class TestExperimentShapes:
+    def test_f1_has_all_distributions(self):
+        table = run_experiment("F1", scale=TINY)
+        assert set(table.column("distribution")) == {
+            "uniform", "normal", "zipf", "mixture", "exponential",
+        }
+
+    def test_f3_sweeps_alpha(self):
+        table = run_experiment("F3", scale=TINY)
+        alphas = sorted(set(table.column("alpha")))
+        assert alphas == [0.2, 0.4, 0.6, 0.8, 1.0, 1.2]
+
+    def test_f4_has_all_methods(self):
+        table = run_experiment("F4", scale=TINY)
+        methods = set(table.column("method"))
+        assert {"dfde", "adaptive", "naive", "random-walk", "gossip",
+                "parametric", "exact"} <= methods
+
+    def test_f6_includes_zero_churn_control(self):
+        table = run_experiment("F6", scale=TINY)
+        assert 0.0 in table.column("churn_rate")
+
+    def test_t2_reports_positive_costs(self):
+        table = run_experiment("T2", scale=TINY)
+        costs = [row["messages"] for row in table.rows if row["unit"] != "-"]
+        assert all(c > 0 for c in costs)
+
+    def test_f7_model_samples_cost_nothing(self):
+        table = run_experiment("F7", scale=TINY)
+        model_rows = [r for r in table.rows if r["mode"] == "model"]
+        assert model_rows
+        assert all(r["network_messages"] == 0 for r in model_rows)

@@ -1,0 +1,63 @@
+"""Tests for the Markdown report writer."""
+
+import pytest
+
+from repro.experiments.reporting import table_to_markdown, write_report
+from repro.experiments.results import ResultTable
+
+
+def make_table(experiment_id="FX"):
+    table = ResultTable(
+        experiment_id=experiment_id,
+        title="demo table",
+        expectation="rows render",
+        columns=["method", "ks"],
+    )
+    table.add_row(method="a", ks=0.125)
+    table.add_row(method="b", ks=0.0625)
+    return table
+
+
+class TestMarkdown:
+    def test_section_structure(self):
+        md = table_to_markdown(make_table())
+        assert md.startswith("## FX — demo table")
+        assert "*Expectation:* rows render" in md
+        assert "| method | ks |" in md
+        assert "|---|---|" in md
+        assert "| a | 0.125 |" in md
+
+    def test_row_count(self):
+        md = table_to_markdown(make_table())
+        data_rows = [l for l in md.splitlines() if l.startswith("| ") and "method" not in l]
+        assert len(data_rows) == 2
+
+
+class TestWriteReport:
+    def test_writes_files_and_index(self, tmp_path):
+        tables = [make_table("F1"), make_table("T2")]
+        index = write_report(tables, tmp_path / "out", title="Run 42")
+        assert index.exists()
+        content = index.read_text()
+        assert "# Run 42" in content
+        assert "(f1.md)" in content and "(t2.md)" in content
+        assert (tmp_path / "out" / "f1.md").exists()
+        assert (tmp_path / "out" / "t2.md").exists()
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_report([], tmp_path)
+
+    def test_overwrites_existing(self, tmp_path):
+        write_report([make_table("F1")], tmp_path)
+        index = write_report([make_table("F1")], tmp_path)
+        assert index.exists()
+
+    def test_cli_report_flag(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        out_dir = tmp_path / "report"
+        assert main(["T1", "--report", str(out_dir)]) == 0
+        assert (out_dir / "index.md").exists()
+        assert (out_dir / "t1.md").exists()
+        assert "report written" in capsys.readouterr().out

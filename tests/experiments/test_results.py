@@ -1,0 +1,69 @@
+"""Tests for the result-table container."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.results import ResultTable
+
+
+def make_table():
+    table = ResultTable(
+        experiment_id="FX",
+        title="demo",
+        expectation="rows behave",
+        columns=["method", "probes", "ks"],
+    )
+    table.add_row(method="a", probes=8, ks=0.5)
+    table.add_row(method="a", probes=16, ks=0.25)
+    table.add_row(method="b", probes=8, ks=0.9)
+    return table
+
+
+class TestResultTable:
+    def test_add_row_validates_keys(self):
+        table = make_table()
+        with pytest.raises(ValueError):
+            table.add_row(method="a", probes=1)  # missing ks
+        with pytest.raises(ValueError):
+            table.add_row(method="a", probes=1, ks=0.1, extra=2)
+
+    def test_len(self):
+        assert len(make_table()) == 3
+
+    def test_column(self):
+        assert make_table().column("method") == ["a", "a", "b"]
+
+    def test_column_unknown(self):
+        with pytest.raises(KeyError):
+            make_table().column("nope")
+
+    def test_series(self):
+        x, y = make_table().series("probes", "ks", where={"method": "a"})
+        np.testing.assert_array_equal(x, [8, 16])
+        np.testing.assert_array_equal(y, [0.5, 0.25])
+
+    def test_series_unfiltered(self):
+        x, _ = make_table().series("probes", "ks")
+        assert x.size == 3
+
+    def test_to_text_contains_everything(self):
+        text = make_table().to_text()
+        assert "FX" in text
+        assert "expectation:" in text
+        assert "method" in text
+        assert "0.25" in text
+
+    def test_to_text_alignment(self):
+        lines = make_table().to_text().splitlines()
+        header, divider = lines[2], lines[3]
+        assert len(header) == len(divider)
+
+    def test_float_formatting(self):
+        table = ResultTable("T", "t", "e", ["v"])
+        table.add_row(v=0.000012345)
+        table.add_row(v=float("nan"))
+        table.add_row(v=123456.7)
+        text = table.to_text()
+        assert "1.234e-05" in text
+        assert "nan" in text
+        assert "1.235e+05" in text

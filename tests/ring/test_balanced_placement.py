@@ -1,0 +1,177 @@
+"""Tests for load-balanced peer placement and latency accounting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.load_balance import gini_coefficient
+from repro.data.workload import build_dataset
+from repro.ring.network import RingNetwork
+
+
+class TestCreateBalanced:
+    def make(self, n_peers=32, n_items=4_000, seed=0, dist="zipf"):
+        dataset = build_dataset(dist, n_items, seed=seed)
+        domain = dataset.distribution.domain.as_tuple()
+        network = RingNetwork.create_balanced(
+            n_peers, dataset.values, domain=domain, seed=seed
+        )
+        network.load_data(dataset.values)
+        network.reset_stats()
+        return network, dataset
+
+    def test_peer_count(self):
+        network, _ = self.make()
+        assert network.n_peers == 32
+
+    def test_loads_are_nearly_equal(self):
+        network, dataset = self.make()
+        loads = network.peer_loads().astype(float)
+        assert loads.sum() == dataset.size
+        assert gini_coefficient(loads) < 0.05
+        expected = dataset.size / network.n_peers
+        assert loads.max() <= 1.5 * expected
+
+    def test_balanced_much_flatter_than_random(self):
+        balanced, dataset = self.make()
+        random_net = RingNetwork.create(
+            32, domain=dataset.distribution.domain.as_tuple(), seed=0
+        )
+        random_net.load_data(dataset.values)
+        balanced_gini = gini_coefficient(balanced.peer_loads().astype(float))
+        random_gini = gini_coefficient(random_net.peer_loads().astype(float))
+        assert balanced_gini < random_gini / 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RingNetwork.create_balanced(0, [1.0])
+        with pytest.raises(ValueError):
+            RingNetwork.create_balanced(10, [0.5] * 5)  # fewer values than peers
+
+    def test_overlay_is_consistent(self):
+        network, _ = self.make()
+        ids = list(network.peer_ids())
+        for index, ident in enumerate(ids):
+            node = network.node(ident)
+            assert node.successor_id == ids[(index + 1) % len(ids)]
+            assert node.predecessor_id == ids[index - 1]
+
+    def test_collision_nudging_keeps_uniqueness(self):
+        # Heavy duplication in values forces identifier collisions.
+        values = [0.5] * 64 + [0.6] * 64
+        network = RingNetwork.create_balanced(16, values, seed=1)
+        assert len(set(network.peer_ids())) == 16
+
+
+class TestLatencyAccounting:
+    @pytest.fixture(scope="class")
+    def world(self):
+        dataset = build_dataset("normal", 4_000, seed=2)
+        network = RingNetwork.create(128, domain=(0.0, 1.0), seed=2)
+        network.load_data(dataset.values)
+        network.reset_stats()
+        return network
+
+    def test_dfde_latency_is_logarithmic(self, world):
+        from repro.core.estimator import DistributionFreeEstimator
+
+        estimate = DistributionFreeEstimator(probes=32).estimate(
+            world, rng=np.random.default_rng(0)
+        )
+        assert 2 <= estimate.latency_rounds <= 4 * math.log2(world.n_peers)
+
+    def test_adaptive_latency_is_two_waves(self, world):
+        from repro.core.adaptive import AdaptiveDensityEstimator
+        from repro.core.estimator import DistributionFreeEstimator
+
+        one = DistributionFreeEstimator(probes=32).estimate(
+            world, rng=np.random.default_rng(1)
+        )
+        two = AdaptiveDensityEstimator(probes=32).estimate(
+            world, rng=np.random.default_rng(1)
+        )
+        assert two.latency_rounds <= 3 * one.latency_rounds
+
+    def test_traversal_latency_is_linear(self, world):
+        from repro.core.cdf_compute import compute_global_cdf_traversal
+
+        estimate = compute_global_cdf_traversal(world)
+        assert estimate.latency_rounds == 3 * world.n_peers - 1
+
+    def test_broadcast_latency_is_log_depth(self, world):
+        from repro.core.cdf_compute import compute_global_cdf_broadcast
+
+        estimate = compute_global_cdf_broadcast(world)
+        assert estimate.latency_rounds <= 4 * math.log2(world.n_peers) + 1
+
+    def test_gossip_latency_equals_rounds(self, world):
+        from repro.core.baselines.gossip import PushSumHistogramEstimator
+
+        estimate = PushSumHistogramEstimator(rounds=12).estimate(
+            world, rng=np.random.default_rng(2)
+        )
+        assert estimate.latency_rounds == 12
+
+    def test_random_walk_latency_is_sequential(self, world):
+        from repro.core.baselines.random_walk import RandomWalkEstimator
+
+        estimate = RandomWalkEstimator(probes=16, walk_length=8).estimate(
+            world, rng=np.random.default_rng(3)
+        )
+        assert estimate.latency_rounds == estimate.hops + 2 * 16
+
+
+class TestVirtualNodes:
+    def test_counts_and_hosts(self):
+        from repro.ring.network import RingNetwork
+
+        network = RingNetwork.create_virtual(16, 4, seed=5)
+        assert network.n_peers == 64
+        hosts = {node.host_id for node in network.peers()}
+        assert hosts == set(range(16))
+        per_host = {}
+        for node in network.peers():
+            per_host[node.host_id] = per_host.get(node.host_id, 0) + 1
+        assert all(count == 4 for count in per_host.values())
+
+    def test_validation(self):
+        from repro.ring.network import RingNetwork
+
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            RingNetwork.create_virtual(0, 4)
+        with _pytest.raises(ValueError):
+            RingNetwork.create_virtual(4, 0)
+
+    def test_host_loads_aggregate(self):
+        import numpy as np
+
+        from repro.data.workload import build_dataset
+        from repro.ring.network import RingNetwork
+
+        data = build_dataset("uniform", 4_000, seed=6)
+        network = RingNetwork.create_virtual(16, 4, seed=6)
+        network.load_data(data.values)
+        loads = network.host_loads()
+        assert sum(loads.values()) == 4_000
+        assert len(loads) == 16
+
+    def test_virtual_nodes_balance_uniform_load(self):
+        import numpy as np
+
+        from repro.apps.load_balance import gini_coefficient
+        from repro.data.workload import build_dataset
+        from repro.ring.network import RingNetwork
+
+        data = build_dataset("uniform", 20_000, seed=7)
+
+        def host_gini(virtual):
+            network = RingNetwork.create_virtual(32, virtual, seed=7)
+            network.load_data(data.values)
+            return gini_coefficient(
+                np.asarray(list(network.host_loads().values()), dtype=float)
+            )
+
+        assert host_gini(8) < host_gini(1)

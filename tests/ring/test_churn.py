@@ -1,0 +1,113 @@
+"""Tests for the churn process driver."""
+
+import numpy as np
+import pytest
+
+from repro.ring.churn import ChurnConfig, ChurnProcess, ChurnRoundReport
+
+from tests.conftest import make_loaded_network
+
+
+class TestChurnConfig:
+    def test_defaults_valid(self):
+        ChurnConfig()
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(join_rate=-0.1)
+
+    def test_crash_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(crash_fraction=1.5)
+
+    def test_min_peers_bound(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(min_peers=0)
+
+
+class TestChurnProcess:
+    def test_zero_rates_change_nothing(self):
+        network, _ = make_loaded_network(n_peers=16, n_items=100)
+        process = ChurnProcess(
+            network,
+            ChurnConfig(join_rate=0.0, leave_rate=0.0),
+            rng=np.random.default_rng(1),
+        )
+        report = process.run(5)
+        assert report.joins == 0
+        assert report.graceful_leaves == 0
+        assert report.crashes == 0
+        assert network.n_peers == 16
+
+    def test_balanced_churn_keeps_size_near_stationary(self):
+        network, _ = make_loaded_network(n_peers=64, n_items=500)
+        process = ChurnProcess(
+            network,
+            ChurnConfig(join_rate=0.05, leave_rate=0.05),
+            rng=np.random.default_rng(2),
+        )
+        process.run(20)
+        assert 32 <= network.n_peers <= 128
+
+    def test_min_peers_floor_respected(self):
+        network, _ = make_loaded_network(n_peers=10, n_items=50)
+        process = ChurnProcess(
+            network,
+            ChurnConfig(join_rate=0.0, leave_rate=0.8, min_peers=8, crash_fraction=0.0),
+            rng=np.random.default_rng(3),
+        )
+        process.run(30)
+        assert network.n_peers >= 8
+
+    def test_graceful_only_preserves_items(self):
+        network, dataset = make_loaded_network(n_peers=32, n_items=400)
+        process = ChurnProcess(
+            network,
+            ChurnConfig(join_rate=0.1, leave_rate=0.1, crash_fraction=0.0),
+            rng=np.random.default_rng(4),
+        )
+        report = process.run(10)
+        assert report.items_lost == 0
+        assert network.total_count == dataset.size
+
+    def test_crashes_lose_items(self):
+        network, dataset = make_loaded_network(n_peers=32, n_items=400)
+        process = ChurnProcess(
+            network,
+            ChurnConfig(join_rate=0.0, leave_rate=0.3, crash_fraction=1.0, min_peers=8),
+            rng=np.random.default_rng(5),
+        )
+        report = process.run(10)
+        assert report.items_lost == dataset.size - network.total_count
+        assert report.crashes > 0
+
+    def test_report_merge_accumulates(self):
+        a = ChurnRoundReport(joins=1, graceful_leaves=2, crashes=3, items_lost=4, peers_after=10)
+        b = ChurnRoundReport(joins=5, graceful_leaves=6, crashes=7, items_lost=8, peers_after=20)
+        merged = a.merge(b)
+        assert merged.joins == 6
+        assert merged.graceful_leaves == 8
+        assert merged.crashes == 10
+        assert merged.items_lost == 12
+        assert merged.peers_after == 20  # latest snapshot wins
+
+    def test_negative_rounds_rejected(self):
+        network, _ = make_loaded_network(n_peers=8, n_items=10)
+        process = ChurnProcess(network, rng=np.random.default_rng(6))
+        with pytest.raises(ValueError):
+            process.run(-1)
+
+    def test_routing_still_works_after_churn(self):
+        from repro.ring.routing import route_to_key
+
+        network, _ = make_loaded_network(n_peers=32, n_items=200)
+        process = ChurnProcess(
+            network,
+            ChurnConfig(join_rate=0.1, leave_rate=0.1, crash_fraction=0.5),
+            rng=np.random.default_rng(7),
+        )
+        process.run(10)
+        rng = np.random.default_rng(8)
+        for key in rng.integers(0, network.space.size, size=20, dtype=np.uint64):
+            result = route_to_key(network, network.random_peer(), int(key))
+            assert result.owner.ident == network.owner_of(int(key)).ident

@@ -1,0 +1,94 @@
+"""Tests for peer node state and local routing decisions."""
+
+import pytest
+
+from repro.ring.identifier import IdentifierSpace
+from repro.ring.node import PeerNode
+
+SPACE = IdentifierSpace(8)
+
+
+def make_node(ident: int, predecessor: int, successor: int) -> PeerNode:
+    node = PeerNode(ident, SPACE)
+    node.predecessor_id = predecessor
+    node.successor_id = successor
+    return node
+
+
+class TestOwnership:
+    def test_fresh_node_self_loops(self):
+        node = PeerNode(10, SPACE)
+        assert node.successor_id == 10
+        assert node.predecessor_id is None
+
+    def test_invalid_identifier(self):
+        with pytest.raises(ValueError):
+            PeerNode(256, SPACE)
+
+    def test_interval_without_predecessor_is_full_ring(self):
+        node = PeerNode(10, SPACE)
+        assert node.interval.length == SPACE.size
+        assert node.owns(200)
+
+    def test_owns_half_open(self):
+        node = make_node(50, 40, 60)
+        assert node.owns(50)
+        assert node.owns(41)
+        assert not node.owns(40)
+        assert not node.owns(51)
+
+    def test_owns_wrapping(self):
+        node = make_node(5, 250, 20)
+        assert node.owns(0)
+        assert node.owns(255)
+        assert node.owns(5)
+        assert not node.owns(100)
+
+    def test_segment_length(self):
+        node = make_node(50, 40, 60)
+        assert node.segment_length == 10
+
+    def test_local_count_tracks_store(self):
+        node = PeerNode(1, SPACE)
+        node.store.insert(0.5)
+        assert node.local_count == 1
+
+
+class TestFingers:
+    def test_finger_targets(self):
+        node = PeerNode(0, SPACE)
+        assert node.finger_target(0) == 1
+        assert node.finger_target(7) == 128
+
+    def test_set_finger_bounds(self):
+        node = PeerNode(0, SPACE)
+        with pytest.raises(IndexError):
+            node.set_finger(8, 3)
+
+    def test_closest_preceding_prefers_farthest(self):
+        node = make_node(0, 200, 10)
+        node.set_finger(3, 8)    # 0 + 8
+        node.set_finger(6, 64)   # 0 + 64
+        assert node.closest_preceding_finger(100) == 64
+
+    def test_closest_preceding_skips_overshoot(self):
+        node = make_node(0, 200, 10)
+        node.set_finger(6, 64)
+        # Target 50: finger 64 overshoots, nothing else known -> successor.
+        assert node.closest_preceding_finger(50) == 10
+
+    def test_closest_preceding_excluded(self):
+        node = make_node(0, 200, 10)
+        node.set_finger(5, 32)
+        node.set_finger(4, 16)
+        assert node.closest_preceding_finger(100, frozenset({32})) == 16
+
+    def test_closest_preceding_falls_back_to_self(self):
+        node = make_node(0, 200, 10)
+        # Successor 10 does not precede target 5 -> no usable hop.
+        assert node.closest_preceding_finger(5) == 0
+
+    def test_closest_preceding_ignores_none(self):
+        node = make_node(0, 200, 10)
+        assert all(f is None for f in node.fingers)
+        assert node.closest_preceding_finger(100) == 10

@@ -1,0 +1,77 @@
+"""Tests for payload (bandwidth) accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines.gossip import PushSumHistogramEstimator
+from repro.core.cdf_sampling import collect_probes
+from repro.core.estimator import DistributionFreeEstimator
+from repro.ring.messages import MessageStats, MessageType
+
+from tests.conftest import make_loaded_network
+
+
+class TestLedgerPayload:
+    def test_payload_accumulates(self):
+        stats = MessageStats()
+        stats.record(MessageType.PROBE_REPLY, payload=10)
+        stats.record(MessageType.PROBE_REPLY, payload=5)
+        assert stats.payload == 15
+        assert stats.payload_of(MessageType.PROBE_REPLY) == 15
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            MessageStats().record(MessageType.PROBE_REPLY, payload=-1)
+
+    def test_snapshot_delta_includes_payload(self):
+        stats = MessageStats()
+        stats.record(MessageType.DATA_TRANSFER, payload=100)
+        before = stats.snapshot()
+        stats.record(MessageType.DATA_TRANSFER, payload=40)
+        delta = before.delta(stats.snapshot())
+        assert delta.payload == 40
+
+    def test_reset_clears_payload(self):
+        stats = MessageStats()
+        stats.record(MessageType.DATA_TRANSFER, payload=9)
+        stats.reset()
+        assert stats.payload == 0
+
+
+class TestOperationPayloads:
+    def test_probe_reply_carries_synopsis(self):
+        network, _ = make_loaded_network(n_peers=32, n_items=500)
+        network.reset_stats()
+        collect_probes(network, 10, buckets=8, rng=np.random.default_rng(0))
+        # Each of 10 replies carries B + 2 = 10 units.
+        assert network.stats.payload_of(MessageType.PROBE_REPLY) == 100
+
+    def test_estimate_payload_scales_with_buckets(self):
+        network, _ = make_loaded_network(n_peers=32, n_items=500)
+        small = DistributionFreeEstimator(probes=16, synopsis_buckets=4).estimate(
+            network, rng=np.random.default_rng(1)
+        )
+        large = DistributionFreeEstimator(probes=16, synopsis_buckets=32).estimate(
+            network, rng=np.random.default_rng(1)
+        )
+        assert large.payload > 3 * small.payload
+
+    def test_gossip_payload_dwarfs_probing(self):
+        network, _ = make_loaded_network(n_peers=64, n_items=1_000)
+        dfde = DistributionFreeEstimator(probes=32).estimate(
+            network, rng=np.random.default_rng(2)
+        )
+        gossip = PushSumHistogramEstimator(rounds=20).estimate(
+            network, rng=np.random.default_rng(2)
+        )
+        assert gossip.payload > 50 * dfde.payload
+
+    def test_data_handoff_payload_counts_items(self):
+        from repro.ring import chord
+
+        network, _ = make_loaded_network(n_peers=8, n_items=400)
+        network.reset_stats()
+        victim = max(network.peers(), key=lambda n: n.store.count)
+        moved = victim.store.count
+        chord.leave_gracefully(network, victim.ident)
+        assert network.stats.payload_of(MessageType.DATA_TRANSFER) == moved

@@ -1,0 +1,61 @@
+"""Tests for network-size estimation."""
+
+import numpy as np
+import pytest
+
+from repro.ring.network import RingNetwork
+from repro.ring.sizing import estimate_network_size, estimate_size_from_segments
+
+
+class TestFromSegments:
+    def test_exact_on_equal_segments(self):
+        # 4 peers with equal quarters of a 1000-unit ring.
+        estimate = estimate_size_from_segments([250, 250, 250, 250], 1000)
+        assert estimate.n_peers == pytest.approx(4.0)
+        assert estimate.std_error == pytest.approx(0.0)
+
+    def test_single_probe_infinite_error(self):
+        estimate = estimate_size_from_segments([100], 1000)
+        assert estimate.n_peers == pytest.approx(10.0)
+        assert estimate.std_error == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_size_from_segments([], 1000)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_size_from_segments([0], 1000)
+
+    def test_relative_error(self):
+        estimate = estimate_size_from_segments([250, 250], 1000)
+        assert estimate.relative_error(4) == pytest.approx(0.0)
+        assert estimate.relative_error(8) == pytest.approx(-0.5)
+
+    def test_relative_error_invalid_truth(self):
+        estimate = estimate_size_from_segments([250], 1000)
+        with pytest.raises(ValueError):
+            estimate.relative_error(0)
+
+
+class TestOnNetwork:
+    def test_estimate_is_unbiased_ish(self):
+        network = RingNetwork.create(200, seed=21)
+        estimates = [
+            estimate_network_size(network, probes=64, rng=np.random.default_rng(i)).n_peers
+            for i in range(10)
+        ]
+        mean = float(np.mean(estimates))
+        # HT estimator of N: mean over 640 probes should land within ~25%.
+        assert 0.75 * 200 <= mean <= 1.25 * 200
+
+    def test_estimate_costs_messages(self):
+        network = RingNetwork.create(50, seed=22)
+        network.reset_stats()
+        estimate_network_size(network, probes=8, rng=np.random.default_rng(0))
+        assert network.stats.messages >= 16  # 8 request/reply pairs + hops
+
+    def test_zero_probes_rejected(self):
+        network = RingNetwork.create(10, seed=23)
+        with pytest.raises(ValueError):
+            estimate_network_size(network, probes=0)

@@ -1,0 +1,127 @@
+"""Focused tests for error paths and guard rails across the stack.
+
+Every public entry point that validates input must fail loudly and
+specifically — these tests pin the error behaviour so refactors cannot
+silently turn validation into silent misbehaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import DistributionFreeEstimator
+from repro.ring.network import NetworkError, RingNetwork
+from repro.ring.routing import RoutingError, route_to_key
+
+from tests.conftest import make_loaded_network
+
+
+class TestNetworkGuards:
+    def test_empty_domain_rejected(self):
+        from repro.ring.hashing import OrderPreservingHash
+        from repro.ring.identifier import IdentifierSpace
+
+        with pytest.raises(ValueError):
+            OrderPreservingHash(IdentifierSpace(8), 1.0, 0.5)
+
+    def test_duplicate_registration_rejected(self):
+        from repro.ring.identifier import IdentifierSpace
+        from repro.ring.node import PeerNode
+
+        space = IdentifierSpace(16)
+        network = RingNetwork(space)
+        network._register(PeerNode(5, space))
+        with pytest.raises(ValueError):
+            network._register(PeerNode(5, space))
+
+    def test_empty_network_operations(self):
+        from repro.ring.identifier import IdentifierSpace
+
+        network = RingNetwork(IdentifierSpace(16))
+        with pytest.raises(NetworkError):
+            network.random_peer()
+        with pytest.raises(NetworkError):
+            network.owner_of(3)
+        with pytest.raises(NetworkError):
+            network.load_data([0.5])
+
+    def test_estimating_empty_network_data(self):
+        network = RingNetwork.create(8, seed=1)  # peers but no data
+        with pytest.raises(ValueError, match="empty"):
+            DistributionFreeEstimator(probes=8).estimate(
+                network, rng=np.random.default_rng(0)
+            )
+
+    def test_route_invalid_key(self):
+        network, _ = make_loaded_network(n_peers=8, n_items=50)
+        with pytest.raises(ValueError):
+            route_to_key(network, network.random_peer(), network.space.size + 1)
+
+    def test_route_hop_budget(self):
+        network, _ = make_loaded_network(n_peers=32, n_items=50)
+        start = network.random_peer()
+        # A budget of zero hops fails unless the start already owns the key.
+        far = network.space.add(start.ident, network.space.size // 2)
+        if network.owner_of(far).ident != start.ident:
+            with pytest.raises(RoutingError):
+                route_to_key(network, start, far, max_hops=0)
+
+
+class TestEstimateGuards:
+    def test_quantile_bounds(self):
+        network, _ = make_loaded_network(n_peers=16, n_items=300)
+        estimate = DistributionFreeEstimator(probes=8).estimate(
+            network, rng=np.random.default_rng(1)
+        )
+        with pytest.raises(ValueError):
+            estimate.quantile(1.5)
+        with pytest.raises(ValueError):
+            estimate.quantile(np.array([0.5, -0.1]))
+
+    def test_sample_negative(self):
+        network, _ = make_loaded_network(n_peers=16, n_items=300)
+        estimate = DistributionFreeEstimator(probes=8).estimate(
+            network, rng=np.random.default_rng(2)
+        )
+        with pytest.raises(ValueError):
+            estimate.sample(-1)
+
+    def test_mass_between_inverted(self):
+        network, _ = make_loaded_network(n_peers=16, n_items=300)
+        estimate = DistributionFreeEstimator(probes=8).estimate(
+            network, rng=np.random.default_rng(3)
+        )
+        with pytest.raises(ValueError):
+            estimate.selectivity(0.9, 0.1)
+
+
+class TestHarnessGuards:
+    def test_measure_estimator_validation(self):
+        from repro.experiments.common import measure_estimator
+        from repro.experiments.config import setup_network
+
+        fixture = setup_network("uniform", n_peers=8, n_items=100, seed=1)
+        with pytest.raises(ValueError):
+            measure_estimator(fixture, DistributionFreeEstimator(probes=4), repetitions=0)
+
+    def test_chart_table_on_empty_metric(self):
+        from repro.experiments.plotting import chart_table
+        from repro.experiments.results import ResultTable
+
+        table = ResultTable("T", "t", "e", ["label"])
+        table.add_row(label="only-strings")
+        with pytest.raises((ValueError, KeyError)):
+            chart_table(table, "label")
+
+    def test_run_experiment_bad_scale(self):
+        from repro.experiments.registry import run_experiment
+
+        with pytest.raises(ValueError):
+            run_experiment("F3", scale=0.0)
+
+    def test_sampling_service_empty_network_data(self):
+        from repro.apps.sampling_service import SamplingService
+
+        network = RingNetwork.create(4, seed=9)
+        service = SamplingService(network, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            service.sample(5, mode="exact")

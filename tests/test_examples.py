@@ -1,0 +1,47 @@
+"""Smoke tests: every shipped example must run end to end.
+
+Each example is executed as a subprocess (the way a user runs it) with a
+generous timeout; we assert a clean exit and that the expected headline
+output appears.  These are the slowest tests in the suite by design —
+they exercise full realistic scenarios.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_OUTPUT = {
+    "quickstart.py": "accuracy (adaptive)",
+    "load_balancing.py": "imbalance reduced",
+    "selectivity_estimation.py": "actual items in range",
+    "churn_resilience.py": "Horvitz-Thompson",
+    "distributed_sampling.py": "sample quality",
+    "confidence_and_histograms.py": "equi-depth histogram",
+    "pollution_defense.py": "adaptive + trim",
+}
+
+
+def test_every_example_is_covered():
+    """New examples must be added to the expectations above."""
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTED_OUTPUT), (
+        "examples on disk and smoke-test expectations diverged"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stderr[-2000:]}"
+    assert EXPECTED_OUTPUT[script] in result.stdout, (
+        f"{script} did not print its headline output"
+    )
