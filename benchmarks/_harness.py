@@ -11,9 +11,24 @@ run ``repro-experiments <ID> --scale 1.0`` for full-size numbers.
 
 from __future__ import annotations
 
+import os
+
 from repro.experiments.registry import run_experiment
 
 __all__ = ["regenerate"]
+
+
+def _bench_workers() -> int:
+    """Worker count for the benched experiments (``REPRO_BENCH_WORKERS``).
+
+    Defaults to 1 so timings measure the serial hot path; setting the
+    variable exercises the fan-out without changing any table (results are
+    identical for every worker count).
+    """
+    try:
+        return max(int(os.environ.get("REPRO_BENCH_WORKERS", "1")), 1)
+    except ValueError:
+        return 1
 
 
 def regenerate(benchmark, experiment_id: str, scale: float, seed: int = 0):
@@ -21,7 +36,7 @@ def regenerate(benchmark, experiment_id: str, scale: float, seed: int = 0):
     table = benchmark.pedantic(
         run_experiment,
         args=(experiment_id,),
-        kwargs={"scale": scale, "seed": seed},
+        kwargs={"scale": scale, "seed": seed, "workers": _bench_workers()},
         rounds=1,
         iterations=1,
     )

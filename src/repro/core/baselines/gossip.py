@@ -14,6 +14,7 @@ point of including it.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Optional
 
@@ -28,8 +29,12 @@ from repro.ring.node import PeerNode
 __all__ = ["PushSumHistogramEstimator"]
 
 
-def _gossip_targets(network: RingNetwork, node: PeerNode, rng: np.random.Generator) -> Optional[int]:
-    """One random live overlay neighbour (finger or ring neighbour)."""
+def _gossip_candidates(network: RingNetwork, node: PeerNode) -> list[int]:
+    """The node's live overlay neighbours (fingers or ring neighbours).
+
+    Deduplicated in first-seen order — the order the random draw in
+    :func:`_gossip_targets` indexes into.
+    """
     candidates: list[int] = []
     seen: set[int] = set()
     for ident in [*node.fingers, node.successor_id, node.predecessor_id]:
@@ -38,9 +43,51 @@ def _gossip_targets(network: RingNetwork, node: PeerNode, rng: np.random.Generat
         seen.add(ident)
         if network.try_node(ident) is not None:
             candidates.append(ident)
+    return candidates
+
+
+def _gossip_targets(network: RingNetwork, node: PeerNode, rng: np.random.Generator) -> Optional[int]:
+    """One random live overlay neighbour (finger or ring neighbour)."""
+    candidates = _gossip_candidates(network, node)
     if not candidates:
         return None
     return candidates[int(rng.integers(0, len(candidates)))]
+
+
+# Memoized per-pass setup (peer order, initial histogram matrix, candidate
+# index lists), keyed by everything it reads: the overlay token (membership
+# and pointers) plus the sum of the stores' monotone version counters (any
+# data mutation advances it).  A hit reproduces the uncached setup exactly.
+_PASS_CACHE: "weakref.WeakKeyDictionary[RingNetwork, tuple]" = weakref.WeakKeyDictionary()
+
+
+def _pass_setup(
+    network: RingNetwork, buckets: int
+) -> tuple[list[int], np.ndarray, list[Optional[list[int]]]]:
+    low, high = network.domain
+    nodes = list(network.peers())
+    store_token = sum(node.store.version for node in nodes)
+    key = (network.topology_version, store_token, buckets)
+    cached = _PASS_CACHE.get(network)
+    if cached is not None and cached[0] == key:
+        return cached[1], cached[2], cached[3]
+
+    peer_ids = [node.ident for node in nodes]
+    n = len(peer_ids)
+    base_values = np.zeros((n, buckets + 1), dtype=float)
+    for index, node in enumerate(nodes):
+        base_values[index, :buckets] = node.store.histogram_range(
+            low, np.nextafter(high, np.inf), buckets
+        )
+    index_of = {ident: i for i, ident in enumerate(peer_ids)}
+    candidate_indices: list[Optional[list[int]]] = []
+    for node in nodes:
+        candidates = _gossip_candidates(network, node)
+        candidate_indices.append(
+            [index_of[c] for c in candidates] if candidates else None
+        )
+    _PASS_CACHE[network] = (key, peer_ids, base_values, candidate_indices)
+    return peer_ids, base_values, candidate_indices
 
 
 @dataclass(frozen=True)
@@ -73,48 +120,55 @@ class PushSumHistogramEstimator:
         generator = rng if rng is not None else network.rng
         before = network.stats.snapshot()
         low, high = network.domain
-        peer_ids = list(network.peer_ids())
-        initiator = peer_ids[int(generator.integers(0, len(peer_ids)))]
 
-        # State per peer: histogram slots + [indicator], and a weight.
-        values: dict[int, np.ndarray] = {}
-        weights: dict[int, float] = {}
-        for ident in peer_ids:
-            node = network.node(ident)
-            vector = np.zeros(self.buckets + 1, dtype=float)
-            vector[: self.buckets] = node.store.histogram_range(
-                low, np.nextafter(high, np.inf), self.buckets
-            )
-            vector[self.buckets] = 1.0 if ident == initiator else 0.0
-            values[ident] = vector
-            weights[ident] = 1.0
+        # State as one (N, B+1) matrix: histogram slots + [indicator], and
+        # a weight vector.  Mass movement per round is then two scatter-adds
+        # instead of a dict of per-peer arrays.  The initial matrix and each
+        # peer's candidate neighbours (liveness is fixed for a synchronous
+        # pass) come from the memoized setup.
+        peer_ids, base_values, candidate_indices = _pass_setup(network, self.buckets)
+        n = len(peer_ids)
+        initiator = peer_ids[int(generator.integers(0, n))]
+        initiator_index = peer_ids.index(initiator)
+        values = base_values.copy()
+        weights = np.ones(n, dtype=float)
+        values[initiator_index, self.buckets] = 1.0
 
+        pushes = 0
+        targets = np.empty(n, dtype=np.intp)
+        inbox_values = np.empty_like(values)
+        inbox_weights = np.empty_like(weights)
+        integers = generator.integers
         for _ in range(self.rounds):
-            inbox_values: dict[int, np.ndarray] = {
-                ident: np.zeros(self.buckets + 1) for ident in values
-            }
-            inbox_weights: dict[int, float] = {ident: 0.0 for ident in values}
-            for ident in values:
-                node = network.try_node(ident)
-                if node is None:
-                    continue
-                target = _gossip_targets(network, node, generator)
-                values[ident] *= 0.5
-                weights[ident] *= 0.5
-                if target is None or target not in inbox_values:
-                    # Nowhere to push: keep the other half too.
-                    inbox_values[ident] += values[ident]
-                    inbox_weights[ident] += weights[ident]
-                    continue
-                network.record(MessageType.GOSSIP_PUSH, payload=self.buckets + 2)
-                inbox_values[target] += values[ident]
-                inbox_weights[target] += weights[ident]
-            for ident in values:
-                values[ident] += inbox_values[ident]
-                weights[ident] += inbox_weights[ident]
+            # Draw each peer's push target in peer order — the exact RNG
+            # sequence the per-peer loop consumed (no draw for a peer with
+            # no live neighbour: it keeps both halves, modelled as a push
+            # to itself that costs no message).
+            for index, candidates in enumerate(candidate_indices):
+                if candidates is None:
+                    targets[index] = index
+                else:
+                    targets[index] = candidates[int(integers(0, len(candidates)))]
+                    pushes += 1
+            values *= 0.5
+            weights *= 0.5
+            inbox_values.fill(0.0)
+            inbox_weights.fill(0.0)
+            np.add.at(inbox_values, targets, values)
+            np.add.at(inbox_weights, targets, weights)
+            values += inbox_values
+            weights += inbox_weights
+        if pushes:
+            # One ledger update for the whole pass; totals are identical to
+            # recording each push separately.
+            network.record(
+                MessageType.GOSSIP_PUSH,
+                count=pushes,
+                payload=(self.buckets + 2) * pushes,
+            )
 
-        state = values[initiator]
-        weight = weights[initiator]
+        state = values[initiator_index]
+        weight = float(weights[initiator_index])
         if weight <= 0:
             raise RuntimeError("push-sum weight collapsed; network disconnected?")
         averaged = state / weight  # ≈ [global_counts / N ..., 1 / N]

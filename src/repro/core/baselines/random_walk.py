@@ -13,6 +13,7 @@ quantify exactly this gap.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Optional
 
@@ -28,6 +29,29 @@ from repro.ring.node import PeerNode
 __all__ = ["RandomWalkEstimator", "metropolis_hastings_walk", "overlay_adjacency"]
 
 
+# Memoized overlay views, keyed by the network's topology_version: the
+# adjacency (pure pointer-graph function) and the live-filtered neighbour
+# memo the walks consult (ident -> (neighbour ids, resolved nodes)).
+# Membership changes and maintenance both advance the token, so a cached
+# view is exactly what a rebuild would produce.
+_LiveCache = dict[int, tuple[list[int], list[PeerNode]]]
+_OVERLAY_CACHE: "weakref.WeakKeyDictionary[RingNetwork, tuple[int, dict[int, list[int]], _LiveCache]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _overlay_views(network: RingNetwork) -> tuple[dict[int, list[int]], _LiveCache]:
+    """The (adjacency, live-neighbour memo) pair for the current overlay."""
+    token = network.topology_version
+    cached = _OVERLAY_CACHE.get(network)
+    if cached is not None and cached[0] == token:
+        return cached[1], cached[2]
+    adjacency = _build_adjacency(network)
+    live_cache: _LiveCache = {}
+    _OVERLAY_CACHE[network] = (token, adjacency, live_cache)
+    return adjacency, live_cache
+
+
 def overlay_adjacency(network: RingNetwork) -> dict[int, list[int]]:
     """Symmetrized overlay graph: fingers ∪ ring links ∪ their reverses.
 
@@ -37,21 +61,27 @@ def overlay_adjacency(network: RingNetwork) -> dict[int, list[int]]:
     under load-balanced placement).  Real DHT random-walk samplers
     therefore walk the undirected overlay — every peer also keeps the
     in-links that Chord's notify traffic reveals.  We model that by
-    symmetrizing the current pointer graph once per estimation pass.
+    symmetrizing the current pointer graph, memoized until the next
+    membership or pointer change.
     """
+    return _overlay_views(network)[0]
+
+
+def _build_adjacency(network: RingNetwork) -> dict[int, list[int]]:
     adjacency: dict[int, set[int]] = {ident: set() for ident in network.peer_ids()}
     for node in network.peers():
-        links = set(
-            finger for finger in node.fingers if finger is not None
-        )
+        links = set(node.fingers)
+        links.discard(None)
         links.add(node.successor_id)
         if node.predecessor_id is not None:
             links.add(node.predecessor_id)
         links.discard(node.ident)
+        own = adjacency[node.ident]
         for target in links:
-            if target in adjacency:
-                adjacency[node.ident].add(target)
-                adjacency[target].add(node.ident)
+            neighbors = adjacency.get(target)
+            if neighbors is not None:
+                own.add(target)
+                neighbors.add(node.ident)
     return {ident: sorted(neighbors) for ident, neighbors in adjacency.items()}
 
 
@@ -61,6 +91,7 @@ def metropolis_hastings_walk(
     steps: int,
     rng: np.random.Generator,
     adjacency: dict[int, list[int]] | None = None,
+    live_cache: _LiveCache | None = None,
 ) -> PeerNode:
     """Walk ``steps`` MH steps; the end node is ≈ uniform over peers.
 
@@ -68,30 +99,68 @@ def metropolis_hastings_walk(
     accepts with probability ``min(1, deg(u)/deg(v))`` — the degree
     correction that makes the uniform distribution stationary.  Every
     proposal costs one counted ``WALK_STEP`` message (the degree query),
-    accepted or not.
+    accepted or not, posted to the ledger in bulk at walk end.
+
+    ``live_cache`` memoizes the live-filtered neighbour lists (with their
+    resolved nodes); a caller running many walks against unchanging peer
+    liveness shares one dict across them to filter each list once.
     """
     if steps < 0:
         raise ValueError(f"steps must be >= 0, got {steps}")
     if adjacency is None:
         adjacency = overlay_adjacency(network)
+    cache: _LiveCache = live_cache if live_cache is not None else {}
+    cache_get = cache.get
+    adjacency_get = adjacency.get
+    nodes_get = network._nodes.get
+    integers = rng.integers
+    uniform = rng.random
+
+    def live_entry(ident: int) -> tuple[list[int], list[PeerNode]]:
+        entry = cache_get(ident)
+        if entry is None:
+            ids: list[int] = []
+            nodes: list[PeerNode] = []
+            for neighbor_id in adjacency_get(ident, ()):
+                node = nodes_get(neighbor_id)
+                if node is not None:
+                    ids.append(neighbor_id)
+                    nodes.append(node)
+            entry = (ids, nodes)
+            cache[ident] = entry
+        return entry
+
     current = start
-    for _ in range(steps):
-        current_neighbors = [
-            n for n in adjacency.get(current.ident, []) if network.try_node(n) is not None
-        ]
-        if not current_neighbors:
-            break  # isolated node; the walk cannot move
-        proposal_id = current_neighbors[int(rng.integers(0, len(current_neighbors)))]
-        network.record(MessageType.WALK_STEP)
-        proposal = network.try_node(proposal_id)
-        if proposal is None or not proposal.alive:
-            continue
-        proposal_neighbors = [
-            n for n in adjacency.get(proposal_id, []) if network.try_node(n) is not None
-        ]
-        degree_ratio = len(current_neighbors) / max(len(proposal_neighbors), 1)
-        if rng.random() < min(1.0, degree_ratio):
-            current = proposal
+    proposals = 0
+    try:
+        for _ in range(steps):
+            # Cache hits are the common case once the first walks have
+            # touched a node, so the lookup is inlined and the closure only
+            # runs on misses.
+            entry = cache_get(current.ident)
+            if entry is None:
+                entry = live_entry(current.ident)
+            neighbor_nodes = entry[1]
+            degree = len(neighbor_nodes)
+            if not degree:
+                break  # isolated node; the walk cannot move
+            proposal = neighbor_nodes[integers(0, degree)]
+            proposals += 1
+            if not proposal.alive:
+                continue
+            proposal_entry = cache_get(proposal.ident)
+            if proposal_entry is None:
+                proposal_entry = live_entry(proposal.ident)
+            degree_ratio = degree / max(len(proposal_entry[0]), 1)
+            # The acceptance draw always happens (it is part of the RNG
+            # stream even when the ratio accepts unconditionally); draws
+            # are < 1 by construction, so `u < min(1, r)` ⇔ `r >= 1 or u < r`.
+            u = uniform()
+            if degree_ratio >= 1.0 or u < degree_ratio:
+                current = proposal
+    finally:
+        if proposals:
+            network.record(MessageType.WALK_STEP, count=proposals)
     return current
 
 
@@ -119,12 +188,14 @@ class RandomWalkEstimator:
         generator = rng if rng is not None else network.rng
         before = network.stats.snapshot()
         summaries = []
-        # One symmetrization per pass — models peers knowing their in-links.
-        adjacency = overlay_adjacency(network)
+        # One symmetrization per overlay state — models peers knowing their
+        # in-links.  Liveness can only change together with the overlay
+        # token, so the live-neighbour memo is shared across passes too.
+        adjacency, live_cache = _overlay_views(network)
         current = network.random_peer()
         for _ in range(self.probes):
             current = metropolis_hastings_walk(
-                network, current, self.walk_length, generator, adjacency
+                network, current, self.walk_length, generator, adjacency, live_cache
             )
             network.record_rpc(
                 MessageType.PROBE_REQUEST,

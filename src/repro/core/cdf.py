@@ -38,11 +38,12 @@ class PiecewiseCDF:
             raise ValueError("xs and fs must be 1-D arrays of equal length")
         if xs_arr.size < 1:
             raise ValueError("a CDF needs at least one breakpoint")
-        if np.any(np.diff(xs_arr) <= 0):
-            raise ValueError("breakpoints must be strictly increasing")
-        # Tolerate float round-off from weighted mixtures, reject real bugs.
-        if np.any(np.diff(fs_arr) < -1e-9):
-            raise ValueError("CDF values must be non-decreasing")
+        if xs_arr.size > 1:
+            if (xs_arr[1:] <= xs_arr[:-1]).any():
+                raise ValueError("breakpoints must be strictly increasing")
+            # Tolerate float round-off from weighted mixtures, reject real bugs.
+            if (fs_arr[1:] - fs_arr[:-1] < -1e-9).any():
+                raise ValueError("CDF values must be non-decreasing")
         fs_arr = np.maximum.accumulate(np.clip(fs_arr, 0.0, 1.0))
         if kind not in ("linear", "step"):
             raise ValueError(f"kind must be 'linear' or 'step', got {kind!r}")

@@ -76,17 +76,19 @@ def compute_global_cdf_traversal(
     """
     before = network.stats.snapshot()
     origin = start if start is not None else network.random_peer()
-    network.record_rpc(
-        MessageType.PREFIX_REQUEST, MessageType.PREFIX_REPLY, reply_payload=buckets + 2
-    )
     summaries = [summarize_peer(network, origin, buckets)]
     for peer in successor_walk(network, origin, max(network.n_peers - 1, 0)):
         if peer.ident == origin.ident:
             break  # ring shrank under us; we're back at the start
-        network.record_rpc(
-            MessageType.PREFIX_REQUEST, MessageType.PREFIX_REPLY, reply_payload=buckets + 2
-        )
         summaries.append(summarize_peer(network, peer, buckets))
+    # One request/reply pair per visited peer, posted in bulk (totals are
+    # identical to recording each exchange separately).
+    network.record(MessageType.PREFIX_REQUEST, count=len(summaries))
+    network.record(
+        MessageType.PREFIX_REPLY,
+        count=len(summaries),
+        payload=(buckets + 2) * len(summaries),
+    )
     cost = before.delta(network.stats.snapshot())
     # The walk is strictly sequential: one hop plus one exchange per peer.
     latency = float(3 * len(summaries) - 1)
@@ -112,10 +114,11 @@ def compute_global_cdf_broadcast(
     visited: set[int] = set()
     summaries: list[PeerSummary] = []
     max_depth = 0
+    delegations = 0
 
     def visit(node: PeerNode, arc_end: int, depth: int = 0) -> None:
         """Collect ``node`` and delegate the arc ``(node, arc_end)``."""
-        nonlocal max_depth
+        nonlocal max_depth, delegations
         if node.ident in visited:
             return
         visited.add(node.ident)
@@ -133,17 +136,22 @@ def compute_global_cdf_broadcast(
         children.sort(key=lambda f: network.space.distance(node.ident, f))
         boundaries = children[1:] + [arc_end]
         for child_id, boundary in zip(children, boundaries):
-            network.record_rpc(
-                MessageType.PREFIX_REQUEST,
-                MessageType.PREFIX_REPLY,
-                reply_payload=buckets + 2,
-            )
+            delegations += 1
             child = network.try_node(child_id)
             if child is None or not child.alive:
                 continue  # timed-out delegation; that sub-arc is missed
             visit(child, boundary, depth + 1)
 
     visit(origin, origin.ident)
+    # Every delegation (including ones to departed peers — the message was
+    # still paid for) is a request/reply pair, posted in bulk.
+    if delegations:
+        network.record(MessageType.PREFIX_REQUEST, count=delegations)
+        network.record(
+            MessageType.PREFIX_REPLY,
+            count=delegations,
+            payload=(buckets + 2) * delegations,
+        )
     cost = before.delta(network.stats.snapshot())
     # Down the tree and back up the convergecast: 2 rounds per level.
     latency = float(2 * max_depth + 1)

@@ -108,7 +108,20 @@ def collect_probes_at(
     buckets: int,
     synopsis_kind: str = "equi-width",
 ) -> list[ProbeResult]:
-    """Probe explicit ring positions (used by adaptive refinement)."""
+    """Probe explicit ring positions (used by adaptive refinement).
+
+    With reliable delivery (``loss_rate == 0``) the batch fast path is
+    taken: every probe's entry peer is drawn up front (the same generator
+    draws, in the same order, as the one-at-a-time path — routing consumes
+    no randomness when nothing is lost), the probes are routed, and the
+    request/reply traffic is posted to the ledger in two bulk records
+    instead of two Python calls per probe.  Totals, hop counts, and reply
+    contents are identical to the sequential path.  Under the loss model
+    the sequential path runs, preserving the exact interleaving of
+    retransmission draws.
+    """
+    if network.loss_rate <= 0.0:
+        return _collect_probes_batch(network, targets, buckets, synopsis_kind)
     results: list[ProbeResult] = []
     for target in targets:
         entry = network.random_peer()
@@ -125,6 +138,29 @@ def collect_probes_at(
                 break
         summary = summarize_peer(network, route.owner, buckets, kind=synopsis_kind)
         results.append(ProbeResult(target=int(target), summary=summary, hops=route.hops))
+    return results
+
+
+def _collect_probes_batch(
+    network: RingNetwork,
+    targets: Sequence[int],
+    buckets: int,
+    synopsis_kind: str,
+) -> list[ProbeResult]:
+    """Loss-free probe batch: bulk ledger updates, memoized summaries."""
+    entries = [network.random_peer() for _ in range(len(targets))]
+    results: list[ProbeResult] = []
+    for entry, target in zip(entries, targets):
+        route = route_to_key(network, entry, int(target))
+        summary = summarize_peer(network, route.owner, buckets, kind=synopsis_kind)
+        results.append(ProbeResult(target=int(target), summary=summary, hops=route.hops))
+    if results:
+        network.record(MessageType.PROBE_REQUEST, count=len(results))
+        network.record(
+            MessageType.PROBE_REPLY,
+            count=len(results),
+            payload=(buckets + 2) * len(results),
+        )
     return results
 
 
@@ -262,21 +298,34 @@ def assemble_cdf_interpolated(
         raise ValueError("no probe evidence to reconstruct from")
     low, high = domain
 
-    def edge_density(seg, side: str) -> float:
-        """Density (items per value unit) at one edge of a probed segment.
+    def edge_densities(seg) -> tuple[float, float]:
+        """Densities (items per value unit) at both edges of a segment.
 
-        Uses the outermost bucket with positive width (equi-depth synopses
-        can carry zero-width point-mass buckets whose density is not
-        finite); falls back to the segment's average density.
+        Each side uses its outermost bucket with positive width (equi-depth
+        synopses can carry zero-width point-mass buckets whose density is
+        not finite); falls back to the segment's average density.  Memoized
+        on the segment — cached summaries resurface the same segment
+        objects across assemblies, and the pair is a pure function of one.
         """
+        cached = seg.__dict__.get("_edge_density_pair")
+        if cached is not None:
+            return cached
         edges = seg.bucket_edges()
-        indices = range(seg.buckets) if side == "left" else range(seg.buckets - 1, -1, -1)
-        for index in indices:
-            width = float(edges[index + 1] - edges[index])
-            if width > 0:
-                return float(seg.counts[index]) / width
-        span = seg.value_high - seg.value_low
-        return float(seg.total) / span if span > 0 else 0.0
+        pair = []
+        for indices in (range(seg.buckets), range(seg.buckets - 1, -1, -1)):
+            density = None
+            for index in indices:
+                width = float(edges[index + 1] - edges[index])
+                if width > 0:
+                    density = float(seg.counts[index]) / width
+                    break
+            if density is None:
+                span = seg.value_high - seg.value_low
+                density = float(seg.total) / span if span > 0 else 0.0
+            pair.append(density)
+        cached = (pair[0], pair[1])
+        object.__setattr__(seg, "_edge_density_pair", cached)
+        return cached
 
     xs: list[float] = [low]
     cum: list[float] = [0.0]
@@ -288,8 +337,8 @@ def assemble_cdf_interpolated(
     lead_gap = segments[0].value_low - low
     trail_gap = high - segments[-1].value_high
     wrap_width = max(lead_gap, 0.0) + max(trail_gap, 0.0)
-    d_wrap_left = edge_density(segments[-1], "right")
-    d_wrap_right = edge_density(segments[0], "left")
+    d_wrap_left = edge_densities(segments[-1])[1]
+    d_wrap_right = edge_densities(segments[0])[0]
     wrap_mass = _gap_mass(d_wrap_left, d_wrap_right, wrap_width, gap_interpolation)
 
     if lead_gap > 0:
@@ -302,22 +351,33 @@ def assemble_cdf_interpolated(
     prev_end = segments[0].value_low
     prev_density = None
     for seg in segments:
+        d_left, d_right = edge_densities(seg)
         if seg.value_low > prev_end and prev_density is not None:
             width = seg.value_low - prev_end
-            mass = _gap_mass(
-                prev_density, edge_density(seg, "left"), width, gap_interpolation
-            )
+            mass = _gap_mass(prev_density, d_left, width, gap_interpolation)
             xs.append(seg.value_low)
             cum.append(cum[-1] + mass)
             gaps.append((prev_end, seg.value_low, mass))
-        edges = seg.bucket_edges()
+        # Per-segment breakpoints, memoized (cached summaries reuse their
+        # segment objects): the inner-edge x values and float bucket
+        # counts.  Accumulating in a scalar loop keeps the float additions
+        # in exactly the per-bucket order (and beats numpy-call overhead on
+        # synopsis-sized arrays).
+        memo = seg.__dict__.get("_breakpoints_cache")
+        if memo is None:
+            memo = (
+                seg.bucket_edges()[1:].astype(float).tolist(),
+                seg.counts.astype(float).tolist(),
+            )
+            object.__setattr__(seg, "_breakpoints_cache", memo)
+        inner_edges, float_counts = memo
+        xs.extend(inner_edges)
         running = cum[-1]
-        for bucket in range(seg.buckets):
-            running += float(seg.counts[bucket])
-            xs.append(float(edges[bucket + 1]))
+        for count in float_counts:
+            running += count
             cum.append(running)
         prev_end = max(prev_end, seg.value_high)
-        prev_density = edge_density(seg, "right")
+        prev_density = d_right
 
     if trail_gap > 0:
         share = trail_gap / wrap_width if wrap_width > 0 else 0.0

@@ -47,12 +47,12 @@ class SegmentSummary:
             raise ValueError(f"empty segment [{self.value_low}, {self.value_high})")
         if self.counts.ndim != 1 or self.counts.size < 1:
             raise ValueError("counts must be a non-empty 1-D array")
-        if np.any(self.counts < 0):
+        if (self.counts < 0).any():
             raise ValueError("bucket counts must be non-negative")
         if self.edges is not None:
             if self.edges.shape != (self.counts.size + 1,):
                 raise ValueError("edges must have one more entry than counts")
-            if np.any(np.diff(self.edges) < 0):
+            if (self.edges[1:] < self.edges[:-1]).any():
                 raise ValueError("edges must be non-decreasing")
             if not (
                 abs(self.edges[0] - self.value_low) < 1e-12
@@ -103,10 +103,16 @@ class SegmentSummary:
         return int(self.counts.size)
 
     def bucket_edges(self) -> np.ndarray:
-        """The ``B + 1`` bucket boundary values."""
+        """The ``B + 1`` bucket boundary values (memoized; treat as
+        read-only — CDF assembly asks for the same edges once per probe
+        that returns this segment)."""
         if self.edges is not None:
             return self.edges
-        return np.linspace(self.value_low, self.value_high, self.buckets + 1)
+        cached = self.__dict__.get("_edges_cache")
+        if cached is None:
+            cached = np.linspace(self.value_low, self.value_high, self.buckets + 1)
+            object.__setattr__(self, "_edges_cache", cached)
+        return cached
 
     def count_leq(self, x: float) -> float:
         """Estimated number of summarised items ``<= x``.
@@ -167,7 +173,25 @@ class PeerSummary:
         A peer with no items contributes a degenerate CDF that is 0 across
         its segment and jumps to 1 at the right edge; estimators give such
         peers zero weight so the shape never matters.
+
+        The summary is immutable, so the constructed CDF is memoized per
+        ``kind``: assembling repeated estimates from memoized summaries
+        (cache-hit probes, exact-census repetitions) reuses the same
+        :class:`PiecewiseCDF` objects instead of rebuilding them.
         """
+        cache = self.__dict__.get("_local_cdf_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_local_cdf_cache", cache)
+        cached = cache.get(kind)
+        if cached is not None:
+            return cached
+        cdf = self._build_local_cdf(kind)
+        cache[kind] = cdf
+        return cdf
+
+    def _build_local_cdf(self, kind: str) -> PiecewiseCDF:
+        """Uncached :meth:`local_cdf` construction."""
         xs_parts: list[np.ndarray] = []
         fs_parts: list[np.ndarray] = []
         running = 0.0
@@ -202,11 +226,35 @@ def summarize_peer(
     gets a ``buckets``-wide synopsis of the local items inside it —
     ``kind="equi-width"`` (classic histogram) or ``kind="equi-depth"``
     (edges at local quantiles; same payload, adaptive resolution).
+
+    Replies are memoized per peer: a summary is a pure function of the
+    peer's stored items, its ownership arc, and its (possibly Byzantine)
+    reply behaviour, so the cached result is reused until any of those
+    change — repeat probe hits and repeated full-census sweeps cost O(1)
+    per peer instead of O(local items).  Invalidation keys on the store's
+    mutation counter (:attr:`~repro.ring.storage.LocalStore.version`), the
+    predecessor pointer that defines the arc, and the Byzantine marker.
     """
     if buckets < 1:
         raise ValueError(f"buckets must be >= 1, got {buckets}")
     if kind not in ("equi-width", "equi-depth"):
         raise ValueError(f"unknown synopsis kind {kind!r}")
+    state = (node.store.version, node.predecessor_id, node.byzantine)
+    cached = node.summary_cache.get((buckets, kind))
+    if cached is not None and cached[0] == state:
+        return cached[1]
+    summary = _build_summary(network, node, buckets, kind)
+    node.summary_cache[(buckets, kind)] = (state, summary)
+    return summary
+
+
+def _build_summary(
+    network: RingNetwork,
+    node: PeerNode,
+    buckets: int,
+    kind: str,
+) -> PeerSummary:
+    """The uncached summary construction behind :func:`summarize_peer`."""
     space = network.space
     data_hash = network.data_hash
     interval = node.interval

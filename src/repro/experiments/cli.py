@@ -18,6 +18,29 @@ from repro.experiments.registry import EXPERIMENTS, run_experiment
 __all__ = ["main"]
 
 
+def _run_timed(task: tuple[str, float, int, int]) -> tuple:
+    """Run one experiment and time it (top-level so it pickles for fan-out)."""
+    experiment_id, scale, seed, workers = task
+    started = time.perf_counter()
+    table = run_experiment(experiment_id, scale=scale, seed=seed, workers=workers)
+    return table, time.perf_counter() - started
+
+
+def _run_selection(
+    ids: Sequence[str], scale: float, seed: int, workers: int
+) -> list[tuple]:
+    """(table, elapsed) per id — experiments fan across processes when
+    several ids were selected, otherwise ``workers`` flows into the single
+    experiment's own fixture-block fan-out.  Output order always matches
+    ``ids``; tables are identical for any worker count."""
+    from repro.experiments.common import parallel_map
+
+    if workers > 1 and len(ids) > 1:
+        tasks = [(experiment_id, scale, seed, 1) for experiment_id in ids]
+        return parallel_map(_run_timed, tasks, workers=workers)
+    return [_run_timed((experiment_id, scale, seed, workers)) for experiment_id in ids]
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -36,6 +59,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="proportional size factor for networks/data/repetitions (default 1.0)",
     )
     parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes: with several ids, whole experiments run in "
+            "parallel; with one id, its independent fixture blocks do "
+            "(results are identical for any N; default 1)"
+        ),
+    )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
     )
@@ -76,10 +110,9 @@ def _main(argv: Optional[Sequence[str]]) -> int:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         return 2
     tables = []
-    for experiment_id in ids:
-        started = time.perf_counter()
-        table = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
-        elapsed = time.perf_counter() - started
+    for experiment_id, (table, elapsed) in zip(
+        ids, _run_selection(ids, args.scale, args.seed, args.workers)
+    ):
         print(table.to_text())
         if args.plot and args.plot in table.columns:
             from repro.experiments.plotting import chart_table

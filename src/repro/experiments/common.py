@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Optional
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
 import numpy as np
 
@@ -10,13 +13,16 @@ from repro.core.estimate import DensityEstimate
 from repro.core.metrics import evaluate_estimate
 from repro.experiments.config import DEFAULTS, NetworkFixture
 
-__all__ = ["MeasuredRun", "measure_estimator", "scale_int", "scale_list"]
+__all__ = ["MeasuredRun", "measure_estimator", "parallel_map", "scale_int", "scale_list"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
 
 
 class MeasuredRun(dict):
     """Mean accuracy/cost of an estimator over repetitions (a plain dict
     with the keys ``ks, ks_std, l1, l2, kl, messages, hops, n_items,
-    n_peers``)."""
+    n_peers, wall_s, wall_s_std``)."""
 
 
 def measure_estimator(
@@ -36,9 +42,12 @@ def measure_estimator(
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
     reports = []
     estimates: list[DensityEstimate] = []
+    walls: list[float] = []
     for rep in range(repetitions):
         rng = np.random.default_rng(seed * 10_007 + rep)
+        started = time.perf_counter()
         estimate = estimator.estimate(fixture.network, rng=rng)
+        walls.append(time.perf_counter() - started)
         estimates.append(estimate)
         reports.append(
             evaluate_estimate(estimate.cdf, fixture.truth, fixture.domain, grid_points)
@@ -53,7 +62,31 @@ def measure_estimator(
         hops=float(np.mean([e.hops for e in estimates])),
         n_items=float(np.mean([e.n_items for e in estimates])),
         n_peers=float(np.mean([e.n_peers for e in estimates])),
+        wall_s=float(np.mean(walls)),
+        wall_s_std=float(np.std(walls)),
     )
+
+
+def parallel_map(
+    fn: Callable[[_T], _R], items: Iterable[_T], workers: int = 1
+) -> list[_R]:
+    """Order-preserving map over ``items``, optionally fanned across processes.
+
+    The unit of parallelism must be *self-contained*: ``fn`` is a top-level
+    (picklable) function whose result depends only on its argument — it
+    builds its own network fixtures and derives every generator from
+    explicit seeds.  Under that contract the returned list is bit-identical
+    for any ``workers`` value, including the serial fallback.
+
+    Falls back to a plain loop when ``workers <= 1``, when there is at most
+    one item, or when called from a daemon process (worker processes cannot
+    spawn children of their own).
+    """
+    work: Sequence[_T] = list(items)
+    if workers <= 1 or len(work) <= 1 or multiprocessing.current_process().daemon:
+        return [fn(item) for item in work]
+    with ProcessPoolExecutor(max_workers=min(workers, len(work))) as pool:
+        return list(pool.map(fn, work))
 
 
 def scale_int(value: int, scale: float, minimum: int = 1) -> int:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.core.adaptive import AdaptiveDensityEstimator
 from repro.core.estimator import DistributionFreeEstimator
-from repro.experiments.common import measure_estimator, scale_int, scale_list
+from repro.experiments.common import measure_estimator, parallel_map, scale_int, scale_list
 from repro.experiments.config import DEFAULTS, setup_network
 from repro.experiments.results import ResultTable
 
@@ -25,7 +25,33 @@ NETWORK_SIZES = [128, 256, 512, 1024, 2048, 4096]
 DISTRIBUTIONS = ("normal", "mixture")
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ResultTable:
+def _run_size_cell(
+    task: tuple[str, int, int, int, int, int],
+) -> list[dict[str, object]]:
+    """Both methods at one (distribution, N) cell; self-contained for fan-out."""
+    distribution, n_peers, n_items, repetitions, probes, seed = task
+    fixture = setup_network(distribution, n_peers=n_peers, n_items=n_items, seed=seed)
+    rows: list[dict[str, object]] = []
+    for method, estimator in (
+        ("dfde", DistributionFreeEstimator(probes=probes)),
+        ("adaptive", AdaptiveDensityEstimator(probes=probes)),
+    ):
+        run_stats = measure_estimator(fixture, estimator, repetitions, seed)
+        rows.append(
+            dict(
+                distribution=distribution,
+                method=method,
+                n_peers=n_peers,
+                probes=probes,
+                ks=run_stats["ks"],
+                l1=run_stats["l1"],
+                hops=run_stats["hops"],
+            )
+        )
+    return rows
+
+
+def run(scale: float = 1.0, seed: int = 0, workers: int = 1) -> ResultTable:
     """Sweep N with s fixed at the default budget."""
     table = ResultTable(
         experiment_id=EXPERIMENT_ID,
@@ -38,23 +64,12 @@ def run(scale: float = 1.0, seed: int = 0) -> ResultTable:
     probes = DEFAULTS.probes
     sizes = scale_list(NETWORK_SIZES, min(scale, 1.0), minimum=16)
 
-    for distribution in DISTRIBUTIONS:
-        for n_peers in sizes:
-            fixture = setup_network(
-                distribution, n_peers=n_peers, n_items=n_items, seed=seed
-            )
-            for method, estimator in (
-                ("dfde", DistributionFreeEstimator(probes=probes)),
-                ("adaptive", AdaptiveDensityEstimator(probes=probes)),
-            ):
-                run_stats = measure_estimator(fixture, estimator, repetitions, seed)
-                table.add_row(
-                    distribution=distribution,
-                    method=method,
-                    n_peers=n_peers,
-                    probes=probes,
-                    ks=run_stats["ks"],
-                    l1=run_stats["l1"],
-                    hops=run_stats["hops"],
-                )
+    tasks = [
+        (distribution, n_peers, n_items, repetitions, probes, seed)
+        for distribution in DISTRIBUTIONS
+        for n_peers in sizes
+    ]
+    for rows in parallel_map(_run_size_cell, tasks, workers=workers):
+        for row in rows:
+            table.add_row(**row)
     return table

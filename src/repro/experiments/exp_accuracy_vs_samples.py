@@ -10,7 +10,7 @@ from __future__ import annotations
 from repro.core.adaptive import AdaptiveDensityEstimator
 from repro.core.estimator import DistributionFreeEstimator
 from repro.data.distributions import DISTRIBUTION_NAMES
-from repro.experiments.common import measure_estimator, scale_int, scale_list
+from repro.experiments.common import measure_estimator, parallel_map, scale_int, scale_list
 from repro.experiments.config import DEFAULTS, setup_network
 from repro.experiments.results import ResultTable
 
@@ -25,7 +25,39 @@ EXPECTATION = (
 PROBE_SWEEP = [8, 16, 32, 64, 128, 256]
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ResultTable:
+def _run_distribution_block(
+    task: tuple[str, int, int, int, tuple[int, ...], int],
+) -> list[dict[str, object]]:
+    """All rows for one distribution: a self-contained unit of parallelism.
+
+    Builds its own fixture and derives every generator from the explicit
+    seed, so blocks are independent and the table is bit-identical whether
+    they run serially or fanned across worker processes.
+    """
+    distribution, n_peers, n_items, repetitions, probe_sweep, seed = task
+    fixture = setup_network(distribution, n_peers=n_peers, n_items=n_items, seed=seed)
+    rows: list[dict[str, object]] = []
+    for probes in probe_sweep:
+        for method, estimator in (
+            ("dfde", DistributionFreeEstimator(probes=probes)),
+            ("adaptive", AdaptiveDensityEstimator(probes=max(probes, 2))),
+        ):
+            run_stats = measure_estimator(fixture, estimator, repetitions, seed)
+            rows.append(
+                dict(
+                    distribution=distribution,
+                    method=method,
+                    probes=probes,
+                    ks=run_stats["ks"],
+                    ks_std=run_stats["ks_std"],
+                    l1=run_stats["l1"],
+                    messages=run_stats["messages"],
+                )
+            )
+    return rows
+
+
+def run(scale: float = 1.0, seed: int = 0, workers: int = 1) -> ResultTable:
     """Sweep probe counts over the full distribution zoo."""
     table = ResultTable(
         experiment_id=EXPERIMENT_ID,
@@ -36,23 +68,13 @@ def run(scale: float = 1.0, seed: int = 0) -> ResultTable:
     n_peers = scale_int(DEFAULTS.n_peers, scale, minimum=32)
     n_items = scale_int(DEFAULTS.n_items, scale, minimum=2_000)
     repetitions = scale_int(DEFAULTS.repetitions, scale, minimum=2)
-    probe_sweep = scale_list(PROBE_SWEEP, min(scale, 1.0), minimum=4)
+    probe_sweep = tuple(scale_list(PROBE_SWEEP, min(scale, 1.0), minimum=4))
 
-    for distribution in DISTRIBUTION_NAMES:
-        fixture = setup_network(distribution, n_peers=n_peers, n_items=n_items, seed=seed)
-        for probes in probe_sweep:
-            for method, estimator in (
-                ("dfde", DistributionFreeEstimator(probes=probes)),
-                ("adaptive", AdaptiveDensityEstimator(probes=max(probes, 2))),
-            ):
-                run_stats = measure_estimator(fixture, estimator, repetitions, seed)
-                table.add_row(
-                    distribution=distribution,
-                    method=method,
-                    probes=probes,
-                    ks=run_stats["ks"],
-                    ks_std=run_stats["ks_std"],
-                    l1=run_stats["l1"],
-                    messages=run_stats["messages"],
-                )
+    tasks = [
+        (distribution, n_peers, n_items, repetitions, probe_sweep, seed)
+        for distribution in DISTRIBUTION_NAMES
+    ]
+    for rows in parallel_map(_run_distribution_block, tasks, workers=workers):
+        for row in rows:
+            table.add_row(**row)
     return table

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
 from repro.experiments import (
@@ -71,16 +72,51 @@ EXPERIMENTS: dict[str, Callable[..., ResultTable]] = {
 }
 
 
-def run_experiment(experiment_id: str, scale: float = 1.0, seed: int = 0) -> ResultTable:
-    """Run one experiment by id (case-insensitive)."""
+def _accepts_workers(runner: Callable[..., ResultTable]) -> bool:
+    """Whether an experiment runner takes a ``workers`` keyword.
+
+    Experiments opt in to intra-experiment fan-out by declaring the
+    parameter; the contract (see ``parallel_map``) is that the table they
+    return is bit-identical for every worker count.
+    """
+    return "workers" in inspect.signature(runner).parameters
+
+
+def run_experiment(
+    experiment_id: str, scale: float = 1.0, seed: int = 0, workers: int = 1
+) -> ResultTable:
+    """Run one experiment by id (case-insensitive).
+
+    ``workers`` fans the experiment's independent fixture blocks across
+    processes where the experiment supports it; runners that are inherently
+    sequential (shared fixture, coupled RNG stream) ignore it and run
+    serially.  Results are identical for any ``workers`` value.
+    """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         )
-    return EXPERIMENTS[key](scale=scale, seed=seed)
+    runner = EXPERIMENTS[key]
+    if workers > 1 and _accepts_workers(runner):
+        return runner(scale=scale, seed=seed, workers=workers)
+    return runner(scale=scale, seed=seed)
 
 
-def run_all(scale: float = 1.0, seed: int = 0) -> list[ResultTable]:
-    """Run the full evaluation suite, in presentation order."""
-    return [run_experiment(key, scale=scale, seed=seed) for key in EXPERIMENTS]
+def _run_entry(task: tuple[str, float, int]) -> ResultTable:
+    """Top-level (picklable) adapter for fanning whole experiments out."""
+    key, scale, seed = task
+    return run_experiment(key, scale=scale, seed=seed)
+
+
+def run_all(scale: float = 1.0, seed: int = 0, workers: int = 1) -> list[ResultTable]:
+    """Run the full evaluation suite, in presentation order.
+
+    With ``workers > 1`` whole experiments are distributed across worker
+    processes — each experiment is seeded independently, so the list of
+    tables is bit-identical to the serial run.
+    """
+    from repro.experiments.common import parallel_map
+
+    tasks = [(key, scale, seed) for key in EXPERIMENTS]
+    return parallel_map(_run_entry, tasks, workers=workers)

@@ -174,6 +174,7 @@ def stabilize(network: RingNetwork, node: PeerNode) -> None:
     node.successor_list = refreshed
     network.record(MessageType.NOTIFY)
     _notify(network, successor, node)
+    network.note_overlay_change()
 
 
 def _notify(network: RingNetwork, successor: PeerNode, node: PeerNode) -> None:
@@ -195,8 +196,10 @@ def fix_one_finger(network: RingNetwork, node: PeerNode) -> None:
         result = route_to_key(network, node, node.finger_target(k))
     except NetworkError:
         node.set_finger(k, None)
+        network.note_overlay_change()
         return
     node.set_finger(k, result.owner.ident)
+    network.note_overlay_change()
 
 
 def maintenance_round(network: RingNetwork, fingers_per_peer: int = 1) -> None:

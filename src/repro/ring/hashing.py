@@ -20,6 +20,8 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.ring.identifier import IdentifierSpace
 
 __all__ = ["ConsistentHash", "OrderPreservingHash"]
@@ -73,6 +75,27 @@ class OrderPreservingHash:
         u = min(max(u, 0.0), 1.0)
         ident = int(u * self.space.size)
         return min(ident, self.space.size - 1)
+
+    def map_values(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`__call__` over an array of domain values.
+
+        Produces exactly the identifiers the scalar path yields (same IEEE
+        double intermediate, same truncation, same top-of-ring clamp), as a
+        ``uint64`` array — the bulk-load and batched-probe paths depend on
+        that equivalence for byte-identical placement.
+        """
+        arr = np.asarray(values, dtype=float)
+        u = np.clip((arr - self.low) / (self.high - self.low), 0.0, 1.0)
+        size = float(self.space.size)  # 2**m is exactly representable
+        scaled = u * size
+        keys = np.empty(arr.shape, dtype=np.uint64)
+        # u == 1.0 scales to exactly 2**m, which a float->uint64 cast cannot
+        # represent for m == 64; clamp those entries to the top identifier
+        # exactly as the scalar path's min(ident, size - 1) does.
+        over = scaled >= size
+        keys[~over] = scaled[~over].astype(np.uint64)
+        keys[over] = np.uint64(self.space.size - 1)
+        return keys
 
     def to_value(self, ident: int) -> float:
         """Inverse map: ring position back to a domain value.

@@ -14,7 +14,7 @@ probe-position generators) holds a reference to one shared instance.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
 __all__ = ["IdentifierSpace", "RingInterval"]
@@ -33,15 +33,18 @@ class IdentifierSpace:
     """
 
     bits: int = 64
+    # Derived constants, precomputed once: ring arithmetic sits on every
+    # routing hop, and ``x % 2**m == x & (2**m - 1)`` for Python integers
+    # of either sign (infinite two's complement), so the hot operations
+    # reduce to one bitwise AND against a cached mask.
+    size: int = field(init=False, repr=False, compare=False)
+    mask: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not 1 <= self.bits <= 256:
             raise ValueError(f"bits must be in [1, 256], got {self.bits}")
-
-    @property
-    def size(self) -> int:
-        """Total number of identifiers, ``2**m``."""
-        return 1 << self.bits
+        object.__setattr__(self, "size", 1 << self.bits)
+        object.__setattr__(self, "mask", (1 << self.bits) - 1)
 
     def contains(self, ident: int) -> bool:
         """Return True if ``ident`` is a valid identifier in this space."""
@@ -55,15 +58,15 @@ class IdentifierSpace:
 
     def wrap(self, value: int) -> int:
         """Reduce an arbitrary integer onto the ring."""
-        return value % self.size
+        return value & self.mask
 
     def add(self, ident: int, offset: int) -> int:
         """Clockwise displacement (offset may be negative)."""
-        return (ident + offset) % self.size
+        return (ident + offset) & self.mask
 
     def distance(self, start: int, end: int) -> int:
         """Clockwise distance from ``start`` to ``end`` (0 if equal)."""
-        return (end - start) % self.size
+        return (end - start) & self.mask
 
     def midpoint(self, start: int, end: int) -> int:
         """Identifier halfway along the clockwise arc from start to end."""

@@ -85,6 +85,12 @@ class MessageStats:
 
     counts: Counter = field(default_factory=Counter)
     payloads: Counter = field(default_factory=Counter)
+    # Running totals, maintained by record() so the messages/hops properties
+    # (read twice per estimate via snapshot deltas) stay O(1) instead of
+    # re-summing the counters.
+    _messages: int = 0
+    _hops: int = 0
+    _payload: float = 0.0
 
     def record(self, message_type: MessageType, count: int = 1, payload: float = 0.0) -> None:
         """Record ``count`` messages of the given type.
@@ -92,25 +98,31 @@ class MessageStats:
         ``payload`` is the total application payload carried (abstract
         units: one scalar value / bucket count / counter = 1 unit).
         Routing and control messages carry none; probe replies carry their
-        synopsis, bulk transfers their items.
+        synopsis, bulk transfers their items.  Passing ``count > 1`` is the
+        bulk path: one ledger update stands for ``count`` identical
+        messages, with totals exactly as if recorded one by one.
         """
         if count < 0:
             raise ValueError(f"negative message count: {count}")
         if payload < 0:
             raise ValueError(f"negative payload: {payload}")
         self.counts[message_type] += count
+        self._messages += count
+        if message_type in self._HOP_TYPES:
+            self._hops += count
         if payload:
             self.payloads[message_type] += payload
+            self._payload += payload
 
     @property
     def messages(self) -> int:
         """Total messages of all types."""
-        return sum(self.counts.values())
+        return self._messages
 
     @property
     def hops(self) -> int:
         """Total routing hops."""
-        return sum(self.counts[t] for t in self._HOP_TYPES)
+        return self._hops
 
     def count_of(self, message_type: MessageType) -> int:
         """Messages recorded for one type."""
@@ -119,7 +131,7 @@ class MessageStats:
     @property
     def payload(self) -> float:
         """Total application payload carried, in abstract scalar units."""
-        return float(sum(self.payloads.values()))
+        return float(self._payload)
 
     def payload_of(self, message_type: MessageType) -> float:
         """Payload carried by one message type."""
@@ -138,6 +150,9 @@ class MessageStats:
         """Zero the ledger (e.g. after network construction)."""
         self.counts.clear()
         self.payloads.clear()
+        self._messages = 0
+        self._hops = 0
+        self._payload = 0.0
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict view for reporting."""

@@ -19,6 +19,7 @@ Two views coexist deliberately:
 from __future__ import annotations
 
 import bisect
+from collections import Counter
 from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
@@ -68,6 +69,12 @@ class RingNetwork:
         self.loss_rate = loss_rate
         self._nodes: dict[int, PeerNode] = {}
         self._sorted_ids: list[int] = []
+        # Cached read-only views of the registry, rebuilt lazily after a
+        # membership change (register/unregister bumps topology_version).
+        self._ids_tuple: Optional[tuple[int, ...]] = None
+        self._ids_array: Optional[np.ndarray] = None
+        #: Monotone membership-mutation counter (joins/leaves/crashes).
+        self.topology_version: int = 0
 
     def delivery_succeeds(self) -> bool:
         """Draw one message-delivery outcome under the loss model.
@@ -202,10 +209,10 @@ class RingNetwork:
 
     def host_loads(self) -> dict[int, int]:
         """Item counts aggregated per physical host."""
-        loads: dict[int, int] = {}
+        loads: Counter[int] = Counter()
         for node in self.peers():
-            loads[node.host_id] = loads.get(node.host_id, 0) + node.store.count
-        return loads
+            loads[node.host_id] += node.store.count
+        return dict(loads)
 
     def _register(self, node: PeerNode) -> None:
         """Insert a node into the oracle registry (no overlay wiring)."""
@@ -213,13 +220,44 @@ class RingNetwork:
             raise ValueError(f"duplicate peer identifier {node.ident}")
         self._nodes[node.ident] = node
         bisect.insort(self._sorted_ids, node.ident)
+        self._invalidate_registry_views()
 
     def _unregister(self, ident: int) -> PeerNode:
         """Remove a node from the oracle registry."""
         node = self._nodes.pop(ident)
         index = bisect.bisect_left(self._sorted_ids, ident)
         del self._sorted_ids[index]
+        self._invalidate_registry_views()
         return node
+
+    def _invalidate_registry_views(self) -> None:
+        """Drop cached id views after a membership change."""
+        self._ids_tuple = None
+        self._ids_array = None
+        self.topology_version += 1
+
+    def note_overlay_change(self) -> None:
+        """Advance the overlay token after a pointer-only mutation.
+
+        Membership changes bump :attr:`topology_version` through the
+        registry; maintenance (stabilize / fix_fingers) and bulk pointer
+        rebuilds mutate finger and neighbour pointers *without* touching
+        membership, so they must advance the token themselves.  Derived
+        overlay views (e.g. the random-walk adjacency) key their caches on
+        this counter.
+        """
+        self.topology_version += 1
+
+    def sorted_ids_array(self) -> np.ndarray:
+        """Live peer identifiers as a sorted ``uint64`` array (cached).
+
+        Oracle-view helper backing the vectorized bulk paths (data loading,
+        batched owner resolution).  Treat as read-only; it is rebuilt after
+        the next membership change.
+        """
+        if self._ids_array is None:
+            self._ids_array = np.asarray(self._sorted_ids, dtype=np.uint64)
+        return self._ids_array
 
     def rebuild_overlay(self) -> None:
         """Recompute every peer's pointers exactly (oracle operation).
@@ -233,6 +271,17 @@ class RingNetwork:
         if n == 0:
             return
         list_length = min(self.SUCCESSOR_LIST_LENGTH, max(n - 1, 1))
+        # All N x bits finger targets at once: (ident + 2^k) mod 2^bits is
+        # uint64 wraparound plus a mask, and each target's owner is one
+        # searchsorted into the sorted id array — the same bisect_left the
+        # scalar _oracle_successor performs.
+        ids_arr = self.sorted_ids_array()
+        powers = np.uint64(1) << np.arange(self.space.bits, dtype=np.uint64)
+        mask = np.uint64(self.space.size - 1)
+        targets = (ids_arr[:, None] + powers[None, :]) & mask
+        indices = np.searchsorted(ids_arr, targets, side="left")
+        indices[indices == n] = 0
+        finger_rows = ids_arr[indices].tolist()
         for index, ident in enumerate(ids):
             node = self._nodes[ident]
             node.predecessor_id = ids[index - 1] if n > 1 else ident
@@ -240,8 +289,8 @@ class RingNetwork:
             node.successor_list = [
                 ids[(index + 1 + offset) % n] for offset in range(list_length)
             ]
-            for k in range(self.space.bits):
-                node.set_finger(k, self._oracle_successor(node.finger_target(k)))
+            node.fingers = finger_rows[index]
+        self.note_overlay_change()
 
     def _oracle_successor(self, key: int) -> int:
         """First live peer at or clockwise after ``key`` (oracle view)."""
@@ -278,8 +327,15 @@ class RingNetwork:
         return self._nodes.get(ident)
 
     def peer_ids(self) -> Sequence[int]:
-        """Live peer identifiers in ring order."""
-        return tuple(self._sorted_ids)
+        """Live peer identifiers in ring order.
+
+        The tuple is cached and reused until the next join/leave/crash, so
+        read-only callers (maintenance sweeps, ground-truth scans) no longer
+        pay an O(n) copy per call.
+        """
+        if self._ids_tuple is None:
+            self._ids_tuple = tuple(self._sorted_ids)
+        return self._ids_tuple
 
     def peers(self) -> Iterator[PeerNode]:
         """Live peers in ring order."""
@@ -304,6 +360,21 @@ class RingNetwork:
         """True owner of a data value (oracle view, no cost)."""
         return self.owner_of(self.data_hash(value))
 
+    def owners_of_keys(self, keys: np.ndarray) -> list[PeerNode]:
+        """True owners of many ring positions at once (oracle view, no cost).
+
+        One vectorized ``searchsorted`` over the cached registry array
+        replaces a bisect-per-key Python loop; the result matches
+        :meth:`owner_of` element-wise.
+        """
+        if not self._sorted_ids:
+            raise NetworkError("network has no peers")
+        ids = self.sorted_ids_array()
+        positions = np.searchsorted(ids, np.asarray(keys, dtype=np.uint64), side="left")
+        positions[positions == ids.size] = 0
+        nodes = self._nodes
+        return [nodes[int(ids[p])] for p in positions]
+
     def load_data(self, values: Iterable[float]) -> None:
         """Place data values on their owning peers (oracle bulk load)."""
         ids = self._sorted_ids
@@ -312,10 +383,8 @@ class RingNetwork:
         arr = np.asarray(list(values), dtype=float)
         if arr.size == 0:
             return
-        keys = np.fromiter(
-            (self.data_hash(float(v)) for v in arr), dtype=np.uint64, count=arr.size
-        )
-        positions = np.searchsorted(np.asarray(ids, dtype=np.uint64), keys, side="left")
+        keys = self.data_hash.map_values(arr)
+        positions = np.searchsorted(self.sorted_ids_array(), keys, side="left")
         positions[positions == len(ids)] = 0
         order = np.argsort(positions, kind="stable")
         sorted_positions = positions[order]
@@ -324,7 +393,7 @@ class RingNetwork:
         for index, ident in enumerate(ids):
             chunk = sorted_values[boundaries[index] : boundaries[index + 1]]
             if chunk.size:
-                self._nodes[ident].store.insert_many(chunk.tolist())
+                self._nodes[ident].store.insert_many(chunk)
 
     def clear_data(self) -> None:
         """Drop all stored items from every peer."""

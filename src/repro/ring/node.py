@@ -32,7 +32,10 @@ class PeerNode:
         self.space = space
         self.predecessor_id: Optional[int] = None
         self.successor_id: int = ident  # self-loop until joined
-        self.fingers: list[Optional[int]] = [None] * space.bits
+        self._fingers: list[Optional[int]] = [None] * space.bits
+        # Memoized routing scan order (deduplicated reversed finger list);
+        # rebuilt lazily after any finger change.
+        self._finger_scan: Optional[list[int]] = None
         self.store = LocalStore()
         self.alive = True
         # Round-robin cursor for incremental finger repair (fix_fingers).
@@ -49,6 +52,10 @@ class PeerNode:
         # Replicas held on behalf of other peers: owner ident -> values
         # snapshot (see repro.ring.replication).
         self.replicas: dict[int, tuple[float, ...]] = {}
+        # Memoized probe replies, keyed by (buckets, kind) and validated
+        # against (store.version, predecessor_id, byzantine) — see
+        # repro.core.synopsis.summarize_peer.
+        self.summary_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Ownership
@@ -85,11 +92,43 @@ class PeerNode:
         """Ring position the ``k``-th finger should point past."""
         return self.space.finger_target(self.ident, k)
 
+    @property
+    def fingers(self) -> list[Optional[int]]:
+        """The finger table.  Mutate through :meth:`set_finger` or by
+        assigning a whole list — both invalidate the routing scan memo;
+        writing ``node.fingers[k] = ...`` directly would not."""
+        return self._fingers
+
+    @fingers.setter
+    def fingers(self, value: list[Optional[int]]) -> None:
+        self._fingers = value
+        self._finger_scan = None
+
     def set_finger(self, k: int, node_id: Optional[int]) -> None:
         """Install the ``k``-th finger (``None`` marks it unknown/broken)."""
         if not 0 <= k < self.space.bits:
             raise IndexError(f"finger index {k} outside [0, {self.space.bits})")
-        self.fingers[k] = node_id
+        self._fingers[k] = node_id
+        self._finger_scan = None
+
+    def _finger_scan_order(self) -> list[int]:
+        """Fingers in routing scan order: reversed, ``None``s and duplicate
+        values dropped (a duplicate re-tests the same predicate, so skipping
+        it never changes which finger a scan returns).  With ``bits`` well
+        above ``log2 N`` most entries collapse, shrinking the per-hop scan
+        from ``bits`` to ~``log2 N`` candidates."""
+        scan = self._finger_scan
+        if scan is None:
+            # dict.fromkeys deduplicates at C speed keeping first
+            # occurrence, which in the reversed table is the farthest
+            # finger holding each value — the entry the scan must keep.
+            scan = [
+                finger_id
+                for finger_id in dict.fromkeys(reversed(self._fingers))
+                if finger_id is not None
+            ]
+            self._finger_scan = scan
+        return scan
 
     def closest_preceding_finger(self, target: int, excluded: frozenset[int] = frozenset()) -> int:
         """Best known hop towards ``target``: the farthest finger that
@@ -101,18 +140,41 @@ class PeerNode:
         has already found unreachable (timed out), so retries after a failed
         hop make progress instead of looping.
         """
-        for finger_id in reversed(self.fingers):
-            if finger_id is None or finger_id in excluded:
+        # Inlined modular arithmetic: this runs once per routing hop over up
+        # to ``bits`` fingers, so the per-finger cost must stay a couple of
+        # integer ops rather than method calls (in_open == two clockwise
+        # distances plus an inequality).
+        space = self.space
+        mask = space.mask
+        ident = self.ident
+        # target == ident means the open arc is the whole ring minus self.
+        reach = (target - ident) & mask or space.size
+        scan = self._finger_scan
+        if scan is None:
+            scan = self._finger_scan_order()
+        if not excluded:
+            # Fast path for the overwhelmingly common timeout-free lookup:
+            # skip the per-finger membership test entirely.
+            for finger_id in scan:
+                if 0 < (finger_id - ident) & mask < reach:
+                    return finger_id
+            successor_id = self.successor_id
+            if successor_id != ident and 0 < (successor_id - ident) & mask < reach:
+                return successor_id
+            return ident
+        for finger_id in scan:
+            if finger_id in excluded:
                 continue
-            if self.space.in_open(finger_id, self.ident, target):
+            if 0 < (finger_id - ident) & mask < reach:
                 return finger_id
+        successor_id = self.successor_id
         if (
-            self.successor_id != self.ident
-            and self.successor_id not in excluded
-            and self.space.in_open(self.successor_id, self.ident, target)
+            successor_id != ident
+            and successor_id not in excluded
+            and 0 < (successor_id - ident) & mask < reach
         ):
-            return self.successor_id
-        return self.ident
+            return successor_id
+        return ident
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -22,6 +22,9 @@ class RoutingError(NetworkError):
     """Raised when a lookup cannot make progress (partitioned overlay)."""
 
 
+_EMPTY_EXCLUSIONS: frozenset[int] = frozenset()
+
+
 @dataclass(frozen=True)
 class RouteResult:
     """Outcome of one lookup: the owning peer and what it cost."""
@@ -50,6 +53,9 @@ def route_to_key(
         # may degenerate towards successor walking, so allow up to N + slack.
         max_hops = 2 * network.n_peers + network.space.bits
     current = start
+    # Hops are accumulated locally and posted to the ledger in one bulk
+    # record per lookup (including the error paths): final totals are
+    # identical to per-hop recording at a fraction of the ledger calls.
     hops = 0
     timeouts = 0
     if key == current.ident:
@@ -60,49 +66,97 @@ def route_to_key(
     if current.predecessor_id is not None and network.try_node(current.predecessor_id):
         if network.space.in_half_open(key, current.predecessor_id, current.ident):
             return RouteResult(owner=current, hops=0, timeouts=0)
-    while True:
-        # Standard Chord termination: once key ∈ (current, successor], the
-        # successor is the owner.  Predecessor pointers are never consulted
-        # — they may be stale after a crash, but successor pointers define
-        # ownership and are what stabilization keeps correct.
-        excluded: set[int] = set()
-        successor_id = _live_successor(network, current, excluded)
-        if network.space.in_half_open(key, current.ident, successor_id):
-            owner = network.node(successor_id)
-            if owner.ident != current.ident:
-                # Final delivery hop, retransmitted until it gets through.
-                while True:
-                    network.record(MessageType.LOOKUP_HOP)
-                    hops += 1
-                    if network.delivery_succeeds():
-                        break
-            return RouteResult(owner=owner, hops=hops, timeouts=timeouts)
-        next_node = None
-        while next_node is None:
-            candidate = current.closest_preceding_finger(key, frozenset(excluded))
-            if candidate == current.ident:
-                # No live finger precedes the key: fall through to successor.
-                candidate = _live_successor(network, current, excluded)
-            resolved = network.try_node(candidate)
-            network.record(MessageType.LOOKUP_HOP)
-            hops += 1
-            if hops > max_hops:
-                raise RoutingError(
-                    f"lookup for key {key} exceeded {max_hops} hops from {start.ident}"
-                )
-            if not network.delivery_succeeds():
-                continue  # lost in transit: retransmit to the same candidate
-            if resolved is not None and resolved.alive:
-                next_node = resolved
+    # Ring membership tests are inlined modular arithmetic on the hot loop
+    # (key ∈ (current, successor] ⇔ 0 < (key−current) < ∞ mod-distance at
+    # or under the successor's; mod 2**m is a mask AND), and the loss model
+    # is hoisted: at loss_rate 0 every delivery succeeds, so the
+    # retransmission loops collapse to single counted hops.
+    mask = network.space.mask
+    size = network.space.size
+    loss_free = network.loss_rate <= 0.0
+    nodes_get = network._nodes.get
+    try:
+        while True:
+            # Standard Chord termination: once key ∈ (current, successor],
+            # the successor is the owner.  Predecessor pointers are never
+            # consulted — they may be stale after a crash, but successor
+            # pointers define ownership and are what stabilization keeps
+            # correct.
+            excluded: set[int] | None = None
+            ident = current.ident
+            # Inlined `_live_successor` fast path: the primary successor
+            # pointer is almost always live; only fall back to the full
+            # successor-list consult when it is not.
+            successor_id = current.successor_id
+            if successor_id == ident:
+                successor_id = _live_successor(network, current, _EMPTY_EXCLUSIONS)
             else:
-                timeouts += 1
-                excluded.add(candidate)
-        if next_node.ident == current.ident:
-            raise RoutingError(f"lookup for key {key} stuck at peer {current.ident}")
-        current = next_node
+                succ = nodes_get(successor_id)
+                if succ is None or not succ.alive:
+                    successor_id = _live_successor(network, current, _EMPTY_EXCLUSIONS)
+            if successor_id == ident or 0 < (key - ident) & mask <= (successor_id - ident) & mask:
+                owner = network.node(successor_id)
+                if owner.ident != ident:
+                    # Final delivery hop, retransmitted until it arrives.
+                    while True:
+                        hops += 1
+                        if loss_free or network.delivery_succeeds():
+                            break
+                return RouteResult(owner=owner, hops=hops, timeouts=timeouts)
+            next_node = None
+            while next_node is None:
+                if excluded is None:
+                    # Inlined timeout-free fast path of
+                    # PeerNode.closest_preceding_finger (the reference
+                    # implementation, kept there for the excluded case):
+                    # scan the memoized finger order for the farthest
+                    # finger inside (ident, key), then successor, then self.
+                    scan = current._finger_scan
+                    if scan is None:
+                        scan = current._finger_scan_order()
+                    reach = (key - ident) & mask or size
+                    candidate = ident
+                    for finger_id in scan:
+                        if 0 < (finger_id - ident) & mask < reach:
+                            candidate = finger_id
+                            break
+                    if candidate == ident:
+                        successor_id = current.successor_id
+                        if successor_id != ident and 0 < (successor_id - ident) & mask < reach:
+                            candidate = successor_id
+                else:
+                    candidate = current.closest_preceding_finger(key, frozenset(excluded))
+                if candidate == ident:
+                    # No live finger precedes the key: fall to successor.
+                    candidate = _live_successor(
+                        network, current, _EMPTY_EXCLUSIONS if excluded is None else excluded
+                    )
+                resolved = nodes_get(candidate)
+                hops += 1
+                if hops > max_hops:
+                    raise RoutingError(
+                        f"lookup for key {key} exceeded {max_hops} hops from {start.ident}"
+                    )
+                if not loss_free and not network.delivery_succeeds():
+                    continue  # lost in transit: retransmit to same candidate
+                if resolved is not None and resolved.alive:
+                    next_node = resolved
+                else:
+                    timeouts += 1
+                    if excluded is None:
+                        excluded = set()
+                    excluded.add(candidate)
+            if next_node.ident == ident:
+                raise RoutingError(f"lookup for key {key} stuck at peer {current.ident}")
+            current = next_node
+    finally:
+        if hops:
+            network.record(MessageType.LOOKUP_HOP, count=hops)
 
 
-def _live_successor(network: RingNetwork, node: PeerNode, excluded: set[int]) -> int:
+def _live_successor(
+    network: RingNetwork, node: PeerNode, excluded: set[int] | frozenset[int]
+) -> int:
     """The node's first live successor: primary pointer, then the list.
 
     Chord's successor list is exactly this fallback: when the primary
@@ -112,8 +166,13 @@ def _live_successor(network: RingNetwork, node: PeerNode, excluded: set[int]) ->
     maintenance rounds — do we repair through the oracle, modelling the
     out-of-band rejoin a real deployment would perform.
     """
-    candidates = [node.successor_id, *node.successor_list]
-    for candidate in candidates:
+    # Fast path: the primary successor pointer is almost always live.
+    primary = node.successor_id
+    if primary != node.ident and primary not in excluded:
+        resolved = network.try_node(primary)
+        if resolved is not None and resolved.alive:
+            return primary
+    for candidate in node.successor_list:
         if candidate in excluded or candidate == node.ident:
             continue
         resolved = network.try_node(candidate)
@@ -146,11 +205,16 @@ def successor_walk(
         raise ValueError(f"steps must be >= 0, got {steps}")
     visited: list[PeerNode] = []
     current = start
-    for _ in range(steps):
-        network.record(MessageType.SUCCESSOR_WALK)
-        succ = network.try_node(current.successor_id)
-        if succ is None or not succ.alive:
-            succ = network.node(_live_successor(network, current, set()))
-        current = succ
-        visited.append(current)
+    taken = 0
+    try:
+        for _ in range(steps):
+            taken += 1
+            succ = network.try_node(current.successor_id)
+            if succ is None or not succ.alive:
+                succ = network.node(_live_successor(network, current, set()))
+            current = succ
+            visited.append(current)
+    finally:
+        if taken:
+            network.record(MessageType.SUCCESSOR_WALK, count=taken)
     return visited

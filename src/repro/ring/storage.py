@@ -7,70 +7,115 @@ and histogram synopses — logarithmic or linear in *local* size only.
 
 The store is deliberately value-oriented: the simulator never needs item
 payloads, and keeping bare floats lets a million-item network stay cheap.
+Internally the items live in one sorted ``float64`` array, so range counts
+and histogram synopses are single vectorized operations, and every mutation
+bumps a monotone :attr:`LocalStore.version` counter that downstream caches
+(peer summaries, cached value views) key their invalidation on.
 """
 
 from __future__ import annotations
 
-import bisect
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 __all__ = ["LocalStore"]
 
+_EMPTY = np.empty(0, dtype=float)
+
 
 class LocalStore:
-    """A sorted multiset of scalar data values held by one peer."""
+    """A sorted multiset of scalar data values held by one peer.
+
+    Attributes
+    ----------
+    version:
+        Monotone mutation counter.  Any operation that changes the stored
+        multiset increments it; read-only queries never do.  Caches built
+        from the store's contents (e.g. a peer's probe-reply synopsis) are
+        valid exactly as long as the version they were built at.
+    """
+
+    __slots__ = ("_values", "_values_tuple", "version")
 
     def __init__(self, values: Iterable[float] = ()) -> None:
-        self._values: list[float] = sorted(float(v) for v in values)
+        if isinstance(values, np.ndarray):
+            arr = np.sort(values.astype(float, copy=True))
+        else:
+            arr = np.sort(np.asarray([float(v) for v in values], dtype=float))
+        self._values: np.ndarray = arr if arr.size else _EMPTY
+        self._values_tuple: tuple[float, ...] | None = None
+        self.version: int = 0
+
+    def _replace(self, arr: np.ndarray) -> None:
+        """Install a new sorted backing array and invalidate derived caches."""
+        self._values = arr
+        self._values_tuple = None
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Basic container protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._values)
+        return self._values.size
 
     def __iter__(self) -> Iterator[float]:
-        return iter(self._values)
+        return iter(self._values.tolist())
 
     def __contains__(self, value: float) -> bool:
-        i = bisect.bisect_left(self._values, value)
-        return i < len(self._values) and self._values[i] == value
+        i = int(self._values.searchsorted(value, side="left"))
+        return i < self._values.size and self._values[i] == value
 
     @property
     def count(self) -> int:
         """Number of items held (the ``c_p`` of the paper's analysis)."""
-        return len(self._values)
+        return self._values.size
 
     def values(self) -> Sequence[float]:
-        """Read-only view of the sorted values."""
-        return tuple(self._values)
+        """Read-only view of the sorted values.
+
+        The tuple is cached and reused until the next mutation, so repeated
+        read-only calls (serialization, replication snapshots) are O(1)
+        after the first.
+        """
+        if self._values_tuple is None:
+            self._values_tuple = tuple(self._values.tolist())
+        return self._values_tuple
 
     def as_array(self) -> np.ndarray:
-        """Sorted values as a numpy array (copy)."""
-        return np.asarray(self._values, dtype=float)
+        """Sorted values as a numpy array.
+
+        Returns the store's own backing array without copying; treat it as
+        read-only — it is only valid until the next mutation, and writing
+        through it would corrupt the sort invariant and bypass
+        :attr:`version`.
+        """
+        return self._values
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def insert(self, value: float) -> None:
         """Insert one item, keeping sort order."""
-        bisect.insort(self._values, float(value))
+        value = float(value)
+        i = int(self._values.searchsorted(value, side="right"))
+        self._replace(np.insert(self._values, i, value))
 
     def insert_many(self, values: Iterable[float]) -> None:
-        """Bulk insert; re-sorts once, cheaper than repeated inserts."""
-        incoming = [float(v) for v in values]
-        if not incoming:
+        """Bulk insert; one merge-sort pass, cheaper than repeated inserts."""
+        if isinstance(values, np.ndarray):
+            incoming = values.astype(float, copy=False)
+        else:
+            incoming = np.asarray([float(v) for v in values], dtype=float)
+        if incoming.size == 0:
             return
-        self._values.extend(incoming)
-        self._values.sort()
+        self._replace(np.sort(np.concatenate((self._values, incoming))))
 
     def remove(self, value: float) -> bool:
         """Remove one occurrence of ``value``; returns False if absent."""
-        i = bisect.bisect_left(self._values, value)
-        if i < len(self._values) and self._values[i] == value:
-            del self._values[i]
+        i = int(self._values.searchsorted(value, side="left"))
+        if i < self._values.size and self._values[i] == value:
+            self._replace(np.delete(self._values, i))
             return True
         return False
 
@@ -80,16 +125,18 @@ class LocalStore:
         Used for data handoff when a joining peer takes over part of an
         interval, or a leaving peer ships everything to its successor.
         """
-        lo = bisect.bisect_left(self._values, low)
-        hi = bisect.bisect_left(self._values, high)
-        moved = self._values[lo:hi]
-        del self._values[lo:hi]
+        lo, hi = self._values.searchsorted((low, high), side="left")
+        if lo == hi:
+            return []
+        moved = self._values[lo:hi].tolist()
+        self._replace(np.concatenate((self._values[:lo], self._values[hi:])))
         return moved
 
     def pop_all(self) -> list[float]:
         """Remove and return every item."""
-        moved = self._values
-        self._values = []
+        moved = self._values.tolist()
+        if moved:
+            self._replace(_EMPTY)
         return moved
 
     def pop_where(self, predicate) -> list[float]:
@@ -99,9 +146,11 @@ class LocalStore:
         peers is defined in ring-identifier space, which a pure value range
         cannot express when the interval wraps the ring origin.
         """
-        moved = [v for v in self._values if predicate(v)]
+        items = self._values.tolist()
+        keep_mask = [not predicate(v) for v in items]
+        moved = [v for v, keep in zip(items, keep_mask) if not keep]
         if moved:
-            self._values = [v for v in self._values if not predicate(v)]
+            self._replace(self._values[np.asarray(keep_mask, dtype=bool)])
         return moved
 
     # ------------------------------------------------------------------
@@ -109,15 +158,16 @@ class LocalStore:
     # ------------------------------------------------------------------
     def rank_of(self, value: float) -> int:
         """Number of stored items strictly less than ``value``."""
-        return bisect.bisect_left(self._values, value)
+        return int(self._values.searchsorted(value, side="left"))
 
     def count_leq(self, value: float) -> int:
         """Number of stored items ``<= value`` — the local CDF numerator."""
-        return bisect.bisect_right(self._values, value)
+        return int(self._values.searchsorted(value, side="right"))
 
     def count_range(self, low: float, high: float) -> int:
         """Number of items with ``low <= v < high``."""
-        return bisect.bisect_left(self._values, high) - bisect.bisect_left(self._values, low)
+        lo, hi = self._values.searchsorted((low, high), side="left")
+        return int(hi - lo)
 
     def kth(self, k: int) -> float:
         """The item of local rank ``k`` (0-indexed, in sorted order).
@@ -126,21 +176,21 @@ class LocalStore:
         rank routing has located the owning peer and the residual rank,
         ``kth`` finishes the inversion.
         """
-        if not 0 <= k < len(self._values):
-            raise IndexError(f"rank {k} outside [0, {len(self._values)})")
-        return self._values[k]
+        if not 0 <= k < self._values.size:
+            raise IndexError(f"rank {k} outside [0, {self._values.size})")
+        return float(self._values[k])
 
     def min(self) -> float:
         """Smallest stored value."""
-        if not self._values:
+        if not self._values.size:
             raise ValueError("empty store has no minimum")
-        return self._values[0]
+        return float(self._values[0])
 
     def max(self) -> float:
         """Largest stored value."""
-        if not self._values:
+        if not self._values.size:
             raise ValueError("empty store has no maximum")
-        return self._values[-1]
+        return float(self._values[-1])
 
     def histogram_range(self, low: float, high: float, buckets: int) -> np.ndarray:
         """Equi-width bucket counts over ``[low, high)``, range-limited.
@@ -153,16 +203,16 @@ class LocalStore:
             raise ValueError(f"buckets must be >= 1, got {buckets}")
         if not low < high:
             raise ValueError(f"empty synopsis range [{low}, {high})")
-        lo = bisect.bisect_left(self._values, low)
-        hi = bisect.bisect_left(self._values, high)
-        counts = np.zeros(buckets, dtype=np.int64)
+        lo, hi = self._values.searchsorted((low, high), side="left")
         if lo == hi:
-            return counts
-        arr = np.asarray(self._values[lo:hi], dtype=float)
-        idx = np.floor((arr - low) / (high - low) * buckets).astype(np.int64)
-        np.clip(idx, 0, buckets - 1, out=idx)
-        np.add.at(counts, idx, 1)
-        return counts
+            return np.zeros(buckets, dtype=np.int64)
+        arr = self._values[lo:hi]
+        # ``arr >= low`` holds by construction, so the quotient is
+        # non-negative and int truncation equals floor; only the upper
+        # clamp (float rounding can land exactly on ``buckets``) remains.
+        idx = ((arr - low) / (high - low) * buckets).astype(np.int64)
+        np.minimum(idx, buckets - 1, out=idx)
+        return np.bincount(idx, minlength=buckets).astype(np.int64)
 
     def histogram(self, low: float, high: float, buckets: int) -> np.ndarray:
         """Equi-width bucket counts of local items over ``[low, high)``.
@@ -176,11 +226,12 @@ class LocalStore:
             raise ValueError(f"buckets must be >= 1, got {buckets}")
         if not low < high:
             raise ValueError(f"empty synopsis range [{low}, {high})")
-        counts = np.zeros(buckets, dtype=np.int64)
-        if not self._values:
-            return counts
-        arr = np.asarray(self._values, dtype=float)
-        idx = np.floor((arr - low) / (high - low) * buckets).astype(np.int64)
-        np.clip(idx, 0, buckets - 1, out=idx)
-        np.add.at(counts, idx, 1)
-        return counts
+        if not self._values.size:
+            return np.zeros(buckets, dtype=np.int64)
+        # Truncation stands in for floor: negative quotients (items below
+        # ``low``) truncate towards zero but are clamped to bucket 0 either
+        # way, and non-negative quotients truncate exactly like floor.
+        idx = ((self._values - low) / (high - low) * buckets).astype(np.int64)
+        np.maximum(idx, 0, out=idx)
+        np.minimum(idx, buckets - 1, out=idx)
+        return np.bincount(idx, minlength=buckets).astype(np.int64)

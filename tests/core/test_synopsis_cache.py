@@ -1,0 +1,140 @@
+"""The synopsis cache: hits must be exact, invalidation must be airtight.
+
+``summarize_peer`` memoizes each peer's :class:`PeerSummary` against the
+store's mutation counter (plus predecessor pointer and Byzantine flag).
+These tests pin the two properties the cache must never lose:
+
+* a cached reply is *identical* to the one a cold peer would build, so
+  estimation results are byte-for-byte independent of cache state;
+* every mutation path — direct inserts/removes and the churn handoffs —
+  invalidates, so no estimator ever sees a stale synopsis.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import DistributionFreeEstimator
+from repro.core.synopsis import summarize_peer
+from repro.ring import chord
+from repro.ring.network import RingNetwork
+
+from tests.conftest import make_loaded_network
+
+
+def _warm_caches(network: RingNetwork, buckets: int, kind: str) -> None:
+    """Populate every peer's cache (node-local work: touches no RNG)."""
+    for node in network.peers():
+        summarize_peer(network, node, buckets, kind)
+
+
+class TestCacheHits:
+    def test_repeat_summary_is_cached_object(self, normal_network):
+        network, _ = normal_network
+        node = next(network.peers())
+        first = summarize_peer(network, node, 8)
+        second = summarize_peer(network, node, 8)
+        assert second is first
+
+    def test_distinct_parameters_get_distinct_entries(self, normal_network):
+        network, _ = normal_network
+        node = next(network.peers())
+        wide = summarize_peer(network, node, 8, "equi-width")
+        deep = summarize_peer(network, node, 8, "equi-depth")
+        coarse = summarize_peer(network, node, 4, "equi-width")
+        assert wide is not deep
+        assert wide is not coarse
+        assert summarize_peer(network, node, 8, "equi-width") is wide
+
+    def test_cached_equals_cold(self, normal_network):
+        network, _ = normal_network
+        node = next(network.peers())
+        warm = summarize_peer(network, node, 8)
+        node.summary_cache.clear()
+        cold = summarize_peer(network, node, 8)
+        assert cold is not warm
+        assert cold.local_count == warm.local_count
+        assert len(cold.segments) == len(warm.segments)
+        for a, b in zip(cold.segments, warm.segments):
+            assert (a.value_low, a.value_high) == (b.value_low, b.value_high)
+            np.testing.assert_array_equal(a.counts, b.counts)
+
+
+class TestInvalidation:
+    def _node_with_data(self, network):
+        return max(network.peers(), key=lambda n: n.store.count)
+
+    def test_insert_invalidates(self):
+        network, _ = make_loaded_network(n_peers=16, n_items=1_000)
+        node = self._node_with_data(network)
+        before = summarize_peer(network, node, 8)
+        node.store.insert(float(node.store.min()))
+        after = summarize_peer(network, node, 8)
+        assert after is not before
+        assert after.local_count == before.local_count + 1
+
+    def test_remove_invalidates(self):
+        network, _ = make_loaded_network(n_peers=16, n_items=1_000)
+        node = self._node_with_data(network)
+        before = summarize_peer(network, node, 8)
+        assert node.store.remove(float(node.store.min()))
+        after = summarize_peer(network, node, 8)
+        assert after is not before
+        assert after.local_count == before.local_count - 1
+
+    def test_failed_remove_keeps_cache(self):
+        network, _ = make_loaded_network(n_peers=16, n_items=1_000)
+        node = self._node_with_data(network)
+        before = summarize_peer(network, node, 8)
+        missing = float(node.store.max()) + 1.0
+        assert not node.store.remove(missing)
+        assert summarize_peer(network, node, 8) is before
+
+    def test_join_handoff_invalidates_successor(self):
+        network, _ = make_loaded_network(n_peers=16, n_items=2_000)
+        successor = self._node_with_data(network)
+        before = summarize_peer(network, successor, 8)
+        # Split the successor's arc in half; it hands items to the joiner.
+        assert successor.predecessor_id is not None
+        midpoint = network.space.add(
+            successor.predecessor_id,
+            network.space.distance(successor.predecessor_id, successor.ident) // 2,
+        )
+        joiner = chord.join(network, midpoint)
+        after = summarize_peer(network, successor, 8)
+        assert after is not before
+        assert after.local_count + joiner.store.count == before.local_count
+
+    def test_leave_handoff_invalidates_successor(self):
+        network, _ = make_loaded_network(n_peers=16, n_items=2_000)
+        leaver = self._node_with_data(network)
+        successor = network.node(leaver.successor_id)
+        before = summarize_peer(network, successor, 8)
+        moved = leaver.store.count
+        chord.leave_gracefully(network, leaver.ident)
+        after = summarize_peer(network, successor, 8)
+        assert after is not before
+        assert after.local_count == before.local_count + moved
+
+
+class TestCacheTransparency:
+    """Warm-cache probe runs must match cold-cache runs byte for byte."""
+
+    @pytest.mark.parametrize("placement", ["uniform", "stratified"])
+    @pytest.mark.parametrize("kind", ["equi-width", "equi-depth"])
+    def test_estimates_identical_warm_vs_cold(self, placement, kind):
+        estimator = DistributionFreeEstimator(
+            probes=24, synopsis_buckets=8, placement=placement, synopsis_kind=kind
+        )
+        cold_net, _ = make_loaded_network(n_peers=48, n_items=3_000, seed=11)
+        warm_net, _ = make_loaded_network(n_peers=48, n_items=3_000, seed=11)
+        _warm_caches(warm_net, 8, kind)
+
+        cold = estimator.estimate(cold_net, rng=np.random.default_rng(7))
+        warm = estimator.estimate(warm_net, rng=np.random.default_rng(7))
+
+        np.testing.assert_array_equal(cold.cdf.xs, warm.cdf.xs)
+        np.testing.assert_array_equal(cold.cdf.fs, warm.cdf.fs)
+        assert cold.n_items == warm.n_items
+        assert cold.n_peers == warm.n_peers
+        assert cold.messages == warm.messages
+        assert cold.hops == warm.hops

@@ -34,3 +34,22 @@ class TestCli:
     def test_lowercase_ids_accepted(self, capsys):
         assert main(["t1"]) == 0
         assert "T1" in capsys.readouterr().out
+
+
+class TestWorkersFlag:
+    def _tables_only(self, text: str) -> str:
+        return "\n".join(
+            line for line in text.splitlines() if "finished in" not in line
+        )
+
+    def test_workers_output_identical(self, capsys):
+        assert main(["T1", "F9", "--scale", "0.05", "--seed", "3"]) == 0
+        serial = self._tables_only(capsys.readouterr().out)
+        assert main(["T1", "F9", "--scale", "0.05", "--seed", "3", "--workers", "2"]) == 0
+        fanned = self._tables_only(capsys.readouterr().out)
+        assert serial == fanned
+
+    def test_workers_single_experiment(self, capsys):
+        assert main(["F1", "--scale", "0.05", "--seed", "3", "--workers", "2"]) == 0
+        serial_out = capsys.readouterr().out
+        assert "[F1 finished" in serial_out

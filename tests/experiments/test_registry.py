@@ -75,3 +75,49 @@ class TestExperimentShapes:
         model_rows = [r for r in table.rows if r["mode"] == "model"]
         assert model_rows
         assert all(r["network_messages"] == 0 for r in model_rows)
+
+
+class TestParallelRunner:
+    """--workers is a pure speedup: tables are identical for any N."""
+
+    def test_f1_workers_bit_identical(self):
+        serial = run_experiment("F1", scale=TINY, seed=1, workers=1)
+        fanned = run_experiment("F1", scale=TINY, seed=1, workers=4)
+        assert serial.rows == fanned.rows
+        assert serial.to_text() == fanned.to_text()
+
+    def test_f2_workers_bit_identical(self):
+        serial = run_experiment("F2", scale=TINY, seed=1, workers=1)
+        fanned = run_experiment("F2", scale=TINY, seed=1, workers=4)
+        assert serial.rows == fanned.rows
+
+    def test_sequential_experiment_ignores_workers(self):
+        # F5 shares one fixture across its grid; workers must be a no-op.
+        serial = run_experiment("F5", scale=TINY, seed=1)
+        fanned = run_experiment("F5", scale=TINY, seed=1, workers=4)
+        assert serial.rows == fanned.rows
+
+    def test_run_all_workers_bit_identical(self):
+        from repro.experiments.registry import run_all
+
+        serial = run_all(scale=TINY, seed=1, workers=1)
+        fanned = run_all(scale=TINY, seed=1, workers=4)
+        assert [t.experiment_id for t in serial] == [t.experiment_id for t in fanned]
+        assert [t.rows for t in serial] == [t.rows for t in fanned]
+
+
+class TestMeasuredRunTiming:
+    def test_wall_clock_keys_present(self):
+        import numpy as np
+
+        from repro.core.estimator import DistributionFreeEstimator
+        from repro.experiments.common import measure_estimator
+        from repro.experiments.config import setup_network
+
+        fixture = setup_network("normal", n_peers=48, n_items=1_500, seed=2)
+        run_stats = measure_estimator(
+            fixture, DistributionFreeEstimator(probes=8), repetitions=3, seed=2
+        )
+        assert run_stats["wall_s"] > 0.0
+        assert run_stats["wall_s_std"] >= 0.0
+        assert np.isfinite(run_stats["wall_s"])

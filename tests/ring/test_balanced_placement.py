@@ -175,3 +175,34 @@ class TestVirtualNodes:
             )
 
         assert host_gini(8) < host_gini(1)
+
+    def test_host_attribution_survives_churn(self):
+        """host_loads keeps attributing items to the right physical host
+        after virtual nodes leave: a departing node's items land on its
+        successor's host, and the totals stay consistent with the
+        per-node stores."""
+        from repro.data.workload import build_dataset
+        from repro.ring import chord
+        from repro.ring.network import RingNetwork
+
+        data = build_dataset("uniform", 4_000, seed=8)
+        network = RingNetwork.create_virtual(8, 4, seed=8)
+        network.load_data(data.values)
+
+        leaver = max(network.peers(), key=lambda n: n.store.count)
+        receiving_host = network.node(leaver.successor_id).host_id
+        moved = leaver.store.count
+        before = network.host_loads()
+        chord.leave_gracefully(network, leaver.ident)
+        after = network.host_loads()
+
+        assert sum(after.values()) == 4_000
+        expected = dict(before)
+        expected[leaver.host_id] -= moved
+        expected[receiving_host] = expected.get(receiving_host, 0) + moved
+        assert after == expected
+        # Ground truth: recompute attribution straight from the stores.
+        recomputed: dict[int, int] = {}
+        for node in network.peers():
+            recomputed[node.host_id] = recomputed.get(node.host_id, 0) + node.store.count
+        assert after == recomputed

@@ -162,3 +162,42 @@ class TestLedger:
         assert network.stats.messages == 3
         network.reset_stats()
         assert network.stats.messages == 0
+
+
+class TestRegistryViewCaching:
+    """peer_ids()/sorted_ids_array() are cached and churn-invalidated."""
+
+    def test_peer_ids_returns_same_tuple_until_membership_changes(self):
+        network = RingNetwork.create(24, seed=11)
+        first = network.peer_ids()
+        assert network.peer_ids() is first
+
+    def test_peer_ids_invalidated_by_join_and_leave(self):
+        from repro.ring import chord
+
+        network = RingNetwork.create(24, seed=11)
+        before = network.peer_ids()
+        newcomer = chord.join(network, chord.random_unused_identifier(network))
+        after_join = network.peer_ids()
+        assert after_join is not before
+        assert newcomer.ident in after_join and newcomer.ident not in before
+        chord.leave_gracefully(network, newcomer.ident)
+        after_leave = network.peer_ids()
+        assert after_leave is not after_join
+        assert tuple(after_leave) == tuple(before)
+
+    def test_sorted_ids_array_matches_peer_ids(self):
+        network = RingNetwork.create(24, seed=12)
+        arr = network.sorted_ids_array()
+        assert network.sorted_ids_array() is arr
+        assert arr.dtype == np.uint64
+        assert tuple(int(i) for i in arr) == tuple(network.peer_ids())
+
+    def test_crash_invalidates_views(self):
+        from repro.ring import chord
+
+        network = RingNetwork.create(24, seed=13)
+        victim = list(network.peer_ids())[5]
+        chord.crash(network, victim)
+        assert victim not in network.peer_ids()
+        assert victim not in set(int(i) for i in network.sorted_ids_array())

@@ -177,3 +177,39 @@ class TestHistogram:
         store = LocalStore(values)
         listed = list(store)
         assert listed == sorted(listed)
+
+
+class TestCachedViews:
+    """values() is a cached tuple; as_array() is the live backing array."""
+
+    def test_values_cached_until_mutation(self):
+        store = LocalStore([0.3, 0.1, 0.2])
+        first = store.values()
+        assert store.values() is first
+        assert first == (0.1, 0.2, 0.3)
+        store.insert(0.15)
+        second = store.values()
+        assert second is not first
+        assert second == (0.1, 0.15, 0.2, 0.3)
+
+    def test_values_are_python_floats(self):
+        store = LocalStore([0.5])
+        assert all(type(v) is float for v in store.values())
+
+    def test_remove_and_pop_invalidate(self):
+        store = LocalStore([0.1, 0.2, 0.3, 0.4])
+        first = store.values()
+        assert store.remove(0.2)
+        assert store.values() is not first
+        second = store.values()
+        store.pop_range(0.0, 0.35)
+        assert store.values() is not second
+        assert store.values() == (0.4,)
+
+    def test_version_counts_mutations(self):
+        store = LocalStore()
+        v0 = store.version
+        store.insert(0.5)
+        store.insert_many([0.1, 0.9])
+        store.pop_all()
+        assert store.version == v0 + 3
