@@ -12,6 +12,7 @@ run ``repro-experiments <ID> --scale 1.0`` for full-size numbers.
 from __future__ import annotations
 
 import os
+import warnings
 
 from repro.experiments.registry import run_experiment
 
@@ -23,12 +24,28 @@ def _bench_workers() -> int:
 
     Defaults to 1 so timings measure the serial hot path; setting the
     variable exercises the fan-out without changing any table (results are
-    identical for every worker count).
+    identical for every worker count).  A value that is not a positive
+    integer falls back to 1 with a warning — a typo'd setting should not
+    silently re-time the serial path while claiming to fan out.
     """
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "1")
     try:
-        return max(int(os.environ.get("REPRO_BENCH_WORKERS", "1")), 1)
+        workers = int(raw)
     except ValueError:
+        warnings.warn(
+            f"REPRO_BENCH_WORKERS={raw!r} is not an integer; benchmarking with 1 worker",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return 1
+    if workers < 1:
+        warnings.warn(
+            f"REPRO_BENCH_WORKERS={raw!r} must be >= 1; benchmarking with 1 worker",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 1
+    return workers
 
 
 def regenerate(benchmark, experiment_id: str, scale: float, seed: int = 0):

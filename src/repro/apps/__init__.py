@@ -16,9 +16,22 @@ from repro.apps.load_balance import (
     predict_peer_loads,
     rebalanced_boundaries,
 )
-from repro.apps.range_query import QueryPlan, QueryResult, execute_range_query, plan_range_query
+from repro.apps.range_query import (
+    QueryPlan,
+    QueryResult,
+    execute_range_query,
+    plan_range_query,
+    plan_range_queries,
+    true_range_counts,
+)
 from repro.apps.sampling_service import SamplingService
-from repro.apps.selectivity import SelectivityReport, estimate_selectivity, evaluate_selectivity
+from repro.apps.selectivity import (
+    SelectivityReport,
+    estimate_selectivities,
+    estimate_selectivity,
+    evaluate_selectivity,
+    true_selectivities,
+)
 
 __all__ = [
     "AggregateAnswer",
@@ -32,13 +45,17 @@ __all__ = [
     "analyze_load_balance",
     "build_equi_depth_histogram",
     "coefficient_of_variation",
+    "estimate_selectivities",
     "estimate_selectivity",
     "evaluate_aggregates",
     "evaluate_equi_depth",
     "evaluate_selectivity",
     "execute_range_query",
     "gini_coefficient",
+    "plan_range_queries",
     "plan_range_query",
     "predict_peer_loads",
     "rebalanced_boundaries",
+    "true_range_counts",
+    "true_selectivities",
 ]

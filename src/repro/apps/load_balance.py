@@ -64,27 +64,49 @@ def predict_peer_loads(network: RingNetwork, estimate: DensityEstimate) -> np.nd
     counts, which is the whole point of predicting.
     """
     low, high = network.domain
-    predictions = []
-    for node in network.peers():
+    to_value = network.data_hash.to_value
+    space_add = network.space.add
+    nodes = list(network.peers())
+    # Translate every ownership arc to value segments first (cheap integer
+    # and hash arithmetic), then evaluate the CDF over all segment bounds
+    # in two vectorised passes instead of two scalar calls per peer.  A
+    # wrapped arc contributes two segments (one at each domain end), so
+    # the per-peer masses are accumulated by segment owner.
+    base = np.zeros(len(nodes), dtype=float)
+    seg_low: list[float] = []
+    seg_high: list[float] = []
+    seg_owner: list[int] = []
+    for index, node in enumerate(nodes):
         interval = node.interval
         if interval.start == interval.end:
-            mass = 1.0
+            base[index] = 1.0
         elif interval.start < interval.end:
-            a = network.data_hash.to_value(network.space.add(interval.start, 1))
-            after = network.space.add(interval.end, 1)
-            b = high if after == 0 else network.data_hash.to_value(after)
-            mass = max(estimate.cdf.mass_between(min(a, b), max(a, b)), 0.0)
+            a = to_value(space_add(interval.start, 1))
+            after = space_add(interval.end, 1)
+            b = high if after == 0 else to_value(after)
+            seg_low.append(min(a, b))
+            seg_high.append(max(a, b))
+            seg_owner.append(index)
         else:
             # Wrapped arc: mass at both domain ends.
-            first_start = network.space.add(interval.start, 1)
-            mass = 0.0
+            first_start = space_add(interval.start, 1)
             if first_start != 0:
-                a = network.data_hash.to_value(first_start)
-                mass += max(estimate.cdf.mass_between(min(a, high), high), 0.0)
-            b = network.data_hash.to_value(interval.end + 1)
-            mass += max(estimate.cdf.mass_between(low, max(b, low)), 0.0)
-        predictions.append(mass * estimate.n_items)
-    return np.asarray(predictions, dtype=float)
+                a = to_value(first_start)
+                seg_low.append(min(a, high))
+                seg_high.append(high)
+                seg_owner.append(index)
+            b = to_value(interval.end + 1)
+            seg_low.append(low)
+            seg_high.append(max(b, low))
+            seg_owner.append(index)
+    if seg_low:
+        cdf = estimate.cdf
+        masses = cdf(np.asarray(seg_high, dtype=float)) - cdf(
+            np.asarray(seg_low, dtype=float)
+        )
+        np.maximum(masses, 0.0, out=masses)
+        np.add.at(base, seg_owner, masses)
+    return base * estimate.n_items
 
 
 @dataclass(frozen=True)

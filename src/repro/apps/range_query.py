@@ -12,17 +12,24 @@ paper's introduction motivates, end to end.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.estimate import DensityEstimate
-from repro.data.workload import RangeQuery
+from repro.data.workload import RangeQuery, RangeQueryWorkload
 from repro.ring.messages import MessageType
 from repro.ring.network import RingNetwork
 from repro.ring.routing import route_to_value, successor_walk
 
-__all__ = ["QueryResult", "QueryPlan", "execute_range_query", "plan_range_query"]
+__all__ = [
+    "QueryResult",
+    "QueryPlan",
+    "execute_range_query",
+    "plan_range_query",
+    "plan_range_queries",
+    "true_range_counts",
+]
 
 
 @dataclass(frozen=True)
@@ -64,7 +71,7 @@ def execute_range_query(
     peers_visited = 0
     while True:
         peers_visited += 1
-        matches = [v for v in current.store if low <= v < high]
+        matches = current.store.values_in_range(low, high)
         network.record_rpc(
             MessageType.PROBE_REQUEST, MessageType.PROBE_REPLY, reply_payload=len(matches)
         )
@@ -158,3 +165,64 @@ def plan_range_query(
         expected_messages=expected_messages,
         admitted=admitted,
     )
+
+
+def plan_range_queries(
+    network: RingNetwork,
+    estimate: DensityEstimate,
+    workload: RangeQueryWorkload | Sequence[RangeQuery],
+    max_items: Optional[float] = None,
+) -> list[QueryPlan]:
+    """Plan a whole workload at once — the planner's batch entry point.
+
+    All query bounds go through two vectorised CDF evaluations, then the
+    cost model runs as array arithmetic.  Element ``i`` equals
+    ``plan_range_query(network, estimate, queries[i], max_items)``.
+    """
+    queries = list(workload)
+    if not queries:
+        return []
+    lows = np.asarray([q.low for q in queries], dtype=float)
+    highs = np.asarray([q.high for q in queries], dtype=float)
+    cdf = estimate.cdf
+    masses = cdf(highs) - cdf(lows)
+    expected_items = masses * estimate.n_items
+    low, high = network.domain
+    ring_share = (np.minimum(highs, high) - np.maximum(lows, low)) / (high - low)
+    np.maximum(ring_share, 0.0, out=ring_share)
+    expected_peers = np.maximum(ring_share * estimate.n_peers, 1.0)
+    lookup = max(np.log2(max(estimate.n_peers, 2.0)) / 2.0, 1.0)
+    expected_messages = lookup + 2.0 * expected_peers
+    return [
+        QueryPlan(
+            expected_items=float(expected_items[i]),
+            expected_peers=float(expected_peers[i]),
+            expected_messages=float(expected_messages[i]),
+            admitted=max_items is None or float(expected_items[i]) <= max_items,
+        )
+        for i in range(len(queries))
+    ]
+
+
+def true_range_counts(
+    network: RingNetwork, workload: RangeQueryWorkload | Sequence[RangeQuery]
+) -> np.ndarray:
+    """Exact result size of every query, from the snapshot plane.
+
+    Bisects the packed sorted global value array once per bound — the
+    oracle the planner's ``expected_items`` is judged against, without
+    touching any peer.  Clamping to the domain mirrors
+    :func:`execute_range_query`, so element ``i`` equals the ``count`` of
+    executing ``queries[i]``.
+    """
+    queries = list(workload)
+    if not queries:
+        return np.empty(0, dtype=np.int64)
+    values = network.snapshot().sorted_values
+    low, high = network.domain
+    lows = np.maximum(np.asarray([q.low for q in queries], dtype=float), low)
+    highs = np.minimum(np.asarray([q.high for q in queries], dtype=float), high)
+    counts = np.searchsorted(values, highs, side="left") - np.searchsorted(
+        values, lows, side="left"
+    )
+    return np.maximum(counts, 0).astype(np.int64)

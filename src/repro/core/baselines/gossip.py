@@ -75,10 +75,27 @@ def _pass_setup(
     peer_ids = [node.ident for node in nodes]
     n = len(peer_ids)
     base_values = np.zeros((n, buckets + 1), dtype=float)
-    for index, node in enumerate(nodes):
-        base_values[index, :buckets] = node.store.histogram_range(
-            low, np.nextafter(high, np.inf), buckets
-        )
+    # All N local histograms in one pass over the snapshot's packed value
+    # array (per-peer segments in sorted-id order): the bin formula is the
+    # one from LocalStore.histogram_range applied elementwise, and flat
+    # bincount splits the counts per peer.  Rows are permuted back to the
+    # iteration order of ``nodes``.
+    snap = network.snapshot()
+    hi_open = np.nextafter(high, np.inf)
+    width = hi_open - low
+    vals = snap.values
+    inside = (vals >= low) & (vals < hi_open)
+    sel = vals[inside] if not inside.all() else vals
+    bucket_idx = ((sel - low) / width * buckets).astype(np.int64)
+    np.minimum(bucket_idx, buckets - 1, out=bucket_idx)
+    peer_idx = np.repeat(np.arange(n, dtype=np.int64), snap.counts)
+    if sel is not vals:
+        peer_idx = peer_idx[inside]
+    hist = np.bincount(
+        peer_idx * buckets + bucket_idx, minlength=n * buckets
+    ).reshape(n, buckets)
+    rows = np.searchsorted(snap.ids, np.asarray(peer_ids, dtype=np.uint64))
+    base_values[:, :buckets] = hist[rows]
     index_of = {ident: i for i, ident in enumerate(peer_ids)}
     candidate_indices: list[Optional[list[int]]] = []
     for node in nodes:

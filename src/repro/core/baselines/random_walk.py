@@ -46,7 +46,10 @@ def _overlay_views(network: RingNetwork) -> tuple[dict[int, list[int]], _LiveCac
     cached = _OVERLAY_CACHE.get(network)
     if cached is not None and cached[0] == token:
         return cached[1], cached[2]
-    adjacency = _build_adjacency(network)
+    # The snapshot plane assembles the same symmetrized graph from its
+    # successor/predecessor/finger matrices in a handful of vectorized
+    # passes; ``_build_adjacency`` below remains the scalar reference.
+    adjacency = network.snapshot().adjacency()
     live_cache: _LiveCache = {}
     _OVERLAY_CACHE[network] = (token, adjacency, live_cache)
     return adjacency, live_cache

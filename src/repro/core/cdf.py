@@ -55,12 +55,28 @@ class PiecewiseCDF:
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def from_samples(cls, values: Sequence[float]) -> "PiecewiseCDF":
-        """Exact empirical (step) CDF of a sample."""
-        arr = np.sort(np.asarray(values, dtype=float))
+    def from_samples(cls, values: Sequence[float], presorted: bool = False) -> "PiecewiseCDF":
+        """Exact empirical (step) CDF of a sample.
+
+        ``presorted=True`` skips the sort *and* the second sort hidden in
+        ``np.unique`` — callers holding the snapshot plane's already-sorted
+        ground truth (``RingNetwork.all_values``) build identical CDFs in
+        one linear pass.
+        """
+        arr = np.asarray(values, dtype=float)
+        if not presorted:
+            arr = np.sort(arr)
         if arr.size == 0:
             raise ValueError("cannot build an empirical CDF from no samples")
-        unique, counts = np.unique(arr, return_counts=True)
+        if presorted:
+            keep = np.empty(arr.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(arr[1:], arr[:-1], out=keep[1:])
+            unique = arr[keep]
+            starts = np.flatnonzero(keep)
+            counts = np.diff(np.append(starts, arr.size))
+        else:
+            unique, counts = np.unique(arr, return_counts=True)
         fs = np.cumsum(counts) / arr.size
         return cls(unique, fs, kind="step")
 
@@ -188,6 +204,6 @@ class PiecewiseCDF:
         )
 
 
-def empirical_cdf(values: Sequence[float]) -> PiecewiseCDF:
+def empirical_cdf(values: Sequence[float], presorted: bool = False) -> PiecewiseCDF:
     """Convenience alias for :meth:`PiecewiseCDF.from_samples`."""
-    return PiecewiseCDF.from_samples(values)
+    return PiecewiseCDF.from_samples(values, presorted=presorted)

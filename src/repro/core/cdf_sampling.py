@@ -30,7 +30,7 @@ from repro.core.cdf import PiecewiseCDF
 from repro.core.synopsis import PeerSummary, summarize_peer
 from repro.ring.messages import MessageType
 from repro.ring.network import RingNetwork
-from repro.ring.routing import route_to_key
+from repro.ring.routing import route_probes_batch, route_to_key
 
 __all__ = [
     "ProbeResult",
@@ -147,11 +147,11 @@ def _collect_probes_batch(
     buckets: int,
     synopsis_kind: str,
 ) -> list[ProbeResult]:
-    """Loss-free probe batch: bulk ledger updates, memoized summaries."""
+    """Loss-free probe batch: lockstep routing, bulk ledger, memoized summaries."""
     entries = [network.random_peer() for _ in range(len(targets))]
+    routes = route_probes_batch(network, entries, [int(target) for target in targets])
     results: list[ProbeResult] = []
-    for entry, target in zip(entries, targets):
-        route = route_to_key(network, entry, int(target))
+    for route, target in zip(routes, targets):
         summary = summarize_peer(network, route.owner, buckets, kind=synopsis_kind)
         results.append(ProbeResult(target=int(target), summary=summary, hops=route.hops))
     if results:

@@ -25,6 +25,8 @@ def inverse_transform_sample(
     cdf: PiecewiseCDF, n: int, rng: Optional[np.random.Generator] = None
 ) -> np.ndarray:
     """Draw ``n`` variates from ``cdf`` by plain inversion."""
+    if n < 0:
+        raise ValueError(f"sample size must be >= 0, got {n}")
     generator = rng if rng is not None else np.random.default_rng()
     return cdf.sample(n, generator)
 

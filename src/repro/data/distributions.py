@@ -86,14 +86,43 @@ class Distribution(ABC):
         ``draw(k, rng)`` produces ``k`` base draws.  Raises if acceptance is
         pathologically low, which indicates a misconfigured truncation.
         """
+        if n <= 0:
+            return np.empty(0, dtype=float)
+        low = self.domain.low
+        high = self.domain.high
+        if n == 1:
+            # Update streams sample one value at a time, so this path runs
+            # hundreds of thousands of times per experiment.  Draw the same
+            # 16-wide batch the general path would (the consumed RNG stream
+            # is unchanged), then scan it as Python floats: the first
+            # in-domain value is exactly ``kept[0]`` below, without the
+            # four small-array kernel launches of the mask-and-select.
+            for _ in range(max_rounds):
+                for value in draw(16, rng).tolist():
+                    if low <= value <= high:
+                        return np.array([value], dtype=float)
+            raise RuntimeError(
+                f"{self.name}: rejection sampling accepted too few draws; "
+                "truncation bounds capture almost no probability mass"
+            )
+        # First round inline: for small n (estimation streams sample one
+        # value at a time) the first batch nearly always suffices, and the
+        # output buffer plus copy loop can be skipped entirely.  Draw sizes
+        # and order are identical to the general loop, so the consumed RNG
+        # stream — and therefore every downstream draw — is unchanged.
+        batch = draw(max(n * 2, 16), rng)
+        kept = batch[(batch >= low) & (batch <= high)]
+        if kept.size >= n:
+            return kept if kept.size == n else kept[:n]
         out = np.empty(n, dtype=float)
-        filled = 0
-        for _ in range(max_rounds):
+        out[: kept.size] = kept
+        filled = kept.size
+        for _ in range(max_rounds - 1):
             if filled >= n:
                 break
             needed = n - filled
             batch = draw(max(needed * 2, 16), rng)
-            kept = batch[(batch >= self.domain.low) & (batch <= self.domain.high)]
+            kept = batch[(batch >= low) & (batch <= high)]
             take = min(kept.size, needed)
             out[filled : filled + take] = kept[:take]
             filled += take

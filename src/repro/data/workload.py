@@ -9,7 +9,7 @@ lives in :mod:`repro.ring.churn`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Literal, Optional
+from typing import Iterator, Literal, NamedTuple, Optional
 
 import numpy as np
 
@@ -61,9 +61,13 @@ def build_dataset(
     return Dataset(values=values, distribution=distribution, seed=seed)
 
 
-@dataclass(frozen=True)
-class UpdateOp:
-    """One data update: insert a fresh value or delete an existing one."""
+class UpdateOp(NamedTuple):
+    """One data update: insert a fresh value or delete an existing one.
+
+    A named tuple rather than a dataclass: streams yield hundreds of
+    thousands of these per drift round, and tuple construction skips the
+    frozen-dataclass ``__setattr__`` round-trip.
+    """
 
     kind: Literal["insert", "delete"]
     value: float
@@ -102,15 +106,23 @@ class UpdateStream:
         """Yield ``count`` update operations, mutating the live set."""
         if count < 0:
             raise ValueError(f"count must be >= 0, got {count}")
+        # Hot generator: RNG methods and the live list are hoisted (the
+        # list is never rebound, so the local alias stays valid), while
+        # ``insert_distribution`` is read per op — callers may swap it
+        # between pulls to model drift.
+        rng = self._rng
+        random = rng.random
+        integers = rng.integers
+        live = self._live
+        insert_fraction = self.insert_fraction
         for _ in range(count):
-            do_insert = self._rng.random() < self.insert_fraction or not self._live
-            if do_insert:
-                value = float(self.insert_distribution.sample(1, self._rng)[0])
-                self._live.append(value)
+            if random() < insert_fraction or not live:
+                value = float(self.insert_distribution.sample(1, rng)[0])
+                live.append(value)
                 yield UpdateOp("insert", value)
             else:
-                index = int(self._rng.integers(0, len(self._live)))
-                value = self._live.pop(index)
+                index = int(integers(0, len(live)))
+                value = live.pop(index)
                 yield UpdateOp("delete", value)
 
 

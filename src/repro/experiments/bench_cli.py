@@ -1,0 +1,225 @@
+"""Command-line entry point: ``repro-bench``.
+
+Times a selection of experiments (by default the churn-heavy trio
+F6/F11/F12 that the snapshot plane targets) and records the perf
+trajectory as JSON: per-bench wall-clock medians, machine info, and the
+git sha.  With ``--baseline`` pointing at a previously committed file,
+the run fails when any shared bench regressed by more than the threshold
+— the CI smoke check against the repository's committed trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Callable, Optional, Sequence
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main", "build_payload", "check_regression"]
+
+DEFAULT_BENCHES = ("F6", "F11", "F12")
+DEFAULT_THRESHOLD = 0.25
+
+
+def _git_sha() -> Optional[str]:
+    """The current commit sha, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def machine_info() -> dict[str, object]:
+    """Hardware/interpreter context the timings were taken on."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def time_experiment(
+    experiment_id: str,
+    scale: float,
+    seed: int,
+    repetitions: int,
+    runner: Callable[..., object] = run_experiment,
+    warmup: int = 1,
+) -> dict[str, object]:
+    """Median wall time (seconds) over ``repetitions`` runs of one bench.
+
+    ``warmup`` untimed runs absorb one-time costs (lazy imports, numpy
+    dispatch caches) so the recorded medians compare steady-state work.
+    """
+    for _ in range(warmup):
+        runner(experiment_id, scale=scale, seed=seed)
+    runs: list[float] = []
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        runner(experiment_id, scale=scale, seed=seed)
+        runs.append(time.perf_counter() - started)
+    ordered = sorted(runs)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        median = ordered[mid]
+    else:
+        median = (ordered[mid - 1] + ordered[mid]) / 2.0
+    return {"median_s": median, "runs_s": runs}
+
+
+def build_payload(
+    benches: dict[str, dict[str, object]], scale: float, seed: int, repetitions: int
+) -> dict[str, object]:
+    """The JSON document ``repro-bench --json`` writes."""
+    return {
+        "schema": 1,
+        "git_sha": _git_sha(),
+        "machine": machine_info(),
+        "scale": scale,
+        "seed": seed,
+        "repetitions": repetitions,
+        "benches": benches,
+    }
+
+
+def check_regression(
+    current: dict[str, object],
+    baseline: dict[str, object],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[str]:
+    """Benches slower than ``baseline`` by more than ``threshold``.
+
+    Only benches present in both documents are compared, and only when
+    the runs used the same scale — medians at different scales measure
+    different work.  Returns human-readable failure lines (empty = pass).
+    """
+    if current.get("scale") != baseline.get("scale"):
+        return []
+    failures = []
+    current_benches = current.get("benches", {})
+    for name, base in baseline.get("benches", {}).items():
+        now = current_benches.get(name)
+        if now is None:
+            continue
+        base_median = float(base["median_s"])
+        now_median = float(now["median_s"])
+        if base_median <= 0:
+            continue
+        ratio = now_median / base_median
+        if ratio > 1.0 + threshold:
+            failures.append(
+                f"{name}: {now_median:.3f}s vs baseline {base_median:.3f}s "
+                f"({(ratio - 1.0) * 100.0:.0f}% slower, threshold {threshold * 100.0:.0f}%)"
+            )
+    return failures
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Time experiments and persist the perf trajectory as JSON.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids to bench (default: {', '.join(DEFAULT_BENCHES)})",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the trajectory JSON here (e.g. BENCH_PR2.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=(
+            "previously committed trajectory to compare against; the run "
+            "fails on regression beyond --threshold (missing file = skip)"
+        ),
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed slowdown fraction vs the baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="experiment scale factor (default 1.0)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=3,
+        help="timed runs per bench; the median is recorded (default 3)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    ids = [e.upper() for e in args.experiments] or list(DEFAULT_BENCHES)
+    unknown = [e for e in ids if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        return 2
+    if args.repetitions < 1:
+        print("--repetitions must be >= 1", file=sys.stderr)
+        return 2
+
+    benches: dict[str, dict[str, object]] = {}
+    for experiment_id in ids:
+        result = time_experiment(experiment_id, args.scale, args.seed, args.repetitions)
+        benches[experiment_id] = result
+        print(f"{experiment_id}: median {result['median_s']:.3f}s over {args.repetitions} runs")
+    payload = build_payload(benches, args.scale, args.seed, args.repetitions)
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"trajectory written to {args.json}")
+
+    if args.baseline:
+        if not os.path.exists(args.baseline):
+            print(f"baseline {args.baseline} not found; skipping regression check")
+            return 0
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        if payload.get("scale") != baseline.get("scale"):
+            print(
+                f"baseline scale {baseline.get('scale')} != current scale "
+                f"{payload.get('scale')}; skipping regression check"
+            )
+            return 0
+        failures = check_regression(payload, baseline, args.threshold)
+        if failures:
+            for line in failures:
+                print(f"REGRESSION {line}", file=sys.stderr)
+            return 1
+        print("no regression vs baseline")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

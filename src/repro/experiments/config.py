@@ -92,5 +92,5 @@ def setup_network(
     )
     network.load_data(dataset.values)
     network.reset_stats()
-    truth = empirical_cdf(network.all_values())
+    truth = empirical_cdf(network.all_values(), presorted=True)
     return NetworkFixture(network=network, dataset=dataset, truth=truth, distribution=dist)

@@ -66,7 +66,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ResultTable:
                 network, fraction, behavior, rng=np.random.default_rng(seed + 41)
             )
             # Truth is the honest data — the lie only exists in replies.
-            truth = empirical_cdf(network.all_values())
+            truth = empirical_cdf(network.all_values(), presorted=True)
             grid = np.linspace(*domain, DEFAULTS.grid_points)
             for defense, estimator in (
                 ("none", DistributionFreeEstimator(probes=probes)),

@@ -68,7 +68,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ResultTable:
             report = process.run_round()
             items_lost += report.items_lost
             if (round_index + 1) % max(ESTIMATE_EVERY, 1) == 0 or round_index == rounds - 1:
-                truth = empirical_cdf(network.all_values())
+                truth = empirical_cdf(network.all_values(), presorted=True)
                 estimate = estimator.estimate(
                     network, rng=np.random.default_rng(seed * 131 + round_index)
                 )

@@ -36,9 +36,18 @@ ROUNDS = 24
 
 
 def _apply_updates(network, stream, count: int) -> None:
-    """Feed ``count`` stream operations into the network's stores."""
-    for op in stream.ops(count):
-        owner = network.owner_of_value(op.value)
+    """Feed ``count`` stream operations into the network's stores.
+
+    The stream is drained first (preserving its per-op RNG draw order
+    exactly), then owners are resolved for the whole batch in one
+    vectorized pass — membership never changes mid-batch, so the per-op
+    scalar resolution would return the same peers.
+    """
+    ops = list(stream.ops(count))
+    if not ops:
+        return
+    owners = network.owners_of_values(np.asarray([op.value for op in ops], dtype=float))
+    for op, owner in zip(ops, owners):
         if op.kind == "insert":
             owner.store.insert(op.value)
         else:
@@ -99,7 +108,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ResultTable:
                 tracker.refresh(network, rng=rng)
                 refreshes += 1
 
-            truth = empirical_cdf(network.all_values())
+            truth = empirical_cdf(network.all_values(), presorted=True)
             grid = np.linspace(*network.domain, DEFAULTS.grid_points)
             ks_trace.append(ks_distance(tracker.current.cdf, truth, grid))
 

@@ -62,7 +62,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ResultTable:
     for placement, network in networks.items():
         network.load_data(dataset.values)
         network.reset_stats()
-        truth = empirical_cdf(network.all_values())
+        truth = empirical_cdf(network.all_values(), presorted=True)
         grid = np.linspace(*domain, DEFAULTS.grid_points)
         gini = gini_coefficient(network.peer_loads().astype(float))
         for method, estimator in (

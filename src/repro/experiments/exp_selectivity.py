@@ -63,7 +63,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ResultTable:
                 workload = RangeQueryWorkload.random(
                     fixture.domain, queries, span_fraction=span, seed=seed
                 )
-                report = evaluate_selectivity(estimate, workload, true_values)
+                report = evaluate_selectivity(estimate, workload, true_values, presorted=True)
                 table.add_row(
                     distribution=distribution,
                     method=method,

@@ -75,7 +75,7 @@ def run_sweep(table, dataset, domain, n_hosts, repetitions, probes, seed):
         )
         network.load_data(dataset.values)
         network.reset_stats()
-        truth = empirical_cdf(network.all_values())
+        truth = empirical_cdf(network.all_values(), presorted=True)
         grid = np.linspace(*domain, DEFAULTS.grid_points)
         host_loads = np.asarray(list(network.host_loads().values()), dtype=float)
 

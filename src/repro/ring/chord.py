@@ -19,7 +19,7 @@ from repro.ring.identifier import RingInterval
 from repro.ring.messages import MessageType
 from repro.ring.network import NetworkError, RingNetwork
 from repro.ring.node import PeerNode
-from repro.ring.routing import route_to_key
+from repro.ring.routing import _EMPTY_EXCLUSIONS, _live_successor, route_to_key
 
 __all__ = [
     "join",
@@ -77,9 +77,7 @@ def join(network: RingNetwork, new_ident: int, via: Optional[PeerNode] = None) -
         taken_interval = RingInterval(network.space, predecessor_id, new_ident)
     else:
         taken_interval = RingInterval(network.space, successor.ident, new_ident)
-    moved = successor.store.pop_where(
-        lambda value: taken_interval.contains(network.data_hash(value))
-    )
+    moved = _pop_interval(network, successor, taken_interval)
     new_node.store.insert_many(moved)
     network.record(MessageType.DATA_TRANSFER, payload=len(moved))
 
@@ -93,6 +91,27 @@ def join(network: RingNetwork, new_ident: int, via: Optional[PeerNode] = None) -
 
     network._register(new_node)
     return new_node
+
+
+def _pop_interval(network: RingNetwork, node: PeerNode, interval: RingInterval) -> list[float]:
+    """Extract ``node``'s items whose ring positions fall in ``interval``.
+
+    Vectorized twin of ``store.pop_where(lambda v: interval.contains(
+    data_hash(v)))``: all values are hashed in one pass (byte-identical to
+    the scalar hash by the ``map_values`` contract) and the ``(start, end]``
+    membership test is the usual two-complement distance comparison, so the
+    extracted set matches the predicate exactly.
+    """
+    arr = node.store.as_array()
+    if not arr.size:
+        return []
+    if interval.start == interval.end:  # full ring: the node cedes everything
+        return node.store.pop_all()
+    keys = network.data_hash.map_values(arr)
+    mask = np.uint64(network.space.mask)
+    distance = (keys - np.uint64(interval.start)) & mask
+    reach = np.uint64(network.space.distance(interval.start, interval.end))
+    return node.store.pop_mask((distance > np.uint64(0)) & (distance <= reach))
 
 
 def leave_gracefully(network: RingNetwork, ident: int) -> None:
@@ -208,14 +227,147 @@ def maintenance_round(network: RingNetwork, fingers_per_peer: int = 1) -> None:
     Every peer runs one stabilize step and repairs ``fingers_per_peer``
     fingers.  Iteration order is ring order over the peers alive at the
     start of the round.
+
+    At ``loss_rate == 0`` the round runs through a bulk fast path that
+    inlines the per-peer protocol and posts the ledger in four bulk
+    records; pointer mutations, finger contents, and message totals are
+    identical to the scalar loop (which remains the reference, and the only
+    path once deliveries can fail and consume RNG draws).
     """
+    if network.loss_rate > 0.0:
+        for ident in list(network.peer_ids()):
+            node = network.try_node(ident)
+            if node is None:
+                continue
+            stabilize(network, node)
+            for _ in range(fingers_per_peer):
+                fix_one_finger(network, node)
+        return
+    _maintenance_round_fast(network, fingers_per_peer)
+
+
+def _maintenance_round_fast(network: RingNetwork, fingers_per_peer: int) -> None:
+    """Loss-free maintenance round: same protocol, bulk accounting.
+
+    Mirrors :func:`stabilize` + :func:`fix_one_finger` per peer in the same
+    ring order with the same pointer updates, but accumulates STABILIZE /
+    NOTIFY / FIX_FINGER / LOOKUP_HOP counts locally and posts them in one
+    bulk record each at round end — Counter totals are exactly those of the
+    per-call records.  Finger lookups resolve through an inlined
+    ``route_to_key`` fast path for the (overwhelmingly common) case where
+    the target terminates at the node itself or its direct successor; any
+    multi-hop lookup falls back to the full router, which does its own hop
+    accounting.
+    """
+    space = network.space
+    mask = space.mask
+    size = space.size
+    bits = space.bits
+    list_length = network.SUCCESSOR_LIST_LENGTH
+    nodes_get = network._nodes.get
+    stabilizes = 0
+    fixes = 0
+    bulk_hops = 0
+    # Modular membership tests are inlined throughout (in_open(x, a, b) ⇔
+    # 0 < (x−a)&mask < reach with reach = (b−a)&mask or size): they run a
+    # handful of times per peer per round, and the method-call overhead
+    # would dominate the integer work.
     for ident in list(network.peer_ids()):
-        node = network.try_node(ident)
+        node = nodes_get(ident)
         if node is None:
             continue
-        stabilize(network, node)
+        # --- stabilize (inlined; ledger deferred) ---
+        stabilizes += 1
+        self_id = node.ident
+        successor = nodes_get(node.successor_id)
+        if successor is None or not successor.alive:
+            repaired = network._oracle_successor((self_id + 1) & mask)
+            node.successor_id = repaired
+            successor = network.node(repaired)
+        candidate_id = successor.predecessor_id
+        if candidate_id is not None and candidate_id != self_id:
+            candidate = nodes_get(candidate_id)
+            if candidate is not None and 0 < (candidate_id - self_id) & mask < (
+                (successor.ident - self_id) & mask or size
+            ):
+                node.successor_id = candidate_id
+                successor = candidate
+        sl = successor.successor_list
+        if self_id not in sl and successor.ident not in sl:
+            # Common case: every stabilize/join/rebuild path produces
+            # duplicate-free lists excluding their owner, so the reference
+            # dedup loop below reduces to prepend-and-truncate.
+            node.successor_list = [successor.ident, *sl[: list_length - 1]]
+        else:
+            refreshed = [successor.ident]
+            for entry in sl:
+                if len(refreshed) >= list_length:
+                    break
+                if entry != self_id and entry not in refreshed:
+                    refreshed.append(entry)
+            node.successor_list = refreshed
+        # --- notify (inlined _notify) ---
+        current = successor.predecessor_id
+        if current is None or nodes_get(current) is None:
+            successor.predecessor_id = self_id
+        elif 0 < (self_id - current) & mask < ((successor.ident - current) & mask or size):
+            successor.predecessor_id = self_id
+        # --- fix fingers (inlined; ledger deferred) ---
         for _ in range(fingers_per_peer):
-            fix_one_finger(network, node)
+            k = node.next_finger_index
+            node.next_finger_index = (k + 1) % bits
+            fixes += 1
+            target = (self_id + (1 << k)) & mask
+            owner_id = -1
+            if target == self_id:
+                owner_id = self_id
+            else:
+                pred = node.predecessor_id
+                if (
+                    pred is not None
+                    and nodes_get(pred) is not None
+                    # in_half_open(target, pred, self): (pred, pred] is the
+                    # full ring, else 0 < (t−p)&mask ≤ (s−p)&mask.
+                    and (
+                        pred == self_id
+                        or 0 < (target - pred) & mask <= (self_id - pred) & mask
+                    )
+                ):
+                    owner_id = self_id
+                else:
+                    successor_id = node.successor_id
+                    if successor_id == self_id:
+                        successor_id = _live_successor(network, node, _EMPTY_EXCLUSIONS)
+                    else:
+                        succ = nodes_get(successor_id)
+                        if succ is None or not succ.alive:
+                            successor_id = _live_successor(network, node, _EMPTY_EXCLUSIONS)
+                    if (
+                        successor_id == self_id
+                        or 0 < (target - self_id) & mask <= (successor_id - self_id) & mask
+                    ):
+                        owner_id = successor_id
+                        if owner_id != self_id:
+                            bulk_hops += 1  # the final delivery hop
+            if owner_id >= 0:
+                node.set_finger(k, owner_id)
+                continue
+            # Multi-hop lookup: the full router replays the identical scan
+            # from scratch and bulk-records its own hops.
+            try:
+                result = route_to_key(network, node, target)
+            except NetworkError:
+                node.set_finger(k, None)
+                continue
+            node.set_finger(k, result.owner.ident)
+    if stabilizes:
+        network.record(MessageType.STABILIZE, count=stabilizes)
+        network.record(MessageType.NOTIFY, count=stabilizes)
+    if fixes:
+        network.record(MessageType.FIX_FINGER, count=fixes)
+    if bulk_hops:
+        network.record(MessageType.LOOKUP_HOP, count=bulk_hops)
+    network.note_overlay_change()
 
 
 def _live_neighbor(network: RingNetwork, pointer: Optional[int], self_ident: int) -> PeerNode:

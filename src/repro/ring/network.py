@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import bisect
 from collections import Counter
+from functools import partial
 from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
@@ -28,6 +29,7 @@ from repro.ring.hashing import OrderPreservingHash
 from repro.ring.identifier import IdentifierSpace
 from repro.ring.messages import MessageStats, MessageType
 from repro.ring.node import PeerNode
+from repro.ring.snapshot import RingSnapshot
 
 __all__ = ["RingNetwork", "NetworkError"]
 
@@ -75,6 +77,14 @@ class RingNetwork:
         self._ids_array: Optional[np.ndarray] = None
         #: Monotone membership-mutation counter (joins/leaves/crashes).
         self.topology_version: int = 0
+        #: Monotone data-mutation counter: advanced whenever any peer's
+        #: store changes (via the per-store listener) or membership changes
+        #: move items in or out of the network.  Together with
+        #: :attr:`topology_version` it keys the snapshot plane.
+        self.data_version: int = 0
+        #: Peers whose stores mutated since the last snapshot refresh.
+        self._dirty_stores: set[int] = set()
+        self._snapshot = RingSnapshot(self)
 
     def delivery_succeeds(self) -> bool:
         """Draw one message-delivery outcome under the loss model.
@@ -220,15 +230,34 @@ class RingNetwork:
             raise ValueError(f"duplicate peer identifier {node.ident}")
         self._nodes[node.ident] = node
         bisect.insort(self._sorted_ids, node.ident)
+        self._arm_store(node)
         self._invalidate_registry_views()
+        self.data_version += 1
 
     def _unregister(self, ident: int) -> PeerNode:
         """Remove a node from the oracle registry."""
         node = self._nodes.pop(ident)
         index = bisect.bisect_left(self._sorted_ids, ident)
         del self._sorted_ids[index]
+        node.store._listener = None
         self._invalidate_registry_views()
+        self.data_version += 1
         return node
+
+    def _note_data_change(self, ident: int) -> None:
+        """Advance the data token after a peer-store mutation.
+
+        The mutated peer is remembered in :attr:`_dirty_stores` so the next
+        snapshot refresh rebuilds only that peer's chunk.  Store listeners
+        are one-shot (see :class:`LocalStore`), so this fires once per
+        store per refresh interval; the snapshot refresh re-arms them.
+        """
+        self._dirty_stores.add(ident)
+        self.data_version += 1
+
+    def _arm_store(self, node: PeerNode) -> None:
+        """(Re-)install the one-shot data-change listener on a peer store."""
+        node.store._listener = partial(self._note_data_change, node.ident)
 
     def _invalidate_registry_views(self) -> None:
         """Drop cached id views after a membership change."""
@@ -375,6 +404,19 @@ class RingNetwork:
         nodes = self._nodes
         return [nodes[int(ids[p])] for p in positions]
 
+    def owners_of_values(self, values) -> list[PeerNode]:
+        """True owners of many data values at once (oracle view, no cost).
+
+        Hashes all values in one vectorized pass (byte-identical to the
+        scalar hash by the :meth:`OrderPreservingHash.map_values` contract)
+        and resolves owners with one ``searchsorted`` — element-wise equal
+        to calling :meth:`owner_of_value` per value.
+        """
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            return []
+        return self.owners_of_keys(self.data_hash.map_values(arr))
+
     def load_data(self, values: Iterable[float]) -> None:
         """Place data values on their owning peers (oracle bulk load)."""
         ids = self._sorted_ids
@@ -401,23 +443,38 @@ class RingNetwork:
             node.store.pop_all()
 
     # ------------------------------------------------------------------
-    # Ground truth (oracle view, used only for error measurement)
+    # Snapshot plane / ground truth (oracle view)
     # ------------------------------------------------------------------
+    def snapshot(self) -> RingSnapshot:
+        """The structure-of-arrays view of the current network state.
+
+        Refreshed lazily against ``(topology_version, data_version)`` and
+        updated *incrementally* from churn deltas — see
+        :class:`repro.ring.snapshot.RingSnapshot`.  The snapshot is a pure
+        view; node and store objects remain the source of truth.
+        """
+        self._snapshot.refresh()
+        return self._snapshot
+
     @property
     def total_count(self) -> int:
         """Total items across all live peers."""
-        return sum(node.store.count for node in self._nodes.values())
+        return self.snapshot().total_count
 
     def all_values(self) -> np.ndarray:
-        """Every stored value, sorted (the ground-truth dataset)."""
-        chunks = [node.store.as_array() for node in self.peers() if node.store.count]
-        if not chunks:
-            return np.empty(0, dtype=float)
-        return np.sort(np.concatenate(chunks))
+        """Every stored value, sorted (the ground-truth dataset).
+
+        Served from the snapshot plane; treat the array as read-only (it is
+        cached until the next data or membership change).
+        """
+        return self.snapshot().sorted_values
 
     def peer_loads(self) -> np.ndarray:
-        """Per-peer item counts in ring order (load-balance ground truth)."""
-        return np.asarray([node.store.count for node in self.peers()], dtype=np.int64)
+        """Per-peer item counts in ring order (load-balance ground truth).
+
+        Served from the snapshot plane; treat the array as read-only.
+        """
+        return self.snapshot().counts
 
     def peer_segment_lengths(self) -> np.ndarray:
         """Per-peer ownership arc lengths in ring order."""

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.ring.messages import MessageType
 from repro.ring.network import RingNetwork
 from repro.ring.node import PeerNode
@@ -123,12 +125,33 @@ class ReplicationManager:
                 break
         if snapshot is None:
             return RecoveryReport(owner=crashed_ident, recovered=0, holders_asked=holders_asked)
+        # Owners are resolved for the whole snapshot in one vectorized pass:
+        # membership cannot change mid-recovery, so this matches resolving
+        # each value just before its insert.  Inserts are then grouped per
+        # owner (one merge per store), skipping values already present —
+        # including duplicates within the snapshot itself, which the scalar
+        # loop would also insert only once.
         recovered = 0
-        for value in snapshot:
-            owner = self.network.owner_of_value(value)
-            if value not in owner.store:
-                owner.store.insert(value)
-                recovered += 1
+        owners = self.network.owners_of_values(np.asarray(snapshot, dtype=float))
+        per_owner: dict[int, tuple[PeerNode, list[float]]] = {}
+        for value, owner in zip(snapshot, owners):
+            entry = per_owner.get(owner.ident)
+            if entry is None:
+                per_owner[owner.ident] = (owner, [value])
+            else:
+                entry[1].append(value)
+        for owner, values in per_owner.values():
+            store = owner.store
+            fresh: list[float] = []
+            seen: set[float] = set()
+            for value in values:
+                if value in seen or value in store:
+                    continue
+                seen.add(value)
+                fresh.append(value)
+            if fresh:
+                store.insert_many(fresh)
+                recovered += len(fresh)
         self.network.record(MessageType.DATA_TRANSFER)
         return RecoveryReport(
             owner=crashed_ident, recovered=recovered, holders_asked=holders_asked

@@ -9,13 +9,22 @@ retries from the same node with that peer excluded.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple, Optional, Sequence
+
+import numpy as np
 
 from repro.ring.messages import MessageType
 from repro.ring.network import NetworkError, RingNetwork
 from repro.ring.node import PeerNode
 
-__all__ = ["RouteResult", "route_to_key", "route_to_value", "successor_walk", "RoutingError"]
+__all__ = [
+    "RouteResult",
+    "route_to_key",
+    "route_probes_batch",
+    "route_to_value",
+    "successor_walk",
+    "RoutingError",
+]
 
 
 class RoutingError(NetworkError):
@@ -25,9 +34,13 @@ class RoutingError(NetworkError):
 _EMPTY_EXCLUSIONS: frozenset[int] = frozenset()
 
 
-@dataclass(frozen=True)
-class RouteResult:
-    """Outcome of one lookup: the owning peer and what it cost."""
+class RouteResult(NamedTuple):
+    """Outcome of one lookup: the owning peer and what it cost.
+
+    A named tuple: lookups run hundreds of thousands of times per
+    experiment and tuple construction skips the frozen-dataclass
+    ``__setattr__`` round-trip.
+    """
 
     owner: PeerNode
     hops: int
@@ -39,6 +52,8 @@ def route_to_key(
     start: PeerNode,
     key: int,
     max_hops: int | None = None,
+    *,
+    _initial_hops: int = 0,
 ) -> RouteResult:
     """Route from ``start`` to the live peer owning ring position ``key``.
 
@@ -46,6 +61,12 @@ def route_to_key(
     departed peer costs one hop (the timed-out probe) and is retried with
     that peer excluded.  Raises :class:`RoutingError` if the hop budget is
     exhausted, which only happens when churn has disconnected the overlay.
+
+    ``_initial_hops`` resumes a lookup mid-route for the batch router: the
+    hops its vectorized prefix already took seed the counter (and the final
+    bulk ledger record), and the entry shortcuts are skipped — a mid-route
+    node answers through the standard termination test only, exactly as the
+    sequential loop would have.
     """
     network.space.validate(key)
     if max_hops is None:
@@ -56,16 +77,18 @@ def route_to_key(
     # Hops are accumulated locally and posted to the ledger in one bulk
     # record per lookup (including the error paths): final totals are
     # identical to per-hop recording at a fraction of the ledger calls.
-    hops = 0
+    hops = _initial_hops
     timeouts = 0
-    if key == current.ident:
-        return RouteResult(owner=current, hops=0, timeouts=0)
-    # Local shortcut: a node whose *live* predecessor precedes the key can
-    # answer immediately.  (If the predecessor has departed, ownership is
-    # uncertain until stabilization, so fall through to standard routing.)
-    if current.predecessor_id is not None and network.try_node(current.predecessor_id):
-        if network.space.in_half_open(key, current.predecessor_id, current.ident):
+    if _initial_hops == 0:
+        if key == current.ident:
             return RouteResult(owner=current, hops=0, timeouts=0)
+        # Local shortcut: a node whose *live* predecessor precedes the key
+        # can answer immediately.  (If the predecessor has departed,
+        # ownership is uncertain until stabilization, so fall through to
+        # standard routing.)
+        if current.predecessor_id is not None and network.try_node(current.predecessor_id):
+            if network.space.in_half_open(key, current.predecessor_id, current.ident):
+                return RouteResult(owner=current, hops=0, timeouts=0)
     # Ring membership tests are inlined modular arithmetic on the hot loop
     # (key ∈ (current, successor] ⇔ 0 < (key−current) < ∞ mod-distance at
     # or under the successor's; mod 2**m is a mask AND), and the loss model
@@ -125,7 +148,9 @@ def route_to_key(
                         if successor_id != ident and 0 < (successor_id - ident) & mask < reach:
                             candidate = successor_id
                 else:
-                    candidate = current.closest_preceding_finger(key, frozenset(excluded))
+                    # A plain set works for the membership tests; building
+                    # a frozenset per hop was measurable on churned rings.
+                    candidate = current.closest_preceding_finger(key, excluded)
                 if candidate == ident:
                     # No live finger precedes the key: fall to successor.
                     candidate = _live_successor(
@@ -152,6 +177,161 @@ def route_to_key(
     finally:
         if hops:
             network.record(MessageType.LOOKUP_HOP, count=hops)
+
+
+def route_probes_batch(
+    network: RingNetwork,
+    entries: Sequence[PeerNode],
+    keys: Sequence[int],
+) -> list[RouteResult]:
+    """Route many independent lookups in vectorized lockstep.
+
+    Loss-free routing is a pure read of the overlay (no pointer mutations,
+    no RNG), so a batch of lookups against one frozen snapshot can advance
+    all of them simultaneously: one ``(active, bits)`` finger-matrix pass
+    replaces per-hop Python scans.  Each probe's hop count and owner are
+    exactly those of :func:`route_to_key` — the per-step arithmetic is the
+    same inlined scan — and any probe that leaves the plain path (dead or
+    self-looped successor pointer, dead candidate, hop budget exhausted)
+    is re-routed from scratch through the scalar reference, which is
+    byte-identical because the overlay state it reads is unchanged.
+    ``LOOKUP_HOP`` totals match the sequential path; with losses enabled
+    the sequential path runs unconditionally to preserve RNG interleaving.
+    """
+    count = len(keys)
+    if count == 0:
+        return []
+    if network.loss_rate > 0.0 or network.n_peers == 0:
+        return [route_to_key(network, entry, int(key)) for entry, key in zip(entries, keys)]
+    snap = network.snapshot()
+    ids = snap.ids
+    n = int(ids.size)
+    space = network.space
+    mask = np.uint64(space.mask)
+    zero = np.uint64(0)
+    successors = snap.successor_array()
+    predecessors, _ = snap.predecessor_array()
+    fingers, finger_valid = snap.finger_tables()
+    max_hops = 2 * network.n_peers + space.bits
+
+    # Pointer targets resolved once for all n peers: a pointer is live iff
+    # it appears in the sorted live-id array (departed peers are
+    # unregistered, so membership here is exactly ``try_node(...) is not
+    # None``), and its row index doubles as the hop destination.
+    succ_idx = np.searchsorted(ids, successors).astype(np.int64)
+    np.minimum(succ_idx, n - 1, out=succ_idx)
+    succ_live = ids[succ_idx] == successors
+    succ_self = successors == ids
+    pred_idx = np.searchsorted(ids, predecessors).astype(np.int64)
+    np.minimum(pred_idx, n - 1, out=pred_idx)
+    pred_live = snap.predecessor_array()[1] & (ids[pred_idx] == predecessors)
+
+    keys_arr = np.asarray([int(key) for key in keys], dtype=np.uint64)
+    entry_ids = np.asarray([entry.ident for entry in entries], dtype=np.uint64)
+    cur = np.searchsorted(ids, entry_ids).astype(np.int64)
+    hops = np.zeros(count, dtype=np.int64)
+    owner_idx = np.full(count, -1, dtype=np.int64)
+    fallback = np.zeros(count, dtype=bool)
+
+    # Entry shortcuts, exactly as in route_to_key: the entry itself, or a
+    # node whose live predecessor precedes the key, answers with 0 hops.
+    done = keys_arr == entry_ids
+    owner_idx[done] = cur[done]
+    preds_here = predecessors[cur]
+    dk = (keys_arr - preds_here) & mask
+    shortcut = (
+        ~done
+        & pred_live[cur]
+        & (
+            (preds_here == entry_ids)
+            | ((dk > zero) & (dk <= (entry_ids - preds_here) & mask))
+        )
+    )
+    owner_idx[shortcut] = cur[shortcut]
+    done |= shortcut
+
+    active = np.flatnonzero(~done)
+    while active.size:
+        ci = cur[active]
+        # A dead or self-looped successor pointer needs the successor-list
+        # (or oracle) repair path — rare, and handled by the reference.
+        plain = succ_live[ci] & ~succ_self[ci]
+        if not plain.all():
+            fallback[active[~plain]] = True
+            active = active[plain]
+            if not active.size:
+                break
+            ci = cur[active]
+        ci_ids = ids[ci]
+        key_dist = (keys_arr[active] - ci_ids) & mask  # > 0 mid-route
+        succ_ids = successors[ci]
+        terminal = key_dist <= (succ_ids - ci_ids) & mask
+        finished = active[terminal]
+        if finished.size:
+            owner_idx[finished] = succ_idx[ci[terminal]]
+            hops[finished] += 1  # the final delivery hop (owner != current)
+        advancing = active[~terminal]
+        if not advancing.size:
+            break
+        ca = cur[advancing]
+        ca_ids = ids[ca]
+        # The per-hop finger scan over all advancing probes at once: the
+        # reference walks the reversed finger table and takes the first
+        # entry inside (ident, key), i.e. the highest-index valid column
+        # passing the distance test.
+        finger_dist = (fingers[ca] - ca_ids[:, None]) & mask
+        in_arc = (
+            finger_valid[ca]
+            & (finger_dist > zero)
+            & (finger_dist < ((keys_arr[advancing] - ca_ids) & mask)[:, None])
+        )
+        hit = in_arc.any(axis=1)
+        first_rev = in_arc.shape[1] - 1 - np.argmax(in_arc[:, ::-1], axis=1)
+        candidate = fingers[ca, first_rev]
+        # No finger inside the arc: fall to the successor, which always
+        # qualifies here (not-terminal means it precedes the key strictly).
+        candidate = np.where(hit, candidate, succ_ids[~terminal])
+        cand_idx = np.searchsorted(ids, candidate).astype(np.int64)
+        np.minimum(cand_idx, n - 1, out=cand_idx)
+        cand_live = ids[cand_idx] == candidate
+        trouble = ~cand_live | (hops[advancing] + 1 > max_hops)
+        if trouble.any():
+            # Timed-out hop or exhausted budget: hand the probe to the
+            # scalar path, resumed from its current node (the hop that
+            # found trouble is NOT counted here — the resume replays it,
+            # including the timeout-and-exclude retry or the budget error).
+            fallback[advancing[trouble]] = True
+            advancing = advancing[~trouble]
+            cand_idx = cand_idx[~trouble]
+        hops[advancing] += 1
+        cur[advancing] = cand_idx
+        active = advancing
+
+    vector_hops = int(hops[~fallback].sum())
+    if vector_hops:
+        network.record(MessageType.LOOKUP_HOP, count=vector_hops)
+    node_of = network.node
+    ids_list_all = ids.tolist()
+    results: list[Optional[RouteResult]] = [None] * count
+    for index in np.flatnonzero(fallback).tolist():
+        # Resume from the node where the vectorized prefix stopped; the
+        # prefix is byte-identical to the sequential loop's own first
+        # ``hops[index]`` steps, so seeding the counter (and skipping the
+        # entry shortcuts when any step was taken) reproduces the full
+        # scalar route's owner, hop total, and single ledger record.
+        results[index] = route_to_key(
+            network,
+            node_of(ids_list_all[cur[index]]),
+            int(keys[index]),
+            _initial_hops=int(hops[index]),
+        )
+    for index in np.flatnonzero(~fallback).tolist():
+        results[index] = RouteResult(
+            owner=node_of(ids_list_all[owner_idx[index]]),
+            hops=int(hops[index]),
+            timeouts=0,
+        )
+    return results  # type: ignore[return-value]
 
 
 def _live_successor(

@@ -7,15 +7,21 @@ and histogram synopses — logarithmic or linear in *local* size only.
 
 The store is deliberately value-oriented: the simulator never needs item
 payloads, and keeping bare floats lets a million-item network stay cheap.
-Internally the items live in one sorted ``float64`` array, so range counts
-and histogram synopses are single vectorized operations, and every mutation
-bumps a monotone :attr:`LocalStore.version` counter that downstream caches
-(peer summaries, cached value views) key their invalidation on.
+Internally the items live in one sorted Python list (O(log n) bisect for
+point queries, O(n) memmove for single-item edits — far cheaper than
+reallocating a numpy array per mutation, which dominated the drift
+experiments), with a lazily materialised ``float64`` array for the bulk
+vectorized queries (histograms, range scans).  Every mutation bumps a
+monotone :attr:`LocalStore.version` counter that downstream caches (peer
+summaries, cached value views, the network snapshot plane) key their
+invalidation on, and fires an optional listener so the owning network can
+advance its global data-version token.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+import bisect
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -36,40 +42,55 @@ class LocalStore:
         valid exactly as long as the version they were built at.
     """
 
-    __slots__ = ("_values", "_values_tuple", "version")
+    __slots__ = ("_list", "_array", "_values_tuple", "version", "_listener")
 
     def __init__(self, values: Iterable[float] = ()) -> None:
         if isinstance(values, np.ndarray):
-            arr = np.sort(values.astype(float, copy=True))
+            items = sorted(values.astype(float, copy=False).tolist())
         else:
-            arr = np.sort(np.asarray([float(v) for v in values], dtype=float))
-        self._values: np.ndarray = arr if arr.size else _EMPTY
-        self._values_tuple: tuple[float, ...] | None = None
+            items = sorted(float(v) for v in values)
+        self._list: list[float] = items
+        self._array: Optional[np.ndarray] = None
+        self._values_tuple: Optional[tuple[float, ...]] = None
         self.version: int = 0
+        # Invoked (no arguments) after a mutation; the owning network
+        # installs its data-version bump here so global views (the snapshot
+        # plane) notice store changes without polling every peer.  The hook
+        # is ONE-SHOT: it is consumed by the first mutation and must be
+        # re-armed by its owner (the snapshot refresh does this), so a
+        # burst of k mutations between refreshes costs one callback, not k
+        # — the refresh reads the live store state, which already reflects
+        # the whole burst.
+        self._listener: Optional[Callable[[], None]] = None
 
-    def _replace(self, arr: np.ndarray) -> None:
-        """Install a new sorted backing array and invalidate derived caches."""
-        self._values = arr
+    def _mutated(self) -> None:
+        """Invalidate derived caches and advance version after a mutation."""
+        self._array = None
         self._values_tuple = None
         self.version += 1
+        listener = self._listener
+        if listener is not None:
+            self._listener = None
+            listener()
 
     # ------------------------------------------------------------------
     # Basic container protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return self._values.size
+        return len(self._list)
 
     def __iter__(self) -> Iterator[float]:
-        return iter(self._values.tolist())
+        return iter(self._list)
 
     def __contains__(self, value: float) -> bool:
-        i = int(self._values.searchsorted(value, side="left"))
-        return i < self._values.size and self._values[i] == value
+        items = self._list
+        i = bisect.bisect_left(items, value)
+        return i < len(items) and items[i] == value
 
     @property
     def count(self) -> int:
         """Number of items held (the ``c_p`` of the paper's analysis)."""
-        return self._values.size
+        return len(self._list)
 
     def values(self) -> Sequence[float]:
         """Read-only view of the sorted values.
@@ -79,43 +100,51 @@ class LocalStore:
         after the first.
         """
         if self._values_tuple is None:
-            self._values_tuple = tuple(self._values.tolist())
+            self._values_tuple = tuple(self._list)
         return self._values_tuple
 
     def as_array(self) -> np.ndarray:
         """Sorted values as a numpy array.
 
-        Returns the store's own backing array without copying; treat it as
-        read-only — it is only valid until the next mutation, and writing
-        through it would corrupt the sort invariant and bypass
-        :attr:`version`.
+        The array is materialised lazily and cached until the next
+        mutation; treat it as read-only — writing through it would bypass
+        :attr:`version` and desynchronise it from the list backing.
         """
-        return self._values
+        arr = self._array
+        if arr is None:
+            arr = np.asarray(self._list, dtype=float) if self._list else _EMPTY
+            self._array = arr
+        return arr
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def insert(self, value: float) -> None:
         """Insert one item, keeping sort order."""
-        value = float(value)
-        i = int(self._values.searchsorted(value, side="right"))
-        self._replace(np.insert(self._values, i, value))
+        bisect.insort_right(self._list, float(value))
+        self._mutated()
 
     def insert_many(self, values: Iterable[float]) -> None:
-        """Bulk insert; one merge-sort pass, cheaper than repeated inserts."""
+        """Bulk insert; one merge pass, cheaper than repeated inserts."""
         if isinstance(values, np.ndarray):
-            incoming = values.astype(float, copy=False)
+            incoming = values.astype(float, copy=False).tolist()
         else:
-            incoming = np.asarray([float(v) for v in values], dtype=float)
-        if incoming.size == 0:
+            incoming = [float(v) for v in values]
+        if not incoming:
             return
-        self._replace(np.sort(np.concatenate((self._values, incoming))))
+        # Timsort detects the two sorted runs and merges in linear time.
+        self._list.extend(incoming)
+        self._list.sort()
+        self._mutated()
 
     def remove(self, value: float) -> bool:
         """Remove one occurrence of ``value``; returns False if absent."""
-        i = int(self._values.searchsorted(value, side="left"))
-        if i < self._values.size and self._values[i] == value:
-            self._replace(np.delete(self._values, i))
+        items = self._list
+        value = float(value)
+        i = bisect.bisect_left(items, value)
+        if i < len(items) and items[i] == value:
+            del items[i]
+            self._mutated()
             return True
         return False
 
@@ -125,18 +154,23 @@ class LocalStore:
         Used for data handoff when a joining peer takes over part of an
         interval, or a leaving peer ships everything to its successor.
         """
-        lo, hi = self._values.searchsorted((low, high), side="left")
+        items = self._list
+        lo = bisect.bisect_left(items, low)
+        hi = bisect.bisect_left(items, high)
         if lo == hi:
             return []
-        moved = self._values[lo:hi].tolist()
-        self._replace(np.concatenate((self._values[:lo], self._values[hi:])))
+        moved = items[lo:hi]
+        del items[lo:hi]
+        self._mutated()
         return moved
 
     def pop_all(self) -> list[float]:
         """Remove and return every item."""
-        moved = self._values.tolist()
-        if moved:
-            self._replace(_EMPTY)
+        moved = self._list
+        if not moved:
+            return []
+        self._list = []
+        self._mutated()
         return moved
 
     def pop_where(self, predicate) -> list[float]:
@@ -146,11 +180,33 @@ class LocalStore:
         peers is defined in ring-identifier space, which a pure value range
         cannot express when the interval wraps the ring origin.
         """
-        items = self._values.tolist()
-        keep_mask = [not predicate(v) for v in items]
-        moved = [v for v, keep in zip(items, keep_mask) if not keep]
+        moved: list[float] = []
+        kept: list[float] = []
+        for v in self._list:
+            (moved if predicate(v) else kept).append(v)
         if moved:
-            self._replace(self._values[np.asarray(keep_mask, dtype=bool)])
+            self._list = kept
+            self._mutated()
+        return moved
+
+    def pop_mask(self, mask: np.ndarray) -> list[float]:
+        """Remove and return the items selected by a boolean mask.
+
+        ``mask`` is aligned with :meth:`as_array` (i.e. sorted order).  This
+        is the vectorized twin of :meth:`pop_where`: callers that can
+        evaluate their predicate over the whole array at once (e.g. ring
+        interval membership of hashed values) skip the per-item Python
+        loop.  The removed items are returned sorted, exactly as
+        ``pop_where`` would return them.
+        """
+        arr = self.as_array()
+        if mask.shape != arr.shape:
+            raise ValueError(f"mask shape {mask.shape} does not match store size {arr.size}")
+        if not mask.any():
+            return []
+        moved = arr[mask].tolist()
+        self._list = arr[~mask].tolist()
+        self._mutated()
         return moved
 
     # ------------------------------------------------------------------
@@ -158,16 +214,27 @@ class LocalStore:
     # ------------------------------------------------------------------
     def rank_of(self, value: float) -> int:
         """Number of stored items strictly less than ``value``."""
-        return int(self._values.searchsorted(value, side="left"))
+        return bisect.bisect_left(self._list, value)
 
     def count_leq(self, value: float) -> int:
         """Number of stored items ``<= value`` — the local CDF numerator."""
-        return int(self._values.searchsorted(value, side="right"))
+        return bisect.bisect_right(self._list, value)
 
     def count_range(self, low: float, high: float) -> int:
         """Number of items with ``low <= v < high``."""
-        lo, hi = self._values.searchsorted((low, high), side="left")
-        return int(hi - lo)
+        items = self._list
+        return bisect.bisect_left(items, high) - bisect.bisect_left(items, low)
+
+    def values_in_range(self, low: float, high: float) -> list[float]:
+        """All items with ``low <= v < high``, in sorted order.
+
+        Two bisections and a slice — equivalent to filtering the full
+        store, without visiting the items outside the range.
+        """
+        items = self._list
+        lo = bisect.bisect_left(items, low)
+        hi = bisect.bisect_left(items, high)
+        return items[lo:hi]
 
     def kth(self, k: int) -> float:
         """The item of local rank ``k`` (0-indexed, in sorted order).
@@ -176,21 +243,21 @@ class LocalStore:
         rank routing has located the owning peer and the residual rank,
         ``kth`` finishes the inversion.
         """
-        if not 0 <= k < self._values.size:
-            raise IndexError(f"rank {k} outside [0, {self._values.size})")
-        return float(self._values[k])
+        if not 0 <= k < len(self._list):
+            raise IndexError(f"rank {k} outside [0, {len(self._list)})")
+        return self._list[k]
 
     def min(self) -> float:
         """Smallest stored value."""
-        if not self._values.size:
+        if not self._list:
             raise ValueError("empty store has no minimum")
-        return float(self._values[0])
+        return self._list[0]
 
     def max(self) -> float:
         """Largest stored value."""
-        if not self._values.size:
+        if not self._list:
             raise ValueError("empty store has no maximum")
-        return float(self._values[-1])
+        return self._list[-1]
 
     def histogram_range(self, low: float, high: float, buckets: int) -> np.ndarray:
         """Equi-width bucket counts over ``[low, high)``, range-limited.
@@ -203,10 +270,12 @@ class LocalStore:
             raise ValueError(f"buckets must be >= 1, got {buckets}")
         if not low < high:
             raise ValueError(f"empty synopsis range [{low}, {high})")
-        lo, hi = self._values.searchsorted((low, high), side="left")
+        items = self._list
+        lo = bisect.bisect_left(items, low)
+        hi = bisect.bisect_left(items, high)
         if lo == hi:
             return np.zeros(buckets, dtype=np.int64)
-        arr = self._values[lo:hi]
+        arr = self.as_array()[lo:hi]
         # ``arr >= low`` holds by construction, so the quotient is
         # non-negative and int truncation equals floor; only the upper
         # clamp (float rounding can land exactly on ``buckets``) remains.
@@ -226,12 +295,12 @@ class LocalStore:
             raise ValueError(f"buckets must be >= 1, got {buckets}")
         if not low < high:
             raise ValueError(f"empty synopsis range [{low}, {high})")
-        if not self._values.size:
+        if not self._list:
             return np.zeros(buckets, dtype=np.int64)
         # Truncation stands in for floor: negative quotients (items below
         # ``low``) truncate towards zero but are clamped to bucket 0 either
         # way, and non-negative quotients truncate exactly like floor.
-        idx = ((self._values - low) / (high - low) * buckets).astype(np.int64)
+        idx = ((self.as_array() - low) / (high - low) * buckets).astype(np.int64)
         np.maximum(idx, 0, out=idx)
         np.minimum(idx, buckets - 1, out=idx)
         return np.bincount(idx, minlength=buckets).astype(np.int64)

@@ -23,6 +23,16 @@ class TestInverseTransform:
     def test_default_rng(self):
         assert inverse_transform_sample(TRIANGULAR, 10).size == 10
 
+    def test_negative_rejected(self):
+        # Both entry points must reject negative sizes the same way.
+        with pytest.raises(ValueError, match="must be >= 0"):
+            inverse_transform_sample(TRIANGULAR, -1, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="must be >= 0"):
+            InversionSampler(TRIANGULAR).sample(-1)
+
+    def test_zero_allowed(self):
+        assert inverse_transform_sample(TRIANGULAR, 0, np.random.default_rng(0)).size == 0
+
 
 class TestInversionSampler:
     def test_plain_sampling(self):

@@ -1,0 +1,132 @@
+"""Tests for the ``repro-bench`` perf-trajectory CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments import bench_cli
+
+
+def _doc(scale, **medians):
+    return {
+        "scale": scale,
+        "benches": {name: {"median_s": m} for name, m in medians.items()},
+    }
+
+
+class TestCheckRegression:
+    def test_no_regression_passes(self):
+        assert bench_cli.check_regression(_doc(1.0, F6=0.4), _doc(1.0, F6=0.5)) == []
+
+    def test_small_slowdown_within_threshold(self):
+        assert bench_cli.check_regression(_doc(1.0, F6=0.55), _doc(1.0, F6=0.5)) == []
+
+    def test_large_slowdown_fails(self):
+        failures = bench_cli.check_regression(_doc(1.0, F6=0.7), _doc(1.0, F6=0.5))
+        assert len(failures) == 1
+        assert "F6" in failures[0]
+
+    def test_mismatched_scale_skips(self):
+        assert bench_cli.check_regression(_doc(0.5, F6=9.0), _doc(1.0, F6=0.5)) == []
+
+    def test_benches_only_in_one_side_ignored(self):
+        current = _doc(1.0, F6=0.4)
+        baseline = _doc(1.0, F6=0.5, F11=4.0)
+        assert bench_cli.check_regression(current, baseline) == []
+
+
+class TestPayload:
+    def test_build_payload_shape(self):
+        payload = bench_cli.build_payload(
+            {"F6": {"median_s": 0.4, "runs_s": [0.4]}}, scale=1.0, seed=0, repetitions=1
+        )
+        assert payload["schema"] == 1
+        assert payload["benches"]["F6"]["median_s"] == 0.4
+        assert "platform" in payload["machine"]
+        assert "python" in payload["machine"]
+        # In this checkout the sha must resolve; outside git it may be None.
+        assert payload["git_sha"] is None or len(payload["git_sha"]) == 40
+
+    def test_time_experiment_median(self):
+        calls = []
+
+        def fake_runner(experiment_id, scale, seed):
+            calls.append((experiment_id, scale, seed))
+
+        result = bench_cli.time_experiment("F6", 0.5, 3, repetitions=3, runner=fake_runner)
+        # One warmup run by default, then the timed repetitions.
+        assert calls == [("F6", 0.5, 3)] * 4
+        assert len(result["runs_s"]) == 3
+        assert result["median_s"] == sorted(result["runs_s"])[1]
+
+    def test_time_experiment_no_warmup(self):
+        calls = []
+
+        def fake_runner(experiment_id, scale, seed):
+            calls.append(experiment_id)
+
+        bench_cli.time_experiment("F6", 1.0, 0, repetitions=2, runner=fake_runner, warmup=0)
+        assert calls == ["F6", "F6"]
+
+
+class TestMain:
+    def test_unknown_id_rejected(self, capsys):
+        assert bench_cli.main(["NOPE"]) == 2
+
+    def test_writes_json_and_checks_baseline(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            bench_cli,
+            "time_experiment",
+            lambda experiment_id, scale, seed, repetitions: {
+                "median_s": 0.1,
+                "runs_s": [0.1] * repetitions,
+            },
+        )
+        out = tmp_path / "BENCH.json"
+        assert bench_cli.main(["F6", "--json", str(out), "--scale", "0.25"]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["benches"]["F6"]["median_s"] == 0.1
+
+        # Same numbers as baseline: passes.
+        assert (
+            bench_cli.main(
+                ["F6", "--scale", "0.25", "--baseline", str(out)]
+            )
+            == 0
+        )
+
+        # A much faster committed baseline: the fresh run is a regression.
+        fast = dict(payload)
+        fast["benches"] = {"F6": {"median_s": 0.01, "runs_s": [0.01]}}
+        baseline = tmp_path / "BASE.json"
+        baseline.write_text(json.dumps(fast))
+        assert (
+            bench_cli.main(["F6", "--scale", "0.25", "--baseline", str(baseline)]) == 1
+        )
+
+    def test_missing_baseline_skips(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            bench_cli,
+            "time_experiment",
+            lambda experiment_id, scale, seed, repetitions: {
+                "median_s": 0.1,
+                "runs_s": [0.1],
+            },
+        )
+        missing = tmp_path / "nope.json"
+        assert bench_cli.main(["F6", "--baseline", str(missing)]) == 0
+
+    def test_mismatched_baseline_scale_skips(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            bench_cli,
+            "time_experiment",
+            lambda experiment_id, scale, seed, repetitions: {
+                "median_s": 9.9,
+                "runs_s": [9.9],
+            },
+        )
+        baseline = tmp_path / "BASE.json"
+        baseline.write_text(json.dumps(_doc(1.0, F6=0.1)))
+        assert (
+            bench_cli.main(["F6", "--scale", "0.25", "--baseline", str(baseline)]) == 0
+        )

@@ -1,0 +1,34 @@
+"""Tests for the shared benchmark harness helpers."""
+
+import warnings
+
+import pytest
+
+from benchmarks._harness import _bench_workers
+
+
+class TestBenchWorkers:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_WORKERS", raising=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert _bench_workers() == 1
+
+    def test_valid_value_passes_through(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "4")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert _bench_workers() == 4
+
+    def test_non_integer_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "many")
+        with pytest.warns(RuntimeWarning, match="not an integer"):
+            assert _bench_workers() == 1
+
+    def test_non_positive_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "0")
+        with pytest.warns(RuntimeWarning, match="must be >= 1"):
+            assert _bench_workers() == 1
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "-3")
+        with pytest.warns(RuntimeWarning, match="must be >= 1"):
+            assert _bench_workers() == 1
