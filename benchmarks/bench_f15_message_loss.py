@@ -11,3 +11,12 @@ def test_f15_message_loss(benchmark):
     assert max(ks) < min(ks) + 0.05
     assert all(a <= b + 1e-9 for a, b in zip(inflation, inflation[1:]))
     assert inflation[-1] < 2.5
+    # The ~1/(1-p) inflation law holds *only* under the unbounded-retry
+    # policy F15 runs under (no fault plane, no explicit RetryPolicy ⇒
+    # retransmit until delivered).  Measured inflation sits at or somewhat
+    # above the single-link factor because lookup hops and the probe
+    # request/reply pair each retransmit independently; bounded policies
+    # cap cost and shed coverage instead (asserted in bench_f18).
+    for rate, factor in zip(rates, inflation):
+        theory = 1.0 / (1.0 - rate)
+        assert 0.75 * theory - 1e-9 <= factor <= 2.0 * theory + 1e-9

@@ -1,0 +1,44 @@
+"""F18 — fault injection: coverage, accuracy, and bounded retry cost."""
+
+import numpy as np
+
+from benchmarks._harness import regenerate
+
+# Severity order of the experiment's scenarios (least to most severe).
+SEVERITY = ("none", "loss", "loss+stalls", "loss+stalls+partition")
+
+
+def test_f18_fault_plane(benchmark):
+    table = regenerate(benchmark, "F18", scale=0.25)
+    rows = {
+        (r["scenario"], r["retry_attempts"]): r for r in table.rows
+    }
+    attempts = sorted({r["retry_attempts"] for r in table.rows})
+
+    # Cost stays within the retry budget in *every* cell — the whole point
+    # of bounding retries (the ceiling is computed inside the experiment
+    # from the policy's hop budget and attempt cap).
+    assert all(r["within_budget"] == 1.0 for r in table.rows)
+
+    # Fault-free cells have full coverage and the best accuracy.
+    for a in attempts:
+        assert rows[("none", a)]["coverage"] == 1.0
+
+    # Degradation is monotone in severity: mean coverage (over retry
+    # budgets) never increases, mean KS never decreases, as faults pile up.
+    mean_cov = [
+        float(np.mean([rows[(s, a)]["coverage"] for a in attempts])) for s in SEVERITY
+    ]
+    mean_ks = [
+        float(np.mean([rows[(s, a)]["ks"] for a in attempts])) for s in SEVERITY
+    ]
+    assert all(a >= b - 1e-9 for a, b in zip(mean_cov, mean_cov[1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(mean_ks, mean_ks[1:]))
+
+    # A larger retry budget buys coverage back under pure message loss...
+    assert (
+        rows[("loss", attempts[-1])]["coverage"]
+        >= rows[("loss", attempts[0])]["coverage"]
+    )
+    # ...but cannot recover evidence behind stalls or a partition.
+    assert rows[("loss+stalls+partition", attempts[-1])]["coverage"] < 1.0

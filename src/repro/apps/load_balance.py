@@ -111,7 +111,13 @@ def predict_peer_loads(network: RingNetwork, estimate: DensityEstimate) -> np.nd
 
 @dataclass(frozen=True)
 class LoadBalanceReport:
-    """Predicted vs. actual load-imbalance summary."""
+    """Predicted vs. actual load-imbalance summary.
+
+    ``degraded`` marks a prediction made from a degraded estimate; the
+    numbers are still well-defined (a zero-evidence estimate predicts a
+    perfectly flat ring), but a rebalancer should not act on them.  Kept
+    out of :meth:`as_dict` so existing result tables are unchanged.
+    """
 
     actual_gini: float
     predicted_gini: float
@@ -120,6 +126,7 @@ class LoadBalanceReport:
     per_peer_mean_abs_error: float   # mean |predicted - actual| per peer
     hotspot_hit: bool                # did we predict the most-loaded peer's
     #                                  neighbourhood (top decile) correctly?
+    degraded: bool = False
 
     def as_dict(self) -> dict[str, float]:
         """Plain-dict view for result tables."""
@@ -147,6 +154,7 @@ def analyze_load_balance(network: RingNetwork, estimate: DensityEstimate) -> Loa
         predicted_cv=coefficient_of_variation(predicted),
         per_peer_mean_abs_error=float(np.mean(np.abs(predicted - actual))),
         hotspot_hit=predicted_hottest in actual_top,
+        degraded=estimate.degraded,
     )
 
 

@@ -18,9 +18,10 @@ import numpy as np
 
 from repro.core.estimate import DensityEstimate
 from repro.data.workload import RangeQuery, RangeQueryWorkload
+from repro.ring.faults import RetryPolicy
 from repro.ring.messages import MessageType
 from repro.ring.network import RingNetwork
-from repro.ring.routing import route_to_value, successor_walk
+from repro.ring.routing import route_to_value, route_with_policy, successor_walk
 
 __all__ = [
     "QueryResult",
@@ -34,29 +35,47 @@ __all__ = [
 
 @dataclass(frozen=True)
 class QueryResult:
-    """Outcome of executing one range query against the network."""
+    """Outcome of executing one range query against the network.
+
+    ``failure`` is ``None`` on a complete sweep.  Under an active fault
+    plane, a query that cannot finish (unroutable range start, stalled
+    peer mid-sweep) comes back with whatever it collected so far plus the
+    failure reason — partial results instead of an exception.
+    """
 
     values: np.ndarray
     peers_visited: int
     messages: int
     hops: int
+    failure: Optional[str] = None
 
     @property
     def count(self) -> int:
         """Number of matching items fetched."""
         return int(self.values.size)
 
+    @property
+    def complete(self) -> bool:
+        """Did the sweep cover the whole range?"""
+        return self.failure is None
+
 
 def execute_range_query(
     network: RingNetwork,
     query: RangeQuery,
     start_peer=None,
+    policy: Optional[RetryPolicy] = None,
 ) -> QueryResult:
     """Run a range query: route to the range start, then sweep successors.
 
     Each visited peer answers one request/reply pair carrying its matching
     items; the sweep stops at the first peer whose segment starts past the
     range's end.  Exact under order-preserving placement.
+
+    When a fault plane is active on the network (or a ``policy`` is
+    passed), routing goes through the bounded-retry path and the sweep
+    checks peer responsiveness: instead of raising, the query returns the
+    values collected so far with the failure reason attached.
     """
     before = network.stats.snapshot()
     entry = start_peer if start_peer is not None else network.random_peer()
@@ -65,11 +84,37 @@ def execute_range_query(
     if not low < high:
         return QueryResult(np.empty(0), 0, 0, 0)
 
-    first = route_to_value(network, entry, low).owner
+    faults = network.faults
+    plane_active = faults is not None and faults.active
+    if plane_active or policy is not None:
+        outcome = route_with_policy(
+            network, entry, network.data_hash(low), policy=policy
+        )
+        if not outcome.ok:
+            delta = before.delta(network.stats.snapshot())
+            return QueryResult(
+                np.empty(0), 0, delta.messages, delta.hops, failure=outcome.failure
+            )
+        first = outcome.owner
+    else:
+        first = route_to_value(network, entry, low).owner
     current = first
     collected: list[float] = []
     peers_visited = 0
+
+    def partial(reason: str) -> QueryResult:
+        delta = before.delta(network.stats.snapshot())
+        return QueryResult(
+            values=np.sort(np.asarray(collected, dtype=float)),
+            peers_visited=peers_visited,
+            messages=delta.messages,
+            hops=delta.hops,
+            failure=reason,
+        )
+
     while True:
+        if plane_active and faults.is_stalled(current.ident):
+            return partial("owner_unresponsive")
         peers_visited += 1
         matches = current.store.values_in_range(low, high)
         network.record_rpc(
@@ -107,6 +152,8 @@ def execute_range_query(
         nxt = successor_walk(network, current, 1)[0]
         if nxt.ident == first.ident:
             break  # full circle: every peer inspected
+        if plane_active and not faults.reachable(current.ident, nxt.ident):
+            return partial("partitioned")
         current = nxt
     delta = before.delta(network.stats.snapshot())
     return QueryResult(
@@ -119,12 +166,19 @@ def execute_range_query(
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """The planner's prediction for one range query."""
+    """The planner's prediction for one range query.
+
+    ``degraded`` marks a plan derived from a degraded estimate — the cost
+    prediction stands on partial (or zero) probe evidence, so an admission
+    controller may want a safety margin.  Kept out of :meth:`as_dict` so
+    existing result tables are unchanged.
+    """
 
     expected_items: float
     expected_peers: float
     expected_messages: float
     admitted: bool           # within the caller's budget?
+    degraded: bool = False
 
     def as_dict(self) -> dict[str, float]:
         """Plain-dict view."""
@@ -164,6 +218,7 @@ def plan_range_query(
         expected_peers=expected_peers,
         expected_messages=expected_messages,
         admitted=admitted,
+        degraded=estimate.degraded,
     )
 
 
@@ -199,6 +254,7 @@ def plan_range_queries(
             expected_peers=float(expected_peers[i]),
             expected_messages=float(expected_messages[i]),
             admitted=max_items is None or float(expected_items[i]) <= max_items,
+            degraded=estimate.degraded,
         )
         for i in range(len(queries))
     ]

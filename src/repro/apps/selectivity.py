@@ -81,13 +81,21 @@ def true_selectivities(
 
 @dataclass(frozen=True)
 class SelectivityReport:
-    """Accuracy of selectivity estimation over a query workload."""
+    """Accuracy of selectivity estimation over a query workload.
+
+    ``degraded`` marks a report computed from a degraded estimate (some or
+    all probe evidence missing); the error numbers are still exact for the
+    estimate they were computed from, but the workload owner should expect
+    them to be worse than a full-coverage run's.  Kept out of
+    :meth:`as_dict` so existing result tables are unchanged.
+    """
 
     queries: int
     mean_abs_error: float          # mean |sel̂ - sel|
     max_abs_error: float
     mean_relative_error: float     # mean |sel̂ - sel| / max(sel, floor)
     mean_true_selectivity: float
+    degraded: bool = False
 
     def as_dict(self) -> dict[str, float]:
         """Plain-dict view for result tables."""
@@ -128,4 +136,5 @@ def evaluate_selectivity(
         max_abs_error=float(np.max(abs_errors)),
         mean_relative_error=float(np.mean(rel_errors)),
         mean_true_selectivity=float(np.mean(true_sels)),
+        degraded=estimate.degraded,
     )

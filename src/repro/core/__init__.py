@@ -24,17 +24,24 @@ from repro.core.cdf_compute import (
 )
 from repro.core.cdf_sampling import (
     InterpolatedReconstruction,
+    ProbeFailure,
     ProbeResult,
     assemble_cdf,
     assemble_cdf_interpolated,
     collect_probes,
+    collect_probes_resilient,
     estimate_peer_count,
     estimate_total_items,
     ht_weights,
     probe_positions,
 )
 from repro.core.density import DensityCurve, density_from_cdf, smoothed_density_from_cdf
-from repro.core.estimate import DensityEstimate
+from repro.core.estimate import (
+    DegradedEstimate,
+    DensityEstimate,
+    degraded_from_exception,
+    zero_evidence_estimate,
+)
 from repro.core.estimator import DensityEstimator, DistributionFreeEstimator
 from repro.core.inversion import InversionSampler, inverse_transform_sample
 from repro.core.metrics import (
@@ -65,6 +72,7 @@ __all__ = [
     "ConfidenceBand",
     "ContinuousEstimator",
     "MaintenanceAction",
+    "DegradedEstimate",
     "DensityCurve",
     "DensityEstimate",
     "DensityEstimator",
@@ -75,6 +83,7 @@ __all__ = [
     "PeerSummary",
     "PiecewiseCDF",
     "PrefixIndex",
+    "ProbeFailure",
     "ProbeResult",
     "SegmentSummary",
     "InterpolatedReconstruction",
@@ -84,9 +93,11 @@ __all__ = [
     "bootstrap_confidence_band",
     "build_prefix_index",
     "collect_probes",
+    "collect_probes_resilient",
     "corrupt_network",
     "compute_global_cdf_broadcast",
     "compute_global_cdf_traversal",
+    "degraded_from_exception",
     "density_from_cdf",
     "emd",
     "estimate_with_confidence",
@@ -113,4 +124,5 @@ __all__ = [
     "summarize_peer",
     "total_variation_binned",
     "trim_outlier_summaries",
+    "zero_evidence_estimate",
 ]

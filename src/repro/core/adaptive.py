@@ -32,7 +32,7 @@ from repro.core.cdf_sampling import (
     collect_probes_at,
     estimate_peer_count,
 )
-from repro.core.estimate import DensityEstimate
+from repro.core.estimate import DensityEstimate, zero_evidence_estimate
 from repro.ring.network import RingNetwork
 
 __all__ = ["AdaptiveDensityEstimator", "allocate_refinement_probes"]
@@ -97,6 +97,26 @@ class AdaptiveDensityEstimator:
         self, network: RingNetwork, rng: Optional[np.random.Generator] = None
     ) -> DensityEstimate:
         """Scout with stratified probes, refine into high-mass gaps."""
+        faults = network.faults
+        if (faults is not None and faults.active) or network.n_peers == 0:
+            # Degraded mode: adaptive refinement steers by the scout phase's
+            # gap-mass map, which failed probes would silently bias (a gap
+            # that *couldn't* be probed looks identical to one that is
+            # empty).  Under an active fault plane the estimator therefore
+            # collapses to one resilient stratified pass with the full
+            # budget — same evidence volume, honest coverage reporting.
+            from repro.core.estimator import DistributionFreeEstimator
+
+            fallback = DistributionFreeEstimator(
+                probes=self.probes,
+                synopsis_buckets=self.synopsis_buckets,
+                synopsis_kind=self.synopsis_kind,  # type: ignore[arg-type]
+                placement="stratified",
+                gap_interpolation=self.gap_interpolation,
+                trim_density_ratio=self.trim_density_ratio,
+                name=self.name,
+            )
+            return fallback.estimate(network, rng)
         generator = rng if rng is not None else network.rng
         before = network.stats.snapshot()
 
@@ -162,7 +182,20 @@ class AdaptiveDensityEstimator:
 
             summaries = trim_outlier_summaries(summaries, self.trim_density_ratio)
 
-        final = assemble_cdf_interpolated(summaries, network.domain, self.gap_interpolation)
+        try:
+            final = assemble_cdf_interpolated(
+                summaries, network.domain, self.gap_interpolation
+            )
+        except ValueError:
+            # No probed peer carried data: degrade to the explicit
+            # zero-evidence prior instead of raising.
+            return zero_evidence_estimate(
+                network.domain,
+                before.delta(network.stats.snapshot()),
+                self.name,
+                self.probes,
+                ("no_evidence",),
+            )
         cost = before.delta(network.stats.snapshot())
         # Two sequential phases, each internally parallel.
         latency = (max(r.hops for r in scout) + 2) + refine_latency

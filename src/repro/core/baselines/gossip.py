@@ -21,9 +21,9 @@ from typing import Optional
 import numpy as np
 
 from repro.core.cdf import PiecewiseCDF
-from repro.core.estimate import DensityEstimate
+from repro.core.estimate import DensityEstimate, degraded_from_exception
 from repro.ring.messages import MessageType
-from repro.ring.network import RingNetwork
+from repro.ring.network import NetworkError, RingNetwork
 from repro.ring.node import PeerNode
 
 __all__ = ["PushSumHistogramEstimator"]
@@ -133,10 +133,27 @@ class PushSumHistogramEstimator:
     def estimate(
         self, network: RingNetwork, rng: Optional[np.random.Generator] = None
     ) -> DensityEstimate:
-        """Run push-sum to convergence and read the initiator's state."""
+        """Run push-sum to convergence and read the initiator's state.
+
+        Failure conditions (empty ring, disconnected push-sum, empty
+        histogram) come back as a zero-evidence degraded estimate rather
+        than an exception.
+        """
         generator = rng if rng is not None else network.rng
         before = network.stats.snapshot()
         low, high = network.domain
+        try:
+            return self._run_push_sum(network, generator, before, low, high)
+        except (NetworkError, ValueError, RuntimeError) as exc:
+            return degraded_from_exception(
+                exc,
+                network.domain,
+                before.delta(network.stats.snapshot()),
+                self.name,
+                network.n_peers,
+            )
+
+    def _run_push_sum(self, network, generator, before, low, high) -> DensityEstimate:
 
         # State as one (N, B+1) matrix: histogram slots + [indicator], and
         # a weight vector.  Mass movement per round is then two scatter-adds

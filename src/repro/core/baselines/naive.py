@@ -19,8 +19,8 @@ from typing import Literal, Optional
 import numpy as np
 
 from repro.core.cdf_sampling import assemble_cdf, collect_probes, estimate_peer_count
-from repro.core.estimate import DensityEstimate
-from repro.ring.network import RingNetwork
+from repro.core.estimate import DensityEstimate, degraded_from_exception
+from repro.ring.network import NetworkError, RingNetwork
 
 __all__ = ["NaivePeerSamplingEstimator"]
 
@@ -43,17 +43,27 @@ class NaivePeerSamplingEstimator:
     def estimate(
         self, network: RingNetwork, rng: Optional[np.random.Generator] = None
     ) -> DensityEstimate:
-        """Probe and pool unweighted."""
+        """Probe and pool unweighted.
+
+        Failure conditions (empty ring, disconnected overlay, all-empty
+        replies) come back as a zero-evidence degraded estimate rather
+        than an exception.
+        """
         before = network.stats.snapshot()
-        results = collect_probes(
-            network, self.probes, self.synopsis_buckets, rng=rng, placement=self.placement
-        )
-        summaries = [r.summary for r in results]
-        non_empty = sum(1 for s in summaries if s.local_count > 0)
-        if non_empty == 0:
-            raise ValueError("all probed peers were empty; cannot estimate a distribution")
-        weights = [1.0 / non_empty if s.local_count > 0 else 0.0 for s in summaries]
-        cdf = assemble_cdf(summaries, weights, network.domain, "linear")
+        try:
+            results = collect_probes(
+                network, self.probes, self.synopsis_buckets, rng=rng, placement=self.placement
+            )
+            summaries = [r.summary for r in results]
+            non_empty = sum(1 for s in summaries if s.local_count > 0)
+            if non_empty == 0:
+                raise ValueError("all probed peers were empty; cannot estimate a distribution")
+            weights = [1.0 / non_empty if s.local_count > 0 else 0.0 for s in summaries]
+            cdf = assemble_cdf(summaries, weights, network.domain, "linear")
+        except (NetworkError, ValueError) as exc:
+            return degraded_from_exception(
+                exc, network.domain, before.delta(network.stats.snapshot()), self.name, self.probes
+            )
         cost = before.delta(network.stats.snapshot())
         latency = max(r.hops for r in results) + 2
         # Naive volume extrapolation: average probed count times peer count.

@@ -24,11 +24,11 @@ from repro.core.cdf_sampling import (
     estimate_total_items,
     ht_weights,
 )
-from repro.core.estimate import DensityEstimate
+from repro.core.estimate import DensityEstimate, degraded_from_exception
 from repro.core.synopsis import PeerSummary
 from repro.data.distributions import TruncatedExponential, TruncatedNormal
 from repro.data.domain import Domain
-from repro.ring.network import RingNetwork
+from repro.ring.network import NetworkError, RingNetwork
 
 __all__ = ["ParametricEstimator", "weighted_moments"]
 
@@ -82,11 +82,20 @@ class ParametricEstimator:
     def estimate(
         self, network: RingNetwork, rng: Optional[np.random.Generator] = None
     ) -> DensityEstimate:
-        """Probe, fit moments, return the fitted family CDF."""
+        """Probe, fit moments, return the fitted family CDF.
+
+        Failure conditions (empty ring, all-empty replies) come back as a
+        zero-evidence degraded estimate rather than an exception.
+        """
         before = network.stats.snapshot()
-        results = collect_probes(network, self.probes, self.synopsis_buckets, rng=rng)
-        summaries = [r.summary for r in results]
-        weights = ht_weights(summaries)
+        try:
+            results = collect_probes(network, self.probes, self.synopsis_buckets, rng=rng)
+            summaries = [r.summary for r in results]
+            weights = ht_weights(summaries)
+        except (NetworkError, ValueError) as exc:
+            return degraded_from_exception(
+                exc, network.domain, before.delta(network.stats.snapshot()), self.name, self.probes
+            )
         mean, variance = weighted_moments(summaries, weights)
 
         low, high = network.domain

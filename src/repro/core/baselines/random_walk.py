@@ -20,10 +20,10 @@ from typing import Optional
 import numpy as np
 
 from repro.core.cdf_sampling import assemble_cdf
-from repro.core.estimate import DensityEstimate
+from repro.core.estimate import DensityEstimate, degraded_from_exception
 from repro.core.synopsis import summarize_peer
 from repro.ring.messages import MessageType
-from repro.ring.network import RingNetwork
+from repro.ring.network import NetworkError, RingNetwork
 from repro.ring.node import PeerNode
 
 __all__ = ["RandomWalkEstimator", "metropolis_hastings_walk", "overlay_adjacency"]
@@ -187,30 +187,40 @@ class RandomWalkEstimator:
     def estimate(
         self, network: RingNetwork, rng: Optional[np.random.Generator] = None
     ) -> DensityEstimate:
-        """Collect ``probes`` walk-end peers and pool count-weighted."""
+        """Collect ``probes`` walk-end peers and pool count-weighted.
+
+        Failure conditions (empty ring, all-empty replies) come back as a
+        zero-evidence degraded estimate rather than an exception.
+        """
         generator = rng if rng is not None else network.rng
         before = network.stats.snapshot()
-        summaries = []
-        # One symmetrization per overlay state — models peers knowing their
-        # in-links.  Liveness can only change together with the overlay
-        # token, so the live-neighbour memo is shared across passes too.
-        adjacency, live_cache = _overlay_views(network)
-        current = network.random_peer()
-        for _ in range(self.probes):
-            current = metropolis_hastings_walk(
-                network, current, self.walk_length, generator, adjacency, live_cache
+        try:
+            summaries = []
+            # One symmetrization per overlay state — models peers knowing
+            # their in-links.  Liveness can only change together with the
+            # overlay token, so the live-neighbour memo is shared across
+            # passes too.
+            adjacency, live_cache = _overlay_views(network)
+            current = network.random_peer()
+            for _ in range(self.probes):
+                current = metropolis_hastings_walk(
+                    network, current, self.walk_length, generator, adjacency, live_cache
+                )
+                network.record_rpc(
+                    MessageType.PROBE_REQUEST,
+                    MessageType.PROBE_REPLY,
+                    reply_payload=self.synopsis_buckets + 2,
+                )
+                summaries.append(summarize_peer(network, current, self.synopsis_buckets))
+            counts = np.asarray([s.local_count for s in summaries], dtype=float)
+            if counts.sum() <= 0:
+                raise ValueError("all sampled peers were empty; cannot estimate a distribution")
+            weights = counts / counts.sum()
+            cdf = assemble_cdf(summaries, weights, network.domain, "linear")
+        except (NetworkError, ValueError) as exc:
+            return degraded_from_exception(
+                exc, network.domain, before.delta(network.stats.snapshot()), self.name, self.probes
             )
-            network.record_rpc(
-                MessageType.PROBE_REQUEST,
-                MessageType.PROBE_REPLY,
-                reply_payload=self.synopsis_buckets + 2,
-            )
-            summaries.append(summarize_peer(network, current, self.synopsis_buckets))
-        counts = np.asarray([s.local_count for s in summaries], dtype=float)
-        if counts.sum() <= 0:
-            raise ValueError("all sampled peers were empty; cannot estimate a distribution")
-        weights = counts / counts.sum()
-        cdf = assemble_cdf(summaries, weights, network.domain, "linear")
         cost = before.delta(network.stats.snapshot())
         # The walk is one sequential chain: every step and every summary
         # exchange sits on the critical path.

@@ -34,9 +34,11 @@ from repro.ring.routing import route_probes_batch, route_to_key
 
 __all__ = [
     "ProbeResult",
+    "ProbeFailure",
     "probe_positions",
     "collect_probes",
     "collect_probes_at",
+    "collect_probes_resilient",
     "ht_weights",
     "estimate_total_items",
     "estimate_peer_count",
@@ -54,6 +56,22 @@ class ProbeResult:
 
     target: int
     summary: PeerSummary
+    hops: int
+
+
+@dataclass(frozen=True)
+class ProbeFailure:
+    """One probe that did not come back: where it went and why it failed.
+
+    ``reason`` is the routing failure class (see
+    :class:`~repro.ring.routing.RouteOutcome`) or ``"reply_lost"`` when the
+    owner was reached but the request/reply exchange exhausted its retry
+    budget.  ``hops`` is what the failed attempt still cost — failures are
+    paid for, and the ledger reflects them.
+    """
+
+    target: int
+    reason: str
     hops: int
 
 
@@ -139,6 +157,70 @@ def collect_probes_at(
         summary = summarize_peer(network, route.owner, buckets, kind=synopsis_kind)
         results.append(ProbeResult(target=int(target), summary=summary, hops=route.hops))
     return results
+
+
+def collect_probes_resilient(
+    network: RingNetwork,
+    targets: Sequence[int],
+    buckets: int,
+    synopsis_kind: str = "equi-width",
+    policy=None,
+) -> tuple[list[ProbeResult], list[ProbeFailure]]:
+    """Probe explicit ring positions, reporting failures instead of raising.
+
+    The fault-aware counterpart of :func:`collect_probes_at`: every probe
+    routes through :func:`~repro.ring.routing.route_with_policy` (which
+    consults the network's fault plane and the retry policy's budgets), and
+    probes that cannot be answered come back as :class:`ProbeFailure`
+    entries rather than exceptions.  The request/reply exchange itself is
+    also bounded: a leg lost more than ``policy.max_attempts`` times turns
+    the probe into a ``"reply_lost"`` failure.  All cost — including the
+    cost of the failures — lands in the message ledger as usual.
+
+    ``policy=None`` selects :data:`~repro.ring.faults.RetryPolicy.DEFAULT`
+    (bounded attempts): a resilient collection exists to terminate under
+    faults, so unbounded retry must be requested explicitly.
+    """
+    from repro.ring.faults import RetryPolicy
+    from repro.ring.routing import route_with_policy
+
+    if policy is None:
+        policy = RetryPolicy.DEFAULT
+    results: list[ProbeResult] = []
+    failures: list[ProbeFailure] = []
+    for target in targets:
+        if network.n_peers == 0:
+            failures.append(ProbeFailure(target=int(target), reason="empty_ring", hops=0))
+            continue
+        entry = network.random_peer()
+        outcome = route_with_policy(network, entry, int(target), policy=policy)
+        if not outcome.ok or outcome.owner is None:
+            failures.append(
+                ProbeFailure(
+                    target=int(target), reason=outcome.failure or "failed", hops=outcome.hops
+                )
+            )
+            continue
+        delivered = False
+        attempts = 0
+        while True:
+            attempts += 1
+            network.record(MessageType.PROBE_REQUEST)
+            if network.delivery_succeeds():
+                network.record(MessageType.PROBE_REPLY, payload=buckets + 2)
+                if network.delivery_succeeds():
+                    delivered = True
+                    break
+            if policy.max_attempts is not None and attempts >= policy.max_attempts:
+                break
+        if not delivered:
+            failures.append(
+                ProbeFailure(target=int(target), reason="reply_lost", hops=outcome.hops)
+            )
+            continue
+        summary = summarize_peer(network, outcome.owner, buckets, kind=synopsis_kind)
+        results.append(ProbeResult(target=int(target), summary=summary, hops=outcome.hops))
+    return results, failures
 
 
 def _collect_probes_batch(

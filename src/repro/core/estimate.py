@@ -18,7 +18,12 @@ from repro.core.cdf import PiecewiseCDF
 from repro.core.density import DensityCurve, density_from_cdf, smoothed_density_from_cdf
 from repro.ring.messages import CostSnapshot
 
-__all__ = ["DensityEstimate"]
+__all__ = [
+    "DensityEstimate",
+    "DegradedEstimate",
+    "degraded_from_exception",
+    "zero_evidence_estimate",
+]
 
 
 @dataclass(frozen=True)
@@ -105,3 +110,115 @@ class DensityEstimate:
     def payload(self) -> float:
         """Total application payload moved (abstract scalar units)."""
         return self.cost.payload
+
+    @property
+    def degraded(self) -> bool:
+        """Was this estimate produced under failures?  Always ``False``
+        here; :class:`DegradedEstimate` overrides it."""
+        return False
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of requested probe evidence that actually arrived.
+        ``1.0`` for a fully successful estimate."""
+        return 1.0
+
+
+@dataclass(frozen=True)
+class DegradedEstimate(DensityEstimate):
+    """A density estimate produced while some probes failed.
+
+    The graceful-degradation contract: instead of raising when the network
+    misbehaves (stalled peers, partitions, exhausted retry budgets, or an
+    outright empty ring), estimation returns *this* — the best
+    reconstruction the surviving evidence supports, plus an honest account
+    of how much evidence is missing.
+
+    Attributes
+    ----------
+    coverage:
+        ``probes / probes_requested`` — the fraction of requested probes
+        that returned evidence.  ``0.0`` means the CDF is a pure prior
+        (uniform over the domain) and should be trusted accordingly.
+    probes_requested:
+        How many probes the estimator attempted.
+    failures:
+        Sorted, de-duplicated failure reasons observed (e.g.
+        ``("owner_unresponsive", "partitioned")``).
+    ci_inflation:
+        Multiplier applied to the confidence band's half-width relative to
+        a full-coverage estimate (``~ 1/sqrt(coverage)``: the surviving
+        probes are an unbiased subsample of the design, so standard errors
+        scale with the square root of the realised sample size).
+    confidence:
+        The widened :class:`~repro.core.confidence.ConfidenceBand` built
+        from the surviving replies, or ``None`` when there was no evidence
+        to bootstrap from.  (Typed loosely to keep this module free of a
+        circular import — :mod:`repro.core.confidence` imports this one.)
+    """
+
+    coverage: float = 0.0
+    probes_requested: int = 0
+    failures: tuple[str, ...] = ()
+    ci_inflation: float = 1.0
+    confidence: Optional[object] = None
+
+    @property
+    def degraded(self) -> bool:
+        return True
+
+
+def zero_evidence_estimate(
+    domain: tuple[float, float],
+    cost: CostSnapshot,
+    method: str,
+    probes_requested: int,
+    failures: tuple[str, ...],
+) -> DegradedEstimate:
+    """The degraded estimate when *no* probe returned evidence.
+
+    Falls back to the maximum-entropy prior — a uniform CDF over the
+    domain — with ``coverage`` 0 and unknown totals, so downstream
+    consumers keep working (and can see exactly how little the answer is
+    worth) instead of crashing.
+    """
+    low, high = domain
+    return DegradedEstimate(
+        cdf=PiecewiseCDF(np.asarray([low, high]), np.asarray([0.0, 1.0]), kind="linear"),
+        domain=domain,
+        n_items=0.0,
+        n_peers=0.0,
+        probes=0,
+        cost=cost,
+        method=method,
+        coverage=0.0,
+        probes_requested=probes_requested,
+        failures=failures,
+        ci_inflation=float("inf"),
+    )
+
+
+def degraded_from_exception(
+    exc: Exception,
+    domain: tuple[float, float],
+    cost: CostSnapshot,
+    method: str,
+    probes_requested: int,
+) -> DegradedEstimate:
+    """Map a network/assembly failure onto its zero-evidence estimate.
+
+    Shared guard for estimators whose internals are not fault-plane aware
+    (the baselines): a routing breakdown, an empty ring, or an all-empty
+    probe batch each become an explicit degraded result instead of an
+    exception escaping a user-facing ``estimate()`` call.
+    """
+    from repro.ring.network import NetworkError
+    from repro.ring.routing import RoutingError
+
+    if isinstance(exc, RoutingError):
+        reason = "routing_failed"
+    elif isinstance(exc, NetworkError):
+        reason = "empty_ring"
+    else:
+        reason = "no_evidence"
+    return zero_evidence_estimate(domain, cost, method, probes_requested, (reason,))

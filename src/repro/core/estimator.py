@@ -18,11 +18,14 @@ from repro.core.cdf_sampling import (
     assemble_cdf,
     assemble_cdf_interpolated,
     collect_probes,
+    collect_probes_resilient,
     estimate_peer_count,
     estimate_total_items,
     ht_weights,
+    probe_positions,
 )
-from repro.core.estimate import DensityEstimate
+from repro.core.estimate import DegradedEstimate, DensityEstimate, zero_evidence_estimate
+from repro.ring.faults import RetryPolicy
 from repro.ring.network import RingNetwork
 
 __all__ = ["DensityEstimator", "DistributionFreeEstimator"]
@@ -81,6 +84,15 @@ class DistributionFreeEstimator:
         the batch median are discarded before assembly — the pollution
         defense of :mod:`repro.core.byzantine`.  ``None`` trusts every
         reply (the default).
+    retry:
+        Explicit :class:`~repro.ring.faults.RetryPolicy` for the probe
+        lookups.  Setting it (or attaching an active fault plane to the
+        network) switches estimation onto the resilient path: probes that
+        fail are reported, not raised, and the result is a
+        :class:`~repro.core.estimate.DegradedEstimate` carrying the
+        realised coverage and a widened confidence band whenever any probe
+        was lost.  ``None`` on a fault-free network is the legacy path,
+        bit-identical to before this field existed.
     """
 
     probes: int = 64
@@ -91,6 +103,7 @@ class DistributionFreeEstimator:
     interpolation: Literal["linear", "step"] = "linear"
     gap_interpolation: Literal["linear", "log"] = "linear"
     trim_density_ratio: Optional[float] = None
+    retry: Optional[RetryPolicy] = None
     name: str = "distribution-free"
 
     def __post_init__(self) -> None:
@@ -104,7 +117,22 @@ class DistributionFreeEstimator:
     def estimate(
         self, network: RingNetwork, rng: Optional[np.random.Generator] = None
     ) -> DensityEstimate:
-        """Probe the network and assemble the distribution-free estimate."""
+        """Probe the network and assemble the distribution-free estimate.
+
+        On a fault-free network with no explicit retry policy this is the
+        legacy fast path.  With faults active (or ``retry`` set) the
+        resilient path runs instead, and terminal no-evidence conditions —
+        an empty ring, or a ring where no probed peer carried data — come
+        back as a zero-evidence :class:`DegradedEstimate` rather than an
+        exception.
+        """
+        faults = network.faults
+        if (
+            self.retry is not None
+            or (faults is not None and faults.active)
+            or network.n_peers == 0
+        ):
+            return self._estimate_degraded(network, rng)
         before = network.stats.snapshot()
         results = collect_probes(
             network,
@@ -119,16 +147,28 @@ class DistributionFreeEstimator:
             from repro.core.byzantine import trim_outlier_summaries
 
             summaries = trim_outlier_summaries(summaries, self.trim_density_ratio)
-        if self.combine == "interpolate":
-            reconstruction = assemble_cdf_interpolated(
-                summaries, network.domain, self.gap_interpolation
+        try:
+            if self.combine == "interpolate":
+                reconstruction = assemble_cdf_interpolated(
+                    summaries, network.domain, self.gap_interpolation
+                )
+                cdf = reconstruction.cdf
+                n_items = reconstruction.total_items
+            else:
+                weights = ht_weights(summaries)
+                cdf = assemble_cdf(summaries, weights, network.domain, self.interpolation)
+                n_items = estimate_total_items(summaries, network.space.size)
+        except ValueError:
+            # Every probed peer was empty: no distribution to reconstruct.
+            # Degrade to the explicit zero-evidence prior instead of
+            # propagating the assembly error to the caller.
+            return zero_evidence_estimate(
+                network.domain,
+                before.delta(network.stats.snapshot()),
+                self.name,
+                self.probes,
+                ("no_evidence",),
             )
-            cdf = reconstruction.cdf
-            n_items = reconstruction.total_items
-        else:
-            weights = ht_weights(summaries)
-            cdf = assemble_cdf(summaries, weights, network.domain, self.interpolation)
-            n_items = estimate_total_items(summaries, network.space.size)
         cost = before.delta(network.stats.snapshot())
         # Probes are independent lookups a client issues concurrently:
         # the critical path is the slowest probe plus its request/reply.
@@ -142,4 +182,140 @@ class DistributionFreeEstimator:
             cost=cost,
             method=self.name,
             latency_rounds=float(latency),
+        )
+
+    def _estimate_degraded(
+        self, network: RingNetwork, rng: Optional[np.random.Generator]
+    ) -> DensityEstimate:
+        """The resilient estimation path: collect what the network allows.
+
+        Probes route under the retry policy's budgets; failures are
+        tallied, the reconstruction uses the surviving replies, and the
+        result reports the realised ``coverage``.  The surviving probes are
+        an unbiased subsample of the iid design (faults strike positions,
+        not values), so the Horvitz–Thompson machinery applies unchanged at
+        the smaller sample size — only the variance grows, which the
+        widened confidence band makes explicit (half-width scaled by
+        ``1/sqrt(coverage)``).  With zero surviving evidence the uniform
+        zero-evidence prior is returned.  Never raises on network state.
+        """
+        before = network.stats.snapshot()
+        policy = self.retry if self.retry is not None else RetryPolicy.DEFAULT
+        requested = self.probes
+        if network.n_peers == 0:
+            return zero_evidence_estimate(
+                network.domain,
+                before.delta(network.stats.snapshot()),
+                self.name,
+                requested,
+                ("empty_ring",),
+            )
+        generator = rng if rng is not None else network.rng
+        targets = probe_positions(
+            requested, network.space.size, generator, self.placement
+        )
+        results, probe_failures = collect_probes_resilient(
+            network, targets, self.synopsis_buckets, self.synopsis_kind, policy
+        )
+        summaries = [r.summary for r in results]
+        if self.trim_density_ratio is not None and summaries:
+            from repro.core.byzantine import trim_outlier_summaries
+
+            summaries = trim_outlier_summaries(summaries, self.trim_density_ratio)
+        reasons = tuple(sorted({f.reason for f in probe_failures}))
+        coverage = len(results) / requested if requested else 0.0
+        if not summaries:
+            return zero_evidence_estimate(
+                network.domain,
+                before.delta(network.stats.snapshot()),
+                self.name,
+                requested,
+                reasons or ("no_evidence",),
+            )
+        try:
+            if self.combine == "interpolate":
+                reconstruction = assemble_cdf_interpolated(
+                    summaries, network.domain, self.gap_interpolation
+                )
+                cdf = reconstruction.cdf
+                n_items = reconstruction.total_items
+            else:
+                weights = ht_weights(summaries)
+                cdf = assemble_cdf(summaries, weights, network.domain, self.interpolation)
+                n_items = estimate_total_items(summaries, network.space.size)
+        except ValueError:
+            return zero_evidence_estimate(
+                network.domain,
+                before.delta(network.stats.snapshot()),
+                self.name,
+                requested,
+                reasons + ("no_evidence",),
+            )
+        n_peers = estimate_peer_count(summaries, network.space.size)
+        latency = float(max(r.hops for r in results) + 2)
+        if not probe_failures:
+            # Full coverage: the fault plane was active but every probe got
+            # through — a plain (non-degraded) estimate.
+            return DensityEstimate(
+                cdf=cdf,
+                domain=network.domain,
+                n_items=n_items,
+                n_peers=n_peers,
+                probes=len(summaries),
+                cost=before.delta(network.stats.snapshot()),
+                method=self.name,
+                latency_rounds=latency,
+            )
+        inflation = float(1.0 / np.sqrt(max(coverage, 1.0 / requested)))
+        confidence = self._widened_band(summaries, network.domain, generator, inflation)
+        return DegradedEstimate(
+            cdf=cdf,
+            domain=network.domain,
+            n_items=n_items,
+            n_peers=n_peers,
+            probes=len(summaries),
+            cost=before.delta(network.stats.snapshot()),
+            method=self.name,
+            latency_rounds=latency,
+            coverage=coverage,
+            probes_requested=requested,
+            failures=reasons,
+            ci_inflation=inflation,
+            confidence=confidence,
+        )
+
+    def _widened_band(
+        self,
+        summaries,
+        domain: tuple[float, float],
+        rng: np.random.Generator,
+        inflation: float,
+    ):
+        """Bootstrap band from the surviving replies, widened by ``inflation``.
+
+        The bootstrap quantifies the variance of the realised sample; the
+        inflation additionally charges for the probes that never arrived,
+        centring the widened band on the bootstrap band's midline.
+        """
+        from repro.core.confidence import ConfidenceBand, bootstrap_confidence_band
+
+        if len(summaries) < 2:
+            return None
+        try:
+            band = bootstrap_confidence_band(
+                summaries,
+                domain,
+                rng=rng,
+                gap_interpolation=self.gap_interpolation,
+            )
+        except ValueError:
+            return None
+        center = 0.5 * (band.lower + band.upper)
+        half = 0.5 * (band.upper - band.lower) * inflation
+        return ConfidenceBand(
+            grid=band.grid,
+            lower=np.clip(center - half, 0.0, 1.0),
+            upper=np.clip(center + half, 0.0, 1.0),
+            level=band.level,
+            replicates=band.replicates,
         )

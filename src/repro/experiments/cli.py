@@ -9,11 +9,13 @@ full evaluation).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Optional, Sequence
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.ring.faults import FAULT_PROFILE_ENV, FAULT_PROFILES
 
 __all__ = ["main"]
 
@@ -71,6 +73,18 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--faults",
+        metavar="PROFILE",
+        default=None,
+        help=(
+            "run every experiment under a named fault profile "
+            f"({', '.join(FAULT_PROFILES)}): each created network gets a "
+            "fault plane attached (exported via the environment so worker "
+            "processes inherit it); estimates degrade gracefully instead "
+            "of failing"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
     )
     parser.add_argument(
@@ -109,6 +123,18 @@ def _main(argv: Optional[Sequence[str]]) -> int:
     if unknown:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         return 2
+    if args.faults is not None:
+        if args.faults not in FAULT_PROFILES:
+            print(
+                f"unknown fault profile {args.faults!r}; "
+                f"known: {sorted(FAULT_PROFILES)}",
+                file=sys.stderr,
+            )
+            return 2
+        # Exported (not passed) so experiment code and worker subprocesses
+        # pick the profile up inside RingNetwork.create without every
+        # runner needing a parameter.
+        os.environ[FAULT_PROFILE_ENV] = args.faults
     tables = []
     for experiment_id, (table, elapsed) in zip(
         ids, _run_selection(ids, args.scale, args.seed, args.workers)

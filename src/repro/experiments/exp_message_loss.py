@@ -1,10 +1,14 @@
-"""F15 — robustness to message loss.
+"""F15 — robustness to message loss under the unbounded-retry policy.
 
-Real deployments lose messages; the overlay retransmits on timeout.  The
-estimators' accuracy should be *unaffected* (retransmission makes delivery
-eventually reliable) while cost inflates by the retransmission factor
-``1/(1-p)`` per link.  Swept: loss probability; reported: accuracy and the
-measured cost-inflation factor.
+Real deployments lose messages; the overlay retransmits on timeout.  This
+experiment runs under the *legacy retry model* — ``RetryPolicy.UNBOUNDED``,
+the default whenever no fault plane is active and no policy is passed:
+every lost transmission is retried until it delivers.  Under that (and
+only that) policy delivery is eventually reliable, so accuracy is
+*unaffected* by the loss rate while cost inflates by the retransmission
+factor ``1/(1-p)`` per link.  Bounded policies make the opposite trade —
+capped cost, shed coverage — which is F18's subject.  Swept: loss
+probability; reported: accuracy and the measured cost-inflation factor.
 """
 
 from __future__ import annotations
@@ -23,9 +27,11 @@ from repro.ring.network import RingNetwork
 EXPERIMENT_ID = "F15"
 TITLE = "Robustness to message loss"
 EXPECTATION = (
-    "Accuracy is flat in the loss rate (retransmission makes probing "
-    "reliable); messages per estimate inflate by ~1/(1-p) per link — "
-    "about 1.25x at 20% loss."
+    "Under the unbounded-retry policy (the default with no fault plane: "
+    "every loss is retransmitted until delivered) accuracy is flat in the "
+    "loss rate; messages per estimate inflate by ~1/(1-p) per link — "
+    "about 1.25x at 20% loss.  Bounded retry policies instead cap cost "
+    "and shed coverage (see F18)."
 )
 
 LOSS_RATES = (0.0, 0.05, 0.10, 0.20, 0.30)

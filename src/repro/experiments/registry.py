@@ -16,6 +16,7 @@ from repro.experiments import (
     exp_churn,
     exp_cost_accuracy,
     exp_cost_table,
+    exp_fault_plane,
     exp_inversion_quality,
     exp_latency,
     exp_load_balance,
@@ -65,6 +66,7 @@ EXPERIMENTS: dict[str, Callable[..., ResultTable]] = {
     "F15": exp_message_loss.run,
     "F16": exp_virtual_nodes.run,
     "F17": exp_byzantine.run,
+    "F18": exp_fault_plane.run,
     "A1": exp_ablations.run_synopsis_ablation,
     "A2": exp_ablations.run_placement_ablation,
     "A3": exp_ablations.run_assembly_ablation,

@@ -7,6 +7,14 @@ network-size estimation.
 """
 
 from repro.ring.churn import ChurnConfig, ChurnProcess, ChurnRoundReport
+from repro.ring.faults import (
+    FAULT_PROFILES,
+    FaultPlane,
+    FaultRoundReport,
+    RetryPolicy,
+    plane_from_profile,
+    validate_probability,
+)
 from repro.ring.hashing import ConsistentHash, OrderPreservingHash
 from repro.ring.identifier import IdentifierSpace, RingInterval
 from repro.ring.messages import CostSnapshot, MessageStats, MessageType
@@ -14,7 +22,15 @@ from repro.ring.network import NetworkError, RingNetwork
 from repro.ring.node import PeerNode
 from repro.ring.replication import RecoveryReport, ReplicationManager
 from repro.ring.serialization import load_network, network_from_dict, network_to_dict, save_network
-from repro.ring.routing import RouteResult, RoutingError, route_to_key, route_to_value, successor_walk
+from repro.ring.routing import (
+    RouteOutcome,
+    RouteResult,
+    RoutingError,
+    route_to_key,
+    route_to_value,
+    route_with_policy,
+    successor_walk,
+)
 from repro.ring.sizing import SizeEstimate, estimate_network_size, estimate_size_from_segments
 from repro.ring.storage import LocalStore
 
@@ -24,6 +40,9 @@ __all__ = [
     "ChurnRoundReport",
     "ConsistentHash",
     "CostSnapshot",
+    "FAULT_PROFILES",
+    "FaultPlane",
+    "FaultRoundReport",
     "IdentifierSpace",
     "LocalStore",
     "MessageStats",
@@ -33,8 +52,10 @@ __all__ = [
     "PeerNode",
     "RecoveryReport",
     "ReplicationManager",
+    "RetryPolicy",
     "RingInterval",
     "RingNetwork",
+    "RouteOutcome",
     "RouteResult",
     "RoutingError",
     "SizeEstimate",
@@ -43,8 +64,11 @@ __all__ = [
     "load_network",
     "network_from_dict",
     "network_to_dict",
+    "plane_from_profile",
     "route_to_key",
     "route_to_value",
+    "route_with_policy",
     "save_network",
     "successor_walk",
+    "validate_probability",
 ]

@@ -17,6 +17,7 @@ from typing import Optional
 import numpy as np
 
 from repro.ring import chord
+from repro.ring.faults import FaultPlane
 from repro.ring.network import RingNetwork
 from repro.ring.replication import ReplicationManager
 
@@ -96,6 +97,11 @@ class ChurnProcess:
     rng: Optional[np.random.Generator] = None
     replication: Optional[ReplicationManager] = None
     replication_every: int = 1
+    #: Optional fault plane advanced at the start of every round, so
+    #: scheduled injections (crash bursts, stalls, partitions) land on the
+    #: same round clock as churn.  ``None`` (the default) leaves the round
+    #: loop exactly as before.
+    faults: Optional[FaultPlane] = None
 
     def __post_init__(self) -> None:
         if self.rng is None:
@@ -103,12 +109,18 @@ class ChurnProcess:
         if self.replication_every < 1:
             raise ValueError("replication_every must be >= 1")
         self._rounds_run = 0
+        if self.faults is not None and self.network.faults is not self.faults:
+            self.network.install_faults(self.faults)
         if self.replication is not None and self.replication.factor > 1:
             self.replication.replicate_round()
 
     def run_round(self) -> ChurnRoundReport:
-        """Execute one round: joins, then departures, then maintenance."""
+        """Execute one round: scheduled faults, joins, departures, maintenance."""
         report = ChurnRoundReport()
+        if self.faults is not None:
+            fault_report = self.faults.advance(self.network)
+            report.crashes += fault_report.crashes
+            report.items_lost += fault_report.items_lost
         n = self.network.n_peers
 
         n_joins = int(self.rng.poisson(self.config.join_rate * n))

@@ -19,12 +19,14 @@ Two views coexist deliberately:
 from __future__ import annotations
 
 import bisect
+import os
 from collections import Counter
 from functools import partial
 from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
+from repro.ring.faults import FAULT_PROFILE_ENV, FaultPlane, plane_from_profile, validate_probability
 from repro.ring.hashing import OrderPreservingHash
 from repro.ring.identifier import IdentifierSpace
 from repro.ring.messages import MessageStats, MessageType
@@ -62,13 +64,15 @@ class RingNetwork:
         rng: Optional[np.random.Generator] = None,
         loss_rate: float = 0.0,
     ) -> None:
-        if not 0.0 <= loss_rate < 1.0:
-            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
         self.space = space
         self.data_hash = OrderPreservingHash(space, domain[0], domain[1])
         self.rng = rng if rng is not None else np.random.default_rng()
         self.stats = MessageStats()
-        self.loss_rate = loss_rate
+        self.loss_rate = validate_probability("loss_rate", loss_rate)
+        #: Optional unified fault plane (see :mod:`repro.ring.faults`).
+        #: ``None`` — and an attached-but-inactive plane — leave every code
+        #: path bit-identical to a fault-free network.
+        self.faults: Optional[FaultPlane] = None
         self._nodes: dict[int, PeerNode] = {}
         self._sorted_ids: list[int] = []
         # Cached read-only views of the registry, rebuilt lazily after a
@@ -96,6 +100,21 @@ class RingNetwork:
         if self.loss_rate <= 0.0:
             return True
         return bool(self.rng.random() >= self.loss_rate)
+
+    def install_faults(self, plane: FaultPlane) -> FaultPlane:
+        """Attach a fault plane to this network and return it.
+
+        The plane subsumes the scalar loss model: a plane carrying a base
+        ``loss_rate`` installs it as :attr:`loss_rate`, so the legacy
+        retransmission machinery (and its exact RNG stream) keeps handling
+        uniform loss.  Structural faults (stalls, partitions, per-link
+        loss, scheduled bursts) are consulted only by the policy-aware
+        routing path — with none configured, behaviour is bit-identical to
+        an unattached network.
+        """
+        self.faults = plane
+        plane.attach(self)
+        return plane
 
     # ------------------------------------------------------------------
     # Construction
@@ -133,6 +152,18 @@ class RingNetwork:
         for ident in idents:
             network._register(PeerNode(ident, space))
         network.rebuild_overlay()
+        # Opt-in fault profile for whole-suite smoke runs: when the
+        # environment names a profile (repro-experiments --faults), every
+        # created network — including those built in worker subprocesses —
+        # gets the same deterministic fault plane attached.  Unset (the
+        # default), this branch never runs and behaviour is unchanged.
+        profile = os.environ.get(FAULT_PROFILE_ENV)
+        if profile:
+            network.install_faults(
+                plane_from_profile(
+                    profile, seed=seed if seed is not None else 0, ring_size=space.size
+                )
+            )
         return network
 
     @classmethod

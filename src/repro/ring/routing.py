@@ -13,15 +13,18 @@ from typing import NamedTuple, Optional, Sequence
 
 import numpy as np
 
+from repro.ring.faults import FaultPlane, RetryPolicy
 from repro.ring.messages import MessageType
 from repro.ring.network import NetworkError, RingNetwork
 from repro.ring.node import PeerNode
 
 __all__ = [
     "RouteResult",
+    "RouteOutcome",
     "route_to_key",
     "route_probes_batch",
     "route_to_value",
+    "route_with_policy",
     "successor_walk",
     "RoutingError",
 ]
@@ -47,12 +50,41 @@ class RouteResult(NamedTuple):
     timeouts: int
 
 
+class RouteOutcome(NamedTuple):
+    """Outcome of a policy-aware lookup: possibly partial, never raised.
+
+    The graceful-degradation counterpart of :class:`RouteResult`: instead
+    of raising on a disconnected or faulty overlay, the router reports what
+    happened.  ``owner is None`` iff ``failure`` is set.
+    """
+
+    owner: Optional[PeerNode]
+    hops: int
+    timeouts: int
+    #: Retransmissions performed (lost sends that were retried).
+    retries: int
+    #: Accumulated exponential-backoff wait, in abstract time units (a
+    #: latency cost model; backoff sends no messages).
+    backoff_cost: float
+    #: Why the lookup gave up, or ``None`` on success.  One of
+    #: ``"empty_ring"``, ``"entry_stalled"``, ``"hop_budget"``,
+    #: ``"retry_exhausted"``, ``"owner_unresponsive"``, ``"partitioned"``,
+    #: ``"stuck"``.
+    failure: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Did the lookup reach the owner?"""
+        return self.failure is None
+
+
 def route_to_key(
     network: RingNetwork,
     start: PeerNode,
     key: int,
     max_hops: int | None = None,
     *,
+    policy: RetryPolicy | None = None,
     _initial_hops: int = 0,
 ) -> RouteResult:
     """Route from ``start`` to the live peer owning ring position ``key``.
@@ -62,6 +94,14 @@ def route_to_key(
     that peer excluded.  Raises :class:`RoutingError` if the hop budget is
     exhausted, which only happens when churn has disconnected the overlay.
 
+    ``policy`` bounds the lossy-delivery retransmission loops: with a
+    bounded :class:`RetryPolicy` a link whose every attempt is lost raises
+    :class:`RoutingError` instead of retrying forever, and the policy's
+    ``max_hops`` supplies the hop budget when the argument is omitted.
+    ``None`` (the default) is the historical unbounded-retry model,
+    bit-identical to before the policy existed.  Callers that want partial
+    results instead of exceptions use :func:`route_with_policy`.
+
     ``_initial_hops`` resumes a lookup mid-route for the batch router: the
     hops its vectorized prefix already took seed the counter (and the final
     bulk ledger record), and the entry shortcuts are skipped — a mid-route
@@ -69,6 +109,9 @@ def route_to_key(
     sequential loop would have.
     """
     network.space.validate(key)
+    attempt_cap = policy.max_attempts if policy is not None else None
+    if max_hops is None and policy is not None:
+        max_hops = policy.max_hops
     if max_hops is None:
         # Generous default: stabilized Chord needs O(log N); churned rings
         # may degenerate towards successor walking, so allow up to N + slack.
@@ -120,13 +163,23 @@ def route_to_key(
             if successor_id == ident or 0 < (key - ident) & mask <= (successor_id - ident) & mask:
                 owner = network.node(successor_id)
                 if owner.ident != ident:
-                    # Final delivery hop, retransmitted until it arrives.
+                    # Final delivery hop, retransmitted until it arrives
+                    # (or a bounded policy runs out of attempts).
+                    attempts = 0
                     while True:
                         hops += 1
+                        attempts += 1
                         if loss_free or network.delivery_succeeds():
                             break
+                        if attempt_cap is not None and attempts >= attempt_cap:
+                            raise RoutingError(
+                                f"delivery of key {key} to owner {owner.ident} "
+                                f"failed after {attempts} attempts"
+                            )
                 return RouteResult(owner=owner, hops=hops, timeouts=timeouts)
             next_node = None
+            send_attempts = 0
+            last_sent = -1
             while next_node is None:
                 if excluded is None:
                     # Inlined timeout-free fast path of
@@ -163,6 +216,19 @@ def route_to_key(
                         f"lookup for key {key} exceeded {max_hops} hops from {start.ident}"
                     )
                 if not loss_free and not network.delivery_succeeds():
+                    if attempt_cap is not None:
+                        # Bounded policy: after max_attempts lost sends to one
+                        # candidate, declare the link down and fail over to the
+                        # next route (successor-list / alternate finger).
+                        send_attempts = send_attempts + 1 if candidate == last_sent else 1
+                        last_sent = candidate
+                        if send_attempts >= attempt_cap:
+                            timeouts += 1
+                            if excluded is None:
+                                excluded = set()
+                            excluded.add(candidate)
+                            send_attempts = 0
+                            last_sent = -1
                     continue  # lost in transit: retransmit to same candidate
                 if resolved is not None and resolved.alive:
                     next_node = resolved
@@ -183,6 +249,8 @@ def route_probes_batch(
     network: RingNetwork,
     entries: Sequence[PeerNode],
     keys: Sequence[int],
+    *,
+    policy: RetryPolicy | None = None,
 ) -> list[RouteResult]:
     """Route many independent lookups in vectorized lockstep.
 
@@ -201,8 +269,13 @@ def route_probes_batch(
     count = len(keys)
     if count == 0:
         return []
-    if network.loss_rate > 0.0 or network.n_peers == 0:
-        return [route_to_key(network, entry, int(key)) for entry, key in zip(entries, keys)]
+    if policy is not None or network.loss_rate > 0.0 or network.n_peers == 0:
+        # A policy implies per-link attempt accounting (stateful across the
+        # lossy retransmission draws), so the sequential reference runs.
+        return [
+            route_to_key(network, entry, int(key), policy=policy)
+            for entry, key in zip(entries, keys)
+        ]
     snap = network.snapshot()
     ids = snap.ids
     n = int(ids.size)
@@ -332,6 +405,166 @@ def route_probes_batch(
             timeouts=0,
         )
     return results  # type: ignore[return-value]
+
+
+def route_with_policy(
+    network: RingNetwork,
+    start: PeerNode,
+    key: int,
+    policy: RetryPolicy | None = None,
+    max_hops: int | None = None,
+) -> RouteOutcome:
+    """Route to the owner of ``key`` under an explicit retry policy,
+    returning a partial result with a failure reason instead of raising.
+
+    The graceful-degradation entry point: it consults the network's
+    :class:`~repro.ring.faults.FaultPlane` (peer stalls, ring partitions,
+    per-link loss) in addition to the overlay state, honours the policy's
+    attempt and hop budgets, and accounts every timed-out probe and
+    retransmission — in the returned :class:`RouteOutcome` and, as hops, in
+    the message ledger.  It never raises on network conditions.
+
+    ``policy=None`` selects :data:`RetryPolicy.DEFAULT` when structural
+    faults are active and :data:`RetryPolicy.UNBOUNDED` otherwise.  With no
+    active fault plane and an unbounded policy this delegates to
+    :func:`route_to_key` — identical cost and RNG stream — and merely wraps
+    any :class:`RoutingError` in a failed outcome.
+    """
+    faults: FaultPlane | None = network.faults
+    plane_active = faults is not None and faults.active
+    if policy is None:
+        policy = RetryPolicy.DEFAULT if plane_active else RetryPolicy.UNBOUNDED
+    if network.n_peers == 0:
+        return RouteOutcome(None, 0, 0, 0, 0.0, "empty_ring")
+    if not plane_active:
+        # Fault-free ring: the legacy router is the reference; translate
+        # its exceptions into failure outcomes (hops read back from the
+        # ledger, where the router posts them even on the error paths).
+        before = network.stats.count_of(MessageType.LOOKUP_HOP)
+        try:
+            result = route_to_key(network, start, key, max_hops=max_hops, policy=policy)
+        except RoutingError as exc:
+            hops = network.stats.count_of(MessageType.LOOKUP_HOP) - before
+            message = str(exc)
+            if "attempts" in message:
+                reason = "retry_exhausted"
+            elif "stuck" in message:
+                reason = "stuck"
+            else:
+                reason = "hop_budget"
+            return RouteOutcome(None, hops, 0, 0, 0.0, reason)
+        return RouteOutcome(result.owner, result.hops, result.timeouts, 0, 0.0, None)
+
+    space = network.space
+    space.validate(key)
+    if max_hops is None:
+        max_hops = policy.max_hops
+    if max_hops is None:
+        max_hops = 2 * network.n_peers + space.bits
+    if faults.is_stalled(start.ident):
+        return RouteOutcome(None, 0, 0, 0, 0.0, "entry_stalled")
+    mask = space.mask
+    loss_free = network.loss_rate <= 0.0
+    attempt_cap = policy.max_attempts
+    nodes_get = network._nodes.get
+    hops = 0
+    timeouts = 0
+    retries = 0
+    backoff = 0.0
+    partition_blocked = False
+
+    def transmit(src_id: int, dst_id: int) -> Optional[str]:
+        """One message send with retransmission; None means delivered.
+
+        A cross-partition send is one deterministic timed-out probe; a
+        lossy link is retried up to the policy's attempt budget, each retry
+        waiting out one exponential-backoff step.  Every attempt costs a
+        counted hop.
+        """
+        nonlocal hops, timeouts, retries, backoff, partition_blocked
+        if not faults.reachable(src_id, dst_id):
+            hops += 1
+            timeouts += 1
+            partition_blocked = True
+            return "unreachable"
+        attempts = 0
+        while True:
+            hops += 1
+            attempts += 1
+            if (loss_free or network.delivery_succeeds()) and faults.link_delivers(
+                src_id, dst_id
+            ):
+                return None
+            if attempt_cap is not None and attempts >= attempt_cap:
+                timeouts += 1
+                return "retry_exhausted"
+            if hops > max_hops:
+                timeouts += 1
+                return "hop_budget"
+            retries += 1
+            backoff += policy.backoff_base * policy.backoff_factor ** (attempts - 1)
+
+    current = start
+    excluded: set[int] = set()
+    try:
+        if key == current.ident:
+            return RouteOutcome(current, 0, 0, 0, 0.0, None)
+        if current.predecessor_id is not None and network.try_node(current.predecessor_id):
+            if space.in_half_open(key, current.predecessor_id, current.ident):
+                return RouteOutcome(current, 0, 0, 0, 0.0, None)
+        while True:
+            ident = current.ident
+            successor_id = _live_successor(network, current, excluded)
+            if successor_id == ident or 0 < (key - ident) & mask <= (successor_id - ident) & mask:
+                owner = network.node(successor_id)
+                if owner.ident != ident:
+                    if faults.is_stalled(owner.ident):
+                        # The owner receives but never replies.
+                        hops += 1
+                        timeouts += 1
+                        return RouteOutcome(
+                            None, hops, timeouts, retries, backoff, "owner_unresponsive"
+                        )
+                    verdict = transmit(ident, owner.ident)
+                    if verdict == "unreachable":
+                        return RouteOutcome(
+                            None, hops, timeouts, retries, backoff, "partitioned"
+                        )
+                    if verdict is not None:
+                        return RouteOutcome(None, hops, timeouts, retries, backoff, verdict)
+                return RouteOutcome(owner, hops, timeouts, retries, backoff, None)
+            next_node = None
+            while next_node is None:
+                if hops > max_hops:
+                    return RouteOutcome(None, hops, timeouts, retries, backoff, "hop_budget")
+                candidate = current.closest_preceding_finger(key, excluded)
+                if candidate == ident:
+                    # No usable finger: fall to the successor-list failover.
+                    candidate = _live_successor(network, current, excluded)
+                if candidate == ident or candidate in excluded:
+                    reason = "partitioned" if partition_blocked or faults.partitioned else "stuck"
+                    return RouteOutcome(None, hops, timeouts, retries, backoff, reason)
+                resolved = nodes_get(candidate)
+                if resolved is None or not resolved.alive or faults.is_stalled(candidate):
+                    # Departed or unresponsive: one timed-out probe, then
+                    # fail over with the peer excluded.
+                    hops += 1
+                    timeouts += 1
+                    excluded.add(candidate)
+                    continue
+                verdict = transmit(ident, candidate)
+                if verdict == "hop_budget":
+                    return RouteOutcome(None, hops, timeouts, retries, backoff, "hop_budget")
+                if verdict is not None:
+                    excluded.add(candidate)
+                    continue
+                next_node = resolved
+            if next_node.ident == ident:
+                return RouteOutcome(None, hops, timeouts, retries, backoff, "stuck")
+            current = next_node
+    finally:
+        if hops:
+            network.record(MessageType.LOOKUP_HOP, count=hops)
 
 
 def _live_successor(

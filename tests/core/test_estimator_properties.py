@@ -46,13 +46,14 @@ def build_world(params):
 
 
 def estimate_or_skip(estimator, network, rng):
-    """Run an estimator, treating the documented no-evidence error as a
-    valid outcome on degenerate worlds (all probed peers empty)."""
-    try:
-        return estimator.estimate(network, rng=rng)
-    except ValueError as exc:
-        assert "empty" in str(exc)
+    """Run an estimator, treating the documented zero-evidence degraded
+    result as a valid outcome on degenerate worlds (all probed peers
+    empty).  Estimation never raises for that case — it returns the
+    uniform-prior estimate with zero coverage."""
+    estimate = estimator.estimate(network, rng=rng)
+    if estimate.degraded and estimate.coverage == 0.0:
         return None
+    return estimate
 
 
 @SETTINGS

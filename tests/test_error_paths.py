@@ -46,10 +46,14 @@ class TestNetworkGuards:
 
     def test_estimating_empty_network_data(self):
         network = RingNetwork.create(8, seed=1)  # peers but no data
-        with pytest.raises(ValueError, match="empty"):
-            DistributionFreeEstimator(probes=8).estimate(
-                network, rng=np.random.default_rng(0)
-            )
+        estimate = DistributionFreeEstimator(probes=8).estimate(
+            network, rng=np.random.default_rng(0)
+        )
+        # No evidence is a degraded result, not an exception: the caller
+        # gets the uniform prior plus an honest zero coverage.
+        assert estimate.degraded is True
+        assert estimate.coverage == 0.0
+        assert "no_evidence" in estimate.failures
 
     def test_route_invalid_key(self):
         network, _ = make_loaded_network(n_peers=8, n_items=50)
