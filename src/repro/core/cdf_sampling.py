@@ -409,8 +409,13 @@ def assemble_cdf_interpolated(
         object.__setattr__(seg, "_edge_density_pair", cached)
         return cached
 
+    # Breakpoints accumulate as a flat delta sequence folded into one
+    # ``np.add.accumulate`` at the end: a ufunc accumulate is strictly
+    # sequential (unlike ``np.sum``'s pairwise reduction), so the float
+    # additions happen in exactly the order the old scalar loop used and
+    # the partial sums are bit-identical.
     xs: list[float] = [low]
-    cum: list[float] = [0.0]
+    deltas: list[float] = [0.0]
     gaps: list[tuple[float, float, float]] = []
 
     # The ring is a cycle: the gap after the last segment wraps into the
@@ -427,7 +432,7 @@ def assemble_cdf_interpolated(
         share = lead_gap / wrap_width if wrap_width > 0 else 0.0
         lead_mass = wrap_mass * share
         xs.append(segments[0].value_low)
-        cum.append(cum[-1] + lead_mass)
+        deltas.append(lead_mass)
         gaps.append((low, segments[0].value_low, lead_mass))
 
     prev_end = segments[0].value_low
@@ -438,13 +443,11 @@ def assemble_cdf_interpolated(
             width = seg.value_low - prev_end
             mass = _gap_mass(prev_density, d_left, width, gap_interpolation)
             xs.append(seg.value_low)
-            cum.append(cum[-1] + mass)
+            deltas.append(mass)
             gaps.append((prev_end, seg.value_low, mass))
         # Per-segment breakpoints, memoized (cached summaries reuse their
         # segment objects): the inner-edge x values and float bucket
-        # counts.  Accumulating in a scalar loop keeps the float additions
-        # in exactly the per-bucket order (and beats numpy-call overhead on
-        # synopsis-sized arrays).
+        # counts, which join the global delta sequence verbatim.
         memo = seg.__dict__.get("_breakpoints_cache")
         if memo is None:
             memo = (
@@ -454,10 +457,7 @@ def assemble_cdf_interpolated(
             object.__setattr__(seg, "_breakpoints_cache", memo)
         inner_edges, float_counts = memo
         xs.extend(inner_edges)
-        running = cum[-1]
-        for count in float_counts:
-            running += count
-            cum.append(running)
+        deltas.extend(float_counts)
         prev_end = max(prev_end, seg.value_high)
         prev_density = d_right
 
@@ -465,11 +465,11 @@ def assemble_cdf_interpolated(
         share = trail_gap / wrap_width if wrap_width > 0 else 0.0
         trail_mass = wrap_mass * share
         xs.append(high)
-        cum.append(cum[-1] + trail_mass)
+        deltas.append(trail_mass)
         gaps.append((segments[-1].value_high, high, trail_mass))
 
     xs_arr = np.asarray(xs, dtype=float)
-    cum_arr = np.asarray(cum, dtype=float)
+    cum_arr = np.add.accumulate(np.asarray(deltas, dtype=float))
     # Collapse duplicate breakpoints keeping the *last* cumulative value at
     # each x, so no mass is dropped when a degenerate piece has zero width.
     keep = np.concatenate((np.diff(xs_arr) > 0, [True]))

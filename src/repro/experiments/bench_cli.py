@@ -150,10 +150,13 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--baseline",
         metavar="PATH",
+        action="append",
         default=None,
         help=(
             "previously committed trajectory to compare against; the run "
-            "fails on regression beyond --threshold (missing file = skip)"
+            "fails on regression beyond --threshold (missing file = skip). "
+            "Repeatable: every given baseline must hold, so benchmarks won "
+            "in an older PR stay won even after a newer baseline is added"
         ),
     )
     parser.add_argument(
@@ -200,25 +203,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             fh.write("\n")
         print(f"trajectory written to {args.json}")
 
-    if args.baseline:
-        if not os.path.exists(args.baseline):
-            print(f"baseline {args.baseline} not found; skipping regression check")
-            return 0
-        with open(args.baseline, "r", encoding="utf-8") as fh:
+    exit_code = 0
+    for baseline_path in args.baseline or ():
+        if not os.path.exists(baseline_path):
+            print(f"baseline {baseline_path} not found; skipping regression check")
+            continue
+        with open(baseline_path, "r", encoding="utf-8") as fh:
             baseline = json.load(fh)
         if payload.get("scale") != baseline.get("scale"):
             print(
                 f"baseline scale {baseline.get('scale')} != current scale "
                 f"{payload.get('scale')}; skipping regression check"
             )
-            return 0
+            continue
         failures = check_regression(payload, baseline, args.threshold)
         if failures:
             for line in failures:
-                print(f"REGRESSION {line}", file=sys.stderr)
-            return 1
-        print("no regression vs baseline")
-    return 0
+                print(f"REGRESSION vs {baseline_path}: {line}", file=sys.stderr)
+            exit_code = 1
+        else:
+            print(f"no regression vs {baseline_path}")
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -85,6 +85,20 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--profile",
+        nargs="?",
+        type=int,
+        const=25,
+        default=None,
+        metavar="N",
+        help=(
+            "wrap the whole run in cProfile and print the top N functions "
+            "by cumulative time afterwards (default 25), so the next "
+            "performance floor is measured rather than guessed; forces "
+            "--workers 1 (the profiler sees only its own process)"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
     )
     parser.add_argument(
@@ -135,9 +149,22 @@ def _main(argv: Optional[Sequence[str]]) -> int:
         # pick the profile up inside RingNetwork.create without every
         # runner needing a parameter.
         os.environ[FAULT_PROFILE_ENV] = args.faults
+    if args.profile is not None and args.profile < 1:
+        print("--profile wants a positive row count", file=sys.stderr)
+        return 2
+    profiler = None
+    workers = args.workers
+    if args.profile is not None:
+        import cProfile
+
+        # Subprocess work is invisible to an in-process profiler, so a
+        # profiled run keeps everything in this interpreter.
+        workers = 1
+        profiler = cProfile.Profile()
+        profiler.enable()
     tables = []
     for experiment_id, (table, elapsed) in zip(
-        ids, _run_selection(ids, args.scale, args.seed, args.workers)
+        ids, _run_selection(ids, args.scale, args.seed, workers)
     ):
         print(table.to_text())
         if args.plot and args.plot in table.columns:
@@ -150,6 +177,17 @@ def _main(argv: Optional[Sequence[str]]) -> int:
                 print(f"[no chart for {experiment_id}: {exc}]")
         print(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
         tables.append(table)
+    if profiler is not None:
+        import io
+        import pstats
+
+        profiler.disable()
+        stream = io.StringIO()
+        pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(
+            args.profile
+        )
+        print(f"[cProfile: top {args.profile} by cumulative time]")
+        print(stream.getvalue().rstrip())
     if args.report:
         from repro.experiments.reporting import write_report
 

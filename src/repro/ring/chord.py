@@ -32,13 +32,92 @@ __all__ = [
 ]
 
 
+#: Attempt budget multiplier for identifier rejection sampling.  Expected
+#: draws per success is ``size / free``; going this far past it means the
+#: space is effectively saturated and the caller gets an error, not a spin.
+_SATURATION_ATTEMPT_FACTOR = 32
+
+#: Escalating batch sizes for the (rare) collision path.
+_REJECTION_BATCHES = (8, 32, 128)
+
+
 def random_unused_identifier(network: RingNetwork, rng: Optional[np.random.Generator] = None) -> int:
-    """Draw a uniform identifier not currently claimed by a live peer."""
+    """Draw a uniform identifier not currently claimed by a live peer.
+
+    Sparse spaces draw one identifier at a time — bit-stream identical to
+    the historical rejection loop, so callers whose generator is correlated
+    with the construction draws see exactly the identifiers they always
+    did.  Only a dense space (at least half taken) escalates to batch draws
+    checked against the sorted-id array in one vectorized membership pass,
+    and raises :class:`NetworkError` instead of spinning forever when the
+    identifier space is (nearly) saturated.
+    """
     generator = rng if rng is not None else network.rng
-    while True:
-        ident = int(generator.integers(0, network.space.size, dtype=np.uint64))
-        if ident not in network:
-            return ident
+    return _draw_unused_identifier(network, generator, None)
+
+
+def _draw_unused_identifier(
+    network: RingNetwork,
+    generator: np.random.Generator,
+    reserved: Optional[set[int]],
+) -> int:
+    """Rejection-sampling core shared with the churn round-planner.
+
+    ``reserved`` holds identifiers claimed by the caller but not yet
+    registered (the planner's already-drawn joins); membership is the union
+    of the live registry and that set, so the planner consumes draws in
+    exactly the pattern the sequential join loop would.
+    """
+    space = network.space
+    size = space.size
+    nodes = network._nodes
+    taken_count = len(nodes) + (len(reserved) if reserved else 0)
+    free = size - taken_count
+    if free <= 0:
+        raise NetworkError(
+            f"identifier space saturated: {taken_count} of {size} identifiers taken"
+        )
+    ident = int(generator.integers(0, size, dtype=np.uint64))
+    if ident not in nodes and (reserved is None or ident not in reserved):
+        return ident
+    attempts = 1
+    # Repeated collisions in a sparse space are astronomically unlikely
+    # under an independent stream but entirely possible under a correlated
+    # one (a caller reusing the construction seed replays the very draws
+    # that placed the peers).  Such callers depend on consuming the stream
+    # one value per attempt — a batch draw would hand later joins different
+    # identifiers and hence a different (but equally legal) topology — so
+    # the sparse path stays scalar and unbounded, exactly the historical
+    # loop.  Expected draws per success is size/free, i.e. barely above 1.
+    dense = taken_count >= free
+    if not dense:
+        while True:
+            ident = int(generator.integers(0, size, dtype=np.uint64))
+            if ident not in nodes and (reserved is None or ident not in reserved):
+                return ident
+    # Dense space: exhaustion is the plausible explanation for collisions,
+    # so escalate to vectorized batch draws under a give-up limit.
+    limit = _SATURATION_ATTEMPT_FACTOR * max(1, size // free)
+    sorted_ids = network.sorted_ids_array()
+    batch_index = 0
+    while attempts < limit:
+        batch = _REJECTION_BATCHES[batch_index]
+        batch_index = min(batch_index + 1, len(_REJECTION_BATCHES) - 1)
+        candidates = generator.integers(0, size, size=batch, dtype=np.uint64)
+        attempts += batch
+        if sorted_ids.size:
+            pos = np.searchsorted(sorted_ids, candidates)
+            np.minimum(pos, sorted_ids.size - 1, out=pos)
+            live = sorted_ids[pos] == candidates
+        else:
+            live = np.zeros(batch, dtype=bool)
+        for candidate, taken in zip(candidates.tolist(), live.tolist()):
+            if not taken and (reserved is None or candidate not in reserved):
+                return int(candidate)
+    raise NetworkError(
+        f"no unused identifier found after {attempts} draws; identifier "
+        f"space nearly saturated ({taken_count} of {size} taken)"
+    )
 
 
 def join(network: RingNetwork, new_ident: int, via: Optional[PeerNode] = None) -> PeerNode:
@@ -228,11 +307,16 @@ def maintenance_round(network: RingNetwork, fingers_per_peer: int = 1) -> None:
     fingers.  Iteration order is ring order over the peers alive at the
     start of the round.
 
-    At ``loss_rate == 0`` the round runs through a bulk fast path that
-    inlines the per-peer protocol and posts the ledger in four bulk
-    records; pointer mutations, finger contents, and message totals are
-    identical to the scalar loop (which remains the reference, and the only
-    path once deliveries can fail and consume RNG draws).
+    At ``loss_rate == 0`` the round first tries the whole-ring matrix path
+    in :mod:`repro.ring.mutation` — vectorized pointer repair and finger
+    classification over the sorted-id vector — which applies when the ring
+    is in the "true-or-dead" pointer state churn rounds leave behind and
+    every finger fix terminates within one hop of its owner.  States the
+    matrix cannot batch (mid-join pointers, finger fixes needing multi-hop
+    routing) fall back to the bulk scalar fast path; pointer mutations,
+    finger contents, and message totals are identical on every path (the
+    scalar loop remains the reference, and the only path once deliveries
+    can fail and consume RNG draws).
     """
     if network.loss_rate > 0.0:
         for ident in list(network.peer_ids()):
@@ -242,6 +326,10 @@ def maintenance_round(network: RingNetwork, fingers_per_peer: int = 1) -> None:
             stabilize(network, node)
             for _ in range(fingers_per_peer):
                 fix_one_finger(network, node)
+        return
+    from repro.ring.mutation import matrix_maintenance_round
+
+    if matrix_maintenance_round(network, fingers_per_peer):
         return
     _maintenance_round_fast(network, fingers_per_peer)
 

@@ -11,13 +11,15 @@ peers turn over per round).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
-from repro.ring import chord
+from repro.ring import chord, mutation
 from repro.ring.faults import FaultPlane
+from repro.ring.messages import MessageType
 from repro.ring.network import RingNetwork
 from repro.ring.replication import ReplicationManager
 
@@ -61,7 +63,14 @@ class ChurnConfig:
 
 @dataclass
 class ChurnRoundReport:
-    """What happened during one churn round."""
+    """What happened during one churn round.
+
+    Beyond the membership deltas, each round carries its mutation
+    throughput: ``wall_s`` is the wall-clock time of the whole round
+    (faults, churn, maintenance, replication) and ``values_moved`` the
+    total data-plane volume — every ``DATA_TRANSFER`` payload the round
+    recorded (join/leave handoffs, replica pushes, crash recovery).
+    """
 
     joins: int = 0
     graceful_leaves: int = 0
@@ -69,6 +78,8 @@ class ChurnRoundReport:
     items_lost: int = 0
     items_recovered: int = 0
     peers_after: int = 0
+    wall_s: float = 0.0
+    values_moved: int = 0
 
     def merge(self, other: "ChurnRoundReport") -> "ChurnRoundReport":
         """Accumulate another round's report into a running total."""
@@ -79,6 +90,8 @@ class ChurnRoundReport:
             items_lost=self.items_lost + other.items_lost,
             items_recovered=self.items_recovered + other.items_recovered,
             peers_after=other.peers_after,
+            wall_s=self.wall_s + other.wall_s,
+            values_moved=self.values_moved + other.values_moved,
         )
 
 
@@ -102,6 +115,11 @@ class ChurnProcess:
     #: same round clock as churn.  ``None`` (the default) leaves the round
     #: loop exactly as before.
     faults: Optional[FaultPlane] = None
+    #: Disable the batched mutation kernel and run the scalar reference
+    #: loop unconditionally.  The kernel is state-equivalent by contract
+    #: (the property tests compare both paths on cloned networks); this
+    #: switch exists for those tests and as an operational escape hatch.
+    force_sequential: bool = False
 
     def __post_init__(self) -> None:
         if self.rng is None:
@@ -114,37 +132,66 @@ class ChurnProcess:
         if self.replication is not None and self.replication.factor > 1:
             self.replication.replicate_round()
 
+    def _apply_departure(self, ident: int, is_crash: bool, report: ChurnRoundReport) -> None:
+        """One departure (shared by the planned and sequential paths)."""
+        if is_crash:
+            lost = chord.crash(self.network, ident)
+            report.crashes += 1
+            if self.replication is not None and self.replication.factor > 1:
+                recovery = self.replication.recover_after_crash(ident)
+                report.items_recovered += recovery.recovered
+                lost -= recovery.recovered
+            report.items_lost += max(lost, 0)
+        else:
+            chord.leave_gracefully(self.network, ident)
+            report.graceful_leaves += 1
+
     def run_round(self) -> ChurnRoundReport:
-        """Execute one round: scheduled faults, joins, departures, maintenance."""
+        """Execute one round: scheduled faults, joins, departures, maintenance.
+
+        On a clean loss-free ring the round runs through the batched
+        mutation kernel (:mod:`repro.ring.mutation`): all joins and
+        departures are drawn up front — consuming both RNG streams exactly
+        as the sequential loop would — and the joins land as slab-handoff
+        splices instead of routed scalar protocol actions.  Lossy delivery,
+        fault-perturbed pointer state, or :attr:`force_sequential` select
+        the scalar reference loop; both paths produce the same ring state,
+        stores, and (LOOKUP_HOP aside) the same message ledger.
+        """
+        started = time.perf_counter()
         report = ChurnRoundReport()
         if self.faults is not None:
             fault_report = self.faults.advance(self.network)
             report.crashes += fault_report.crashes
             report.items_lost += fault_report.items_lost
-        n = self.network.n_peers
+        stats = self.network.stats
+        moved_before = stats.payload_of(MessageType.DATA_TRANSFER)
 
-        n_joins = int(self.rng.poisson(self.config.join_rate * n))
-        for _ in range(n_joins):
-            ident = chord.random_unused_identifier(self.network, self.rng)
-            chord.join(self.network, ident)
-            report.joins += 1
+        if (
+            not self.force_sequential
+            and self.network.loss_rate <= 0.0
+            and mutation.ring_is_clean(self.network)
+        ):
+            plan = mutation.plan_round(self.network, self.config, self.rng)
+            mutation.apply_joins(self.network, plan.joins)
+            report.joins += len(plan.joins)
+            for ident, is_crash in plan.departures:
+                self._apply_departure(ident, is_crash, report)
+        else:
+            n = self.network.n_peers
+            n_joins = int(self.rng.poisson(self.config.join_rate * n))
+            for _ in range(n_joins):
+                ident = chord.random_unused_identifier(self.network, self.rng)
+                chord.join(self.network, ident)
+                report.joins += 1
 
-        n_leaves = int(self.rng.poisson(self.config.leave_rate * n))
-        for _ in range(n_leaves):
-            if self.network.n_peers <= self.config.min_peers:
-                break
-            victim = self.network.random_peer()
-            if self.rng.random() < self.config.crash_fraction:
-                lost = chord.crash(self.network, victim.ident)
-                report.crashes += 1
-                if self.replication is not None and self.replication.factor > 1:
-                    recovery = self.replication.recover_after_crash(victim.ident)
-                    report.items_recovered += recovery.recovered
-                    lost -= recovery.recovered
-                report.items_lost += max(lost, 0)
-            else:
-                chord.leave_gracefully(self.network, victim.ident)
-                report.graceful_leaves += 1
+            n_leaves = int(self.rng.poisson(self.config.leave_rate * n))
+            for _ in range(n_leaves):
+                if self.network.n_peers <= self.config.min_peers:
+                    break
+                victim = self.network.random_peer()
+                is_crash = bool(self.rng.random() < self.config.crash_fraction)
+                self._apply_departure(victim.ident, is_crash, report)
 
         for _ in range(self.config.maintenance_rounds):
             chord.maintenance_round(self.network)
@@ -158,6 +205,10 @@ class ChurnProcess:
             self.replication.replicate_round()
 
         report.peers_after = self.network.n_peers
+        report.values_moved = int(
+            stats.payload_of(MessageType.DATA_TRANSFER) - moved_before
+        )
+        report.wall_s = time.perf_counter() - started
         return report
 
     def run(self, rounds: int) -> ChurnRoundReport:

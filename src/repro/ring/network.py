@@ -88,6 +88,15 @@ class RingNetwork:
         self.data_version: int = 0
         #: Peers whose stores mutated since the last snapshot refresh.
         self._dirty_stores: set[int] = set()
+        #: :attr:`topology_version` as of the last whole-ring matrix
+        #: maintenance round (:func:`repro.ring.mutation.matrix_maintenance_round`).
+        #: While it still equals the live version, nothing has touched the
+        #: overlay since that round, so every neighbour pointer is exactly
+        #: true by the round's own postcondition and the kernel skips its
+        #: re-validation gates.  Every pointer-mutating code path bumps the
+        #: version (membership through the registry, scalar maintenance via
+        #: :meth:`note_overlay_change`), which invalidates this token.
+        self._exact_ring_token: Optional[int] = None
         self._snapshot = RingSnapshot(self)
 
     def delivery_succeeds(self) -> bool:

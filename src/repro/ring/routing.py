@@ -36,6 +36,12 @@ class RoutingError(NetworkError):
 
 _EMPTY_EXCLUSIONS: frozenset[int] = frozenset()
 
+#: Below this many still-advancing probes the batch router hands the
+#: stragglers to the scalar loop: a vectorized step costs the same
+#: whether it moves sixty probes or three, while a scalar hop is a few
+#: microseconds, so the crossover sits well above a handful of probes.
+_BATCH_TAIL_CUTOFF = 16
+
 
 class RouteResult(NamedTuple):
     """Outcome of one lookup: the owning peer and what it cost.
@@ -256,15 +262,21 @@ def route_probes_batch(
 
     Loss-free routing is a pure read of the overlay (no pointer mutations,
     no RNG), so a batch of lookups against one frozen snapshot can advance
-    all of them simultaneously: one ``(active, bits)`` finger-matrix pass
-    replaces per-hop Python scans.  Each probe's hop count and owner are
-    exactly those of :func:`route_to_key` — the per-step arithmetic is the
-    same inlined scan — and any probe that leaves the plain path (dead or
-    self-looped successor pointer, dead candidate, hop budget exhausted)
-    is re-routed from scratch through the scalar reference, which is
-    byte-identical because the overlay state it reads is unchanged.
-    ``LOOKUP_HOP`` totals match the sequential path; with losses enabled
-    the sequential path runs unconditionally to preserve RNG interleaving.
+    all of them simultaneously: one pass over the snapshot's compressed
+    finger-scan table (duplicate runs collapsed, so ~log2(n) columns
+    rather than ``bits``) replaces per-hop Python scans.  Each probe's hop count, timeout count,
+    and owner are exactly those of :func:`route_to_key` — the per-step
+    arithmetic is the same inlined scan, and a step towards a departed
+    finger is handled in-batch just as the reference handles it: one
+    counted hop for the timed-out probe, then a rescan at the same node
+    with that finger's columns masked out (the reference's ``excluded``
+    set, which it rebuilds per node).  Only genuinely irregular probes
+    leave the batch — a dead or self-looped successor pointer (the
+    successor-list repair path) or an exhausted hop budget — and are
+    re-routed through the scalar reference, byte-identical because the
+    overlay state it reads is unchanged.  ``LOOKUP_HOP`` totals match the sequential path; with
+    losses enabled the sequential path runs unconditionally to preserve
+    RNG interleaving.
     """
     count = len(keys)
     if count == 0:
@@ -284,7 +296,7 @@ def route_probes_batch(
     zero = np.uint64(0)
     successors = snap.successor_array()
     predecessors, _ = snap.predecessor_array()
-    fingers, finger_valid = snap.finger_tables()
+    fingers = snap.finger_scan_tables()
     max_hops = 2 * network.n_peers + space.bits
 
     # Pointer targets resolved once for all n peers: a pointer is live iff
@@ -303,8 +315,14 @@ def route_probes_batch(
     entry_ids = np.asarray([entry.ident for entry in entries], dtype=np.uint64)
     cur = np.searchsorted(ids, entry_ids).astype(np.int64)
     hops = np.zeros(count, dtype=np.int64)
+    touts = np.zeros(count, dtype=np.int64)
     owner_idx = np.full(count, -1, dtype=np.int64)
     fallback = np.zeros(count, dtype=bool)
+    # Excluded (timed-out) fingers per probe at its current node, keyed by
+    # probe index; the reference rebuilds its exclusion set at every node,
+    # so entries are dropped the moment a probe advances.  Only stuck
+    # probes appear here, so the per-iteration masking loop is short.
+    excl_map: dict[int, list[int]] = {}
 
     # Entry shortcuts, exactly as in route_to_key: the entry itself, or a
     # node whose live predecessor precedes the key, answers with 0 hops.
@@ -325,6 +343,18 @@ def route_probes_batch(
 
     active = np.flatnonzero(~done)
     while active.size:
+        if active.size <= _BATCH_TAIL_CUTOFF:
+            # A vectorized step costs the same whether it advances sixty
+            # probes or three, so once the stragglers are few the scalar
+            # loop is cheaper per hop.  Rolled-back exclusion hops are
+            # replayed by the resume, exactly as in the give-up path below.
+            for probe in active.tolist():
+                rolled = len(excl_map.pop(probe, ()))
+                if rolled:
+                    hops[probe] -= rolled
+                    touts[probe] -= rolled
+            fallback[active] = True
+            break
         ci = cur[active]
         # A dead or self-looped successor pointer needs the successor-list
         # (or oracle) repair path — rare, and handled by the reference.
@@ -351,13 +381,24 @@ def route_probes_batch(
         # The per-hop finger scan over all advancing probes at once: the
         # reference walks the reversed finger table and takes the first
         # entry inside (ident, key), i.e. the highest-index valid column
-        # passing the distance test.
+        # passing the distance test.  The compressed scan table drops
+        # invalid columns and collapses duplicate runs (pad entries are
+        # the peer's own id, which fails the strict distance test), so
+        # no validity mask is needed here.
         finger_dist = (fingers[ca] - ca_ids[:, None]) & mask
-        in_arc = (
-            finger_valid[ca]
-            & (finger_dist > zero)
-            & (finger_dist < ((keys_arr[advancing] - ca_ids) & mask)[:, None])
+        in_arc = (finger_dist > zero) & (
+            finger_dist < ((keys_arr[advancing] - ca_ids) & mask)[:, None]
         )
+        if excl_map:
+            # ``advancing`` stays sorted through every boolean filter, so a
+            # stuck probe's row is one bisection away.
+            for probe, excluded_ids in excl_map.items():
+                row = int(np.searchsorted(advancing, probe))
+                if row < advancing.size and advancing[row] == probe:
+                    finger_row = fingers[ca[row]]
+                    arc_row = in_arc[row]
+                    for excluded in excluded_ids:
+                        arc_row &= finger_row != excluded
         hit = in_arc.any(axis=1)
         first_rev = in_arc.shape[1] - 1 - np.argmax(in_arc[:, ::-1], axis=1)
         candidate = fingers[ca, first_rev]
@@ -367,17 +408,41 @@ def route_probes_batch(
         cand_idx = np.searchsorted(ids, candidate).astype(np.int64)
         np.minimum(cand_idx, n - 1, out=cand_idx)
         cand_live = ids[cand_idx] == candidate
-        trouble = ~cand_live | (hops[advancing] + 1 > max_hops)
-        if trouble.any():
-            # Timed-out hop or exhausted budget: hand the probe to the
-            # scalar path, resumed from its current node (the hop that
-            # found trouble is NOT counted here — the resume replays it,
-            # including the timeout-and-exclude retry or the budget error).
-            fallback[advancing[trouble]] = True
-            advancing = advancing[~trouble]
-            cand_idx = cand_idx[~trouble]
-        hops[advancing] += 1
-        cur[advancing] = cand_idx
+        over = hops[advancing] + 1 > max_hops
+        dead = ~cand_live & ~over
+        if over.any():
+            # Exhausted budget: hand the probe to the scalar path, resumed
+            # from its current node with any counted exclusion hops rolled
+            # back — the resume replays the whole stay at this node,
+            # including every timeout-and-exclude retry and the budget
+            # error itself.
+            rows = advancing[over]
+            for probe in rows.tolist():
+                rolled = len(excl_map.pop(probe, ()))
+                if rolled:
+                    hops[probe] -= rolled
+                    touts[probe] -= rolled
+            fallback[rows] = True
+            keep = ~over
+            advancing = advancing[keep]
+            candidate = candidate[keep]
+            cand_idx = cand_idx[keep]
+            dead = dead[keep]
+        if dead.any():
+            # A timed-out probe towards a departed finger: one counted
+            # hop, exclude it, rescan at the same node — the reference's
+            # per-node retry, in batch.
+            rows = advancing[dead]
+            hops[rows] += 1
+            touts[rows] += 1
+            for probe, excluded in zip(rows.tolist(), candidate[dead].tolist()):
+                excl_map.setdefault(probe, []).append(excluded)
+        moved = advancing[~dead]
+        hops[moved] += 1
+        cur[moved] = cand_idx[~dead]
+        if excl_map:
+            for probe in moved.tolist():
+                excl_map.pop(probe, None)  # exclusions are per node
         active = advancing
 
     vector_hops = int(hops[~fallback].sum())
@@ -402,7 +467,7 @@ def route_probes_batch(
         results[index] = RouteResult(
             owner=node_of(ids_list_all[owner_idx[index]]),
             hops=int(hops[index]),
-            timeouts=0,
+            timeouts=int(touts[index]),
         )
     return results  # type: ignore[return-value]
 

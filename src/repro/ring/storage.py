@@ -164,6 +164,42 @@ class LocalStore:
         self._mutated()
         return moved
 
+    def pop_slice(self, lo: int, hi: int) -> list[float]:
+        """Remove and return the items at sorted positions ``[lo, hi)``.
+
+        The index-based twin of :meth:`pop_range` for callers that already
+        know *where* the boundary sits (e.g. the churn-mutation kernel,
+        which locates handoff boundaries with one ``searchsorted`` over the
+        hashed key array).  Removing a contiguous slab is one O(n) memmove
+        instead of a per-item predicate pass; the removed items come back
+        sorted, exactly as :meth:`pop_range` would return them.
+        """
+        items = self._list
+        if not 0 <= lo <= hi <= len(items):
+            raise IndexError(f"slice [{lo}, {hi}) outside store of size {len(items)}")
+        if lo == hi:
+            return []
+        moved = items[lo:hi]
+        del items[lo:hi]
+        self._mutated()
+        return moved
+
+    def adopt_sorted(self, values: list[float]) -> None:
+        """Bulk-bootstrap an *empty* store from an already-sorted list.
+
+        Handoff slabs arrive pre-sorted (they are contiguous slices of
+        another store's sorted backing), so a freshly created peer can take
+        ownership without the re-sort and per-item float coercion of
+        :meth:`insert_many`.  The list is adopted by reference; the caller
+        must not keep mutating it.
+        """
+        if self._list:
+            raise ValueError("adopt_sorted requires an empty store")
+        if not values:
+            return
+        self._list = values
+        self._mutated()
+
     def pop_all(self) -> list[float]:
         """Remove and return every item."""
         moved = self._list

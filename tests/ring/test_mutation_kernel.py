@@ -1,0 +1,266 @@
+"""Property tests: the batched churn kernel is equivalent to the scalar loop.
+
+The contract (see ``repro/ring/mutation.py``) is *bit*-equivalence, not
+statistical similarity: for any round the kernel accepts, running it batched
+or sequentially from the same starting state must produce the identical ring
+— membership, stores, every overlay pointer, finger cursors — leave both RNG
+streams in the identical position, and record the same message ledger except
+for the accepted ``LOOKUP_HOP`` divergence (the kernel resolves join owners
+by rank instead of routed lookups).  These tests drive both paths from
+cloned (or identically rebuilt) networks across seeds, churn rates, crash
+fractions, and the named fault profiles, and compare everything.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ring import mutation
+from repro.ring.churn import ChurnConfig, ChurnProcess
+from repro.ring.faults import plane_from_profile
+from repro.ring.messages import MessageType
+from repro.ring.network import RingNetwork
+from repro.ring.serialization import clone_network
+
+from tests.conftest import make_loaded_network
+
+
+def ring_state(network: RingNetwork) -> dict:
+    """Every piece of observable ring state, as plain comparable data."""
+    peers = {}
+    for ident in network.peer_ids():
+        node = network.node(ident)
+        peers[ident] = {
+            "predecessor": node.predecessor_id,
+            "successor": node.successor_id,
+            "fingers": tuple(node._fingers),
+            "successor_list": tuple(node.successor_list),
+            "next_finger_index": node.next_finger_index,
+            "values": tuple(node.store.values()),
+            "replicas": {
+                owner: tuple(snapshot) for owner, snapshot in node.replicas.items()
+            },
+        }
+    return {"ids": tuple(network.peer_ids()), "peers": peers}
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    return rng.bit_generator.state
+
+
+def ledger_totals(network: RingNetwork) -> dict:
+    """Message counts and payloads, minus the accepted LOOKUP_HOP delta."""
+    stats = network.stats
+    return {
+        "counts": {
+            t: stats.count_of(t) for t in MessageType if t is not MessageType.LOOKUP_HOP
+        },
+        "payloads": {
+            t: stats.payload_of(t)
+            for t in MessageType
+            if t is not MessageType.LOOKUP_HOP
+        },
+    }
+
+
+def run_churn(network, *, seed, config, rounds, force_sequential):
+    process = ChurnProcess(
+        network,
+        config,
+        rng=np.random.default_rng(seed),
+        force_sequential=force_sequential,
+    )
+    reports = [process.run_round() for _ in range(rounds)]
+    return [
+        (r.joins, r.graceful_leaves, r.crashes, r.items_lost, r.values_moved)
+        for r in reports
+    ]
+
+
+def assert_equivalent(batched: RingNetwork, sequential: RingNetwork) -> None:
+    assert ring_state(batched) == ring_state(sequential)
+    assert rng_state(batched.rng) == rng_state(sequential.rng)
+    assert ledger_totals(batched) == ledger_totals(sequential)
+
+
+class TestBatchedEqualsSequential:
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    @pytest.mark.parametrize("churn_rate", [0.02, 0.05, 0.10])
+    def test_rounds_bit_identical_across_rates(self, seed, churn_rate):
+        base, _ = make_loaded_network(n_peers=48, n_items=1_500, seed=seed)
+        config = ChurnConfig(
+            join_rate=churn_rate, leave_rate=churn_rate, crash_fraction=0.5
+        )
+        batched = clone_network(base)
+        sequential = clone_network(base)
+        reports_b = run_churn(
+            batched, seed=seed + 99, config=config, rounds=6, force_sequential=False
+        )
+        reports_s = run_churn(
+            sequential, seed=seed + 99, config=config, rounds=6, force_sequential=True
+        )
+        assert reports_b == reports_s
+        assert_equivalent(batched, sequential)
+
+    @pytest.mark.parametrize("crash_fraction", [0.0, 0.5, 1.0])
+    def test_crash_fraction_sweep(self, crash_fraction):
+        base, _ = make_loaded_network(n_peers=40, n_items=1_000, seed=5)
+        config = ChurnConfig(
+            join_rate=0.08, leave_rate=0.08, crash_fraction=crash_fraction
+        )
+        batched = clone_network(base)
+        sequential = clone_network(base)
+        reports_b = run_churn(
+            batched, seed=17, config=config, rounds=5, force_sequential=False
+        )
+        reports_s = run_churn(
+            sequential, seed=17, config=config, rounds=5, force_sequential=True
+        )
+        assert reports_b == reports_s
+        assert_equivalent(batched, sequential)
+
+    def test_kernel_actually_engaged(self):
+        """Guard against silently comparing sequential against sequential."""
+        base, _ = make_loaded_network(n_peers=48, n_items=500, seed=3)
+        network = clone_network(base)
+        calls = {"joins": 0, "maintenance": 0}
+        original_joins = mutation.apply_joins
+        original_round = mutation.matrix_maintenance_round
+
+        def counting_joins(*args, **kwargs):
+            calls["joins"] += 1
+            return original_joins(*args, **kwargs)
+
+        def counting_round(*args, **kwargs):
+            calls["maintenance"] += 1
+            return original_round(*args, **kwargs)
+
+        mutation.apply_joins = counting_joins
+        mutation.matrix_maintenance_round = counting_round
+        try:
+            run_churn(
+                network,
+                seed=11,
+                config=ChurnConfig(join_rate=0.1, leave_rate=0.1),
+                rounds=4,
+                force_sequential=False,
+            )
+        finally:
+            mutation.apply_joins = original_joins
+            mutation.matrix_maintenance_round = original_round
+        assert calls["joins"] >= 1
+        # chord.maintenance_round resolves the kernel via the module, so the
+        # patched counter sees every loss-free maintenance call.
+        assert calls["maintenance"] >= 1
+
+    @pytest.mark.parametrize("profile", ["light", "heavy"])
+    def test_fault_profiles_stay_deterministic(self, profile):
+        """Under the named fault profiles the two paths still agree.
+
+        Both profiles carry a base loss rate, so the dispatcher declines the
+        kernel — the property being pinned is that batched mode *never*
+        diverges, including when faults force the scalar reference.  Clones
+        refuse fault planes, so both runs rebuild the fixture from scratch
+        with identical seeds.
+        """
+
+        def build():
+            network, _ = make_loaded_network(n_peers=48, n_items=1_000, seed=21)
+            network.install_faults(
+                plane_from_profile(profile, seed=77, ring_size=network.n_peers)
+            )
+            return network
+
+        config = ChurnConfig(join_rate=0.05, leave_rate=0.05, crash_fraction=0.5)
+        batched = build()
+        sequential = build()
+        reports_b = run_churn(
+            batched, seed=31, config=config, rounds=5, force_sequential=False
+        )
+        reports_s = run_churn(
+            sequential, seed=31, config=config, rounds=5, force_sequential=True
+        )
+        assert reports_b == reports_s
+        assert ring_state(batched) == ring_state(sequential)
+        assert rng_state(batched.rng) == rng_state(sequential.rng)
+
+
+class TestMatrixMaintenanceEquivalence:
+    def test_matrix_round_matches_scalar_sweep(self):
+        """One batched maintenance round == one scalar stabilize/fix sweep."""
+        from repro.ring import chord
+
+        base, _ = make_loaded_network(n_peers=64, n_items=800, seed=9)
+        # Dirty the overlay the way churn does, then repair both ways.
+        process = ChurnProcess(
+            base,
+            ChurnConfig(join_rate=0.1, leave_rate=0.1, maintenance_rounds=0),
+            rng=np.random.default_rng(2),
+            force_sequential=True,
+        )
+        process.run_round()
+        batched = clone_network(base)
+        sequential = clone_network(base)
+        assert mutation.matrix_maintenance_round(batched, 1)
+        chord._maintenance_round_fast(sequential, 1)
+        assert ring_state(batched) == ring_state(sequential)
+        assert ledger_totals(batched) == ledger_totals(sequential)
+        assert batched.stats.count_of(MessageType.LOOKUP_HOP) == sequential.stats.count_of(
+            MessageType.LOOKUP_HOP
+        )
+
+    def test_matrix_round_declines_small_rings(self):
+        network = RingNetwork.create(mutation.KERNEL_MIN_PEERS - 2, seed=1)
+        assert not mutation.matrix_maintenance_round(network, 1)
+
+    def test_exact_token_fast_path_is_stable(self):
+        """Repeated maintenance on a quiet ring matches the scalar sweep.
+
+        After one full round the exact-ring token engages the shortcut
+        path; the rounds it serves must still mirror the scalar reference
+        exactly — pointers untouched, finger cursors advancing.
+        """
+        from repro.ring import chord
+
+        network, _ = make_loaded_network(n_peers=32, n_items=400, seed=13)
+        reference = clone_network(network)
+        assert mutation.matrix_maintenance_round(network, 1)
+        chord._maintenance_round_fast(reference, 1)
+        token = network._exact_ring_token
+        assert token == network.topology_version
+        for _ in range(3):
+            assert mutation.matrix_maintenance_round(network, 1)
+            chord._maintenance_round_fast(reference, 1)
+        assert ring_state(network) == ring_state(reference)
+        assert network._exact_ring_token == token == network.topology_version
+
+
+class TestIdentifierSaturation:
+    def test_clear_error_near_saturation(self):
+        """A nearly-full identifier space raises instead of spinning."""
+        from repro.ring.chord import _draw_unused_identifier
+        from repro.ring.identifier import IdentifierSpace
+        from repro.ring.network import NetworkError
+
+        space = IdentifierSpace(3)  # 8 identifiers
+        network = RingNetwork(space)
+        rng = np.random.default_rng(0)
+        reserved = set(range(7))  # 7 of 8 taken via the reservation set
+        # One slot free: the draw should still find it...
+        found = _draw_unused_identifier(network, rng, reserved)
+        assert found == 7
+        reserved.add(7)
+        # ...and a full space must raise a clear error, not loop forever.
+        with pytest.raises(NetworkError, match="identifier space"):
+            _draw_unused_identifier(network, rng, reserved)
+
+    def test_sparse_space_never_gives_up(self):
+        """Correlated collisions in a sparse space keep drawing (old semantics)."""
+        network = RingNetwork.create(48, seed=42)
+        # Replaying the construction seed replays the placement draws — a
+        # pathological collision stream that must not trip the saturation
+        # error (regression test for the bounded-draw satellite fix).
+        rng = np.random.default_rng(42)
+        from repro.ring.chord import _draw_unused_identifier
+
+        ident = _draw_unused_identifier(network, rng, set())
+        assert ident not in set(network.peer_ids())
