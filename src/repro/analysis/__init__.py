@@ -1,0 +1,54 @@
+"""Static analysis of the repository's reproducibility invariants.
+
+``repro-lint`` (see :mod:`repro.analysis.cli`) runs AST rules encoding
+the contracts that make the evaluation tables byte-identical across
+caching, batching, and fault-injection PRs:
+
+========  ==========================================================
+RNG001    no global-state randomness; seeded ``Generator`` threading
+RNG002    no wall-clock reads on measured paths (``wall_s`` sites
+          are whitelisted inline)
+VER001    topology/data mutations bump the version tokens caches
+          key on
+SUM001    table paths accumulate floats strictly sequentially
+ERR001    routing failures use the ``RouteOutcome`` taxonomy
+========  ==========================================================
+
+See docs/STATIC_ANALYSIS.md for the rule catalogue, the suppression
+syntax, and the ratchet-baseline workflow.
+"""
+
+from repro.analysis.baseline import Baseline, BaselinePartition
+from repro.analysis.framework import (
+    FileContext,
+    Finding,
+    ImportMap,
+    Rule,
+    Suppression,
+    all_rules,
+    canonical_path,
+    lint_file,
+    lint_paths,
+    lint_source,
+    parse_suppressions,
+    register_rule,
+    select_rules,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselinePartition",
+    "FileContext",
+    "Finding",
+    "ImportMap",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "canonical_path",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+    "register_rule",
+    "select_rules",
+]

@@ -1,0 +1,116 @@
+"""Ratchet baseline: pre-existing findings may shrink but never grow.
+
+A baseline is a committed JSON file mapping finding keys (see
+:attr:`repro.analysis.framework.Finding.key`) to accepted occurrence
+counts.  The lint run partitions its findings against it:
+
+* findings covered by the baseline are *accepted* (reported, not fatal);
+* findings beyond the baseline — a new key, or more occurrences of a
+  known key than the baseline allows — are *new* and fail the run;
+* baseline entries with fewer live occurrences than recorded are *stale*:
+  the debt was paid down, and ``repro-lint --update-baseline`` tightens
+  the file so it cannot silently come back.
+
+Keys deliberately exclude line numbers (they churn with every edit); the
+enclosing symbol plus the message is stable until the code genuinely
+changes, at which point re-triage is exactly what we want.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.framework import SUPPRESSION_RULE_ID, Finding
+
+__all__ = ["Baseline", "BaselinePartition"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselinePartition:
+    """Result of matching live findings against a baseline."""
+
+    #: Findings not covered by the baseline — these fail the run.
+    new: list[Finding]
+    #: Findings absorbed by the baseline (reported informationally).
+    accepted: list[Finding]
+    #: key -> surplus count for entries the live tree no longer produces.
+    stale: dict[str, int]
+
+
+@dataclass
+class Baseline:
+    """Accepted-finding counts keyed by :attr:`Finding.key`."""
+
+    entries: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """A baseline accepting exactly the given findings.
+
+        Malformed suppressions are never baselined: the fix (writing a
+        reason) is strictly easier than carrying the debt.
+        """
+        counts = Counter(
+            finding.key
+            for finding in findings
+            if finding.rule != SUPPRESSION_RULE_ID
+        )
+        return cls(entries=dict(sorted(counts.items())))
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; raises ``ValueError`` on a bad format."""
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ValueError(f"{path}: not a repro-lint baseline file")
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {version!r} "
+                f"(this repro-lint writes version {_FORMAT_VERSION})"
+            )
+        entries = payload["entries"]
+        if not isinstance(entries, dict) or not all(
+            isinstance(key, str) and isinstance(count, int) and count > 0
+            for key, count in entries.items()
+        ):
+            raise ValueError(f"{path}: baseline entries must map keys to counts >= 1")
+        return cls(entries=dict(entries))
+
+    def save(self, path: Path) -> None:
+        """Write the baseline, sorted for stable diffs."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "comment": (
+                "repro-lint ratchet baseline: accepted pre-existing findings. "
+                "Shrink with `repro-lint --update-baseline`; never grow by hand."
+            ),
+            "entries": dict(sorted(self.entries.items())),
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def partition(self, findings: Sequence[Finding]) -> BaselinePartition:
+        """Split findings into new / accepted and report stale entries.
+
+        When a key occurs more often than the baseline allows, the
+        *earliest* occurrences (file order) are accepted and the surplus
+        is new — which occurrence is "the old one" is unknowable
+        statically, and this choice keeps the failure deterministic.
+        """
+        remaining = Counter(self.entries)
+        new: list[Finding] = []
+        accepted: list[Finding] = []
+        for finding in findings:
+            if finding.rule != SUPPRESSION_RULE_ID and remaining.get(finding.key, 0) > 0:
+                remaining[finding.key] -= 1
+                accepted.append(finding)
+            else:
+                new.append(finding)
+        stale = {key: count for key, count in remaining.items() if count > 0}
+        return BaselinePartition(new=new, accepted=accepted, stale=stale)

@@ -1,0 +1,206 @@
+"""Command-line entry point: ``repro-lint``.
+
+Lints the given files/directories (default ``src/repro``) with the
+registered invariant rules, matches the result against the committed
+ratchet baseline, and exits non-zero on any non-baselined finding.
+
+Exit codes follow the other repro CLIs: 0 clean (modulo baseline),
+1 findings (or stale baseline entries under ``--strict-baseline``),
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.framework import Finding, lint_paths, select_rules
+
+__all__ = ["main"]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST linter for the repository's reproducibility invariants "
+            "(seed determinism, version bumps, sequential accumulation, "
+            "RouteOutcome error taxonomy)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        metavar="PATH",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            f"ratchet baseline file (default: {DEFAULT_BASELINE} when it "
+            "exists); findings recorded there are accepted but may not grow"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file: report every finding as new",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline to exactly the current findings (ratchet "
+            "down after paying debt; adding debt needs a review anyway)"
+        ),
+    )
+    parser.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="also fail when the baseline carries stale (paid-down) entries",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also report findings silenced by inline suppressions",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="describe the rules and exit"
+    )
+    return parser
+
+
+def _print_finding(finding: Finding, label: str = "") -> None:
+    prefix = f"{label} " if label else ""
+    print(
+        f"{finding.location}: {prefix}{finding.rule} "
+        f"[{finding.severity}] {finding.message}"
+        + (f"  (in `{finding.symbol}`)" if finding.symbol else "")
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in select_rules():
+            scope = ", ".join(rule.paths) if rule.paths != ("*",) else "all files"
+            print(f"{rule.id} [{rule.severity}] {rule.title}")
+            print(f"    scope: {scope}")
+            if rule.rationale:
+                print(f"    why:   {rule.rationale}")
+        return 0
+    try:
+        rules = select_rules(
+            args.select.split(",") if args.select else None,
+            args.ignore.split(",") if args.ignore else None,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"no such file or directory: {missing}", file=sys.stderr)
+        return 2
+
+    findings, suppressed = lint_paths(paths, rules)
+
+    baseline_path: Optional[Path] = None
+    if not args.no_baseline:
+        if args.baseline is not None:
+            baseline_path = Path(args.baseline)
+            if not baseline_path.exists() and not args.update_baseline:
+                print(f"baseline file not found: {baseline_path}", file=sys.stderr)
+                return 2
+        elif Path(DEFAULT_BASELINE).exists():
+            baseline_path = Path(DEFAULT_BASELINE)
+
+    if args.update_baseline:
+        if baseline_path is None:
+            baseline_path = Path(args.baseline or DEFAULT_BASELINE)
+        Baseline.from_findings(findings).save(baseline_path)
+        print(f"baseline written to {baseline_path} ({len(findings)} findings)")
+        # A malformed suppression is never baselined, so it still fails.
+        unbaselinable = [f for f in findings if f.rule == "SUP001"]
+        for finding in unbaselinable:
+            _print_finding(finding)
+        return 1 if unbaselinable else 0
+
+    if baseline_path is not None and baseline_path.exists():
+        partition = Baseline.load(baseline_path).partition(findings)
+    else:
+        from repro.analysis.baseline import BaselinePartition
+
+        partition = BaselinePartition(new=list(findings), accepted=[], stale={})
+
+    if args.format == "json":
+        payload = {
+            "findings": [f.to_json() for f in partition.new],
+            "baselined": [f.to_json() for f in partition.accepted],
+            "suppressed": [f.to_json() for f in suppressed],
+            "stale_baseline": partition.stale,
+            "summary": {
+                "new": len(partition.new),
+                "baselined": len(partition.accepted),
+                "suppressed": len(suppressed),
+                "stale": len(partition.stale),
+            },
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in partition.new:
+            _print_finding(finding)
+        if args.show_suppressed:
+            for finding in suppressed:
+                _print_finding(finding, label="suppressed:")
+        for key, count in sorted(partition.stale.items()):
+            print(
+                f"stale baseline entry ({count} surplus): {key} — "
+                "run `repro-lint --update-baseline` to ratchet down"
+            )
+        new = len(partition.new)
+        summary = (
+            f"{new} finding{'s' if new != 1 else ''}"
+            f" ({len(partition.accepted)} baselined, {len(suppressed)} suppressed"
+            + (f", {len(partition.stale)} stale baseline entries" if partition.stale else "")
+            + ")"
+        )
+        print(summary)
+
+    if partition.new:
+        return 1
+    if partition.stale and args.strict_baseline:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

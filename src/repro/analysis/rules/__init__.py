@@ -1,0 +1,11 @@
+"""Built-in repro-lint rules.
+
+Importing this package registers every built-in rule with the framework
+registry (each rule module applies :func:`repro.analysis.framework.
+register_rule` at import time).  Third-party or experiment-local rules can
+do the same before calling :func:`repro.analysis.framework.select_rules`.
+"""
+
+from repro.analysis.rules import accumulation, errors, rng, versioning
+
+__all__ = ["rng", "versioning", "accumulation", "errors"]

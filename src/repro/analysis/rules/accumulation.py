@@ -1,0 +1,125 @@
+"""SUM001: table paths accumulate floats strictly sequentially.
+
+Bit-identical tables (the acceptance bar since PR 1, re-verified in PRs
+2–4) require that float additions happen in one fixed order.  Spectra-
+style distribution estimators are exquisitely sensitive to this: two
+mathematically equal accumulation orders differ in the last ulp, the ulp
+moves a bucket boundary, and a whole table row changes.  The codebase
+therefore standardised on ordered constructs — ``np.add.accumulate`` /
+``np.cumsum`` over arrays in a defined order, ordered-list loops — and
+this rule flags the constructs that break the contract:
+
+* ``sum()`` fed (directly or through a comprehension) from a set or dict
+  — iteration order of sets is hash-dependent, and dict feeding an
+  accumulator invites the same drift when key insertion order changes;
+* ``math.fsum`` — compensated summation rounds differently from the
+  strictly-sequential additions every existing table path uses, so mixing
+  the two silently changes table bytes;
+* ``for`` loops over set/dict sources whose bodies ``+=`` into an
+  accumulator.
+
+Integer-only accumulation over sets is order-insensitive in exact
+arithmetic; when such a site is provably integral, suppress it inline
+with that reason rather than weakening the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterable, Optional
+
+from repro.analysis.framework import FileContext, Finding, Rule, register_rule
+
+__all__ = ["SequentialAccumulationRule"]
+
+_DICT_VIEW_METHODS = frozenset({"keys", "values", "items"})
+_SET_BUILTINS = frozenset({"set", "frozenset"})
+
+
+def _unordered_source(node: ast.expr) -> Optional[str]:
+    """Describe why ``node`` iterates in unordered/hash-dependent order."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.DictComp):
+        return "a dict comprehension"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _SET_BUILTINS:
+            return f"`{func.id}(...)`"
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _DICT_VIEW_METHODS
+            and not node.args
+            and not node.keywords
+        ):
+            return f"a dict `.{func.attr}()` view"
+    return None
+
+
+def _comprehension_source(node: ast.expr) -> Optional[str]:
+    """Unordered source feeding a generator/list comprehension, if any."""
+    if isinstance(node, (ast.GeneratorExp, ast.ListComp)) and node.generators:
+        return _unordered_source(node.generators[0].iter)
+    return None
+
+
+def _has_add_augassign(body: Iterable[ast.stmt]) -> bool:
+    """Does a statement block ``+=`` into anything?"""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+                return True
+    return False
+
+
+@register_rule
+class SequentialAccumulationRule(Rule):
+    """SUM001 — no unordered accumulation on table-producing paths."""
+
+    id: ClassVar[str] = "SUM001"
+    title: ClassVar[str] = "strictly-sequential float accumulation"
+    rationale: ClassVar[str] = (
+        "float addition is non-associative; tables are byte-compared, so "
+        "accumulation order must be fixed (np.add.accumulate, ordered "
+        "loops), never hash-dependent"
+    )
+
+    def check(self, context: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                dotted = context.imports.resolve(node.func)
+                if dotted == "math.fsum":
+                    yield context.finding(
+                        self,
+                        node,
+                        "`math.fsum` rounds differently from the strictly-"
+                        "sequential accumulation used on table paths; use an "
+                        "ordered loop or np.add.accumulate",
+                    )
+                    continue
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "sum"
+                    and node.args
+                ):
+                    source = _unordered_source(node.args[0]) or _comprehension_source(
+                        node.args[0]
+                    )
+                    if source is not None:
+                        yield context.finding(
+                            self,
+                            node,
+                            f"`sum()` over {source}: iteration order is not "
+                            "the fixed sequential order table paths require",
+                        )
+            elif isinstance(node, ast.For):
+                source = _unordered_source(node.iter)
+                if source is not None and _has_add_augassign(node.body):
+                    yield context.finding(
+                        self,
+                        node,
+                        f"loop over {source} feeds a `+=` accumulator; "
+                        "iterate a deterministically ordered sequence instead",
+                    )

@@ -1,0 +1,113 @@
+"""ERR001: the routing layer fails through ``RouteOutcome``, not ad-hoc raises.
+
+PR 3 replaced exception-driven failure handling on the routing paths with
+the :class:`~repro.ring.routing.RouteOutcome` taxonomy so estimation can
+degrade gracefully (partial coverage, widened bands) instead of
+propagating exceptions mid-experiment.  Two contracts keep that true:
+
+* functions whose signature promises a ``RouteOutcome`` never raise —
+  every failure becomes a taxonomy value (``"partitioned"``,
+  ``"retry_exhausted"``, ...);
+* everything else in the routing layer raises only the declared error
+  taxonomy (``RoutingError``/``NetworkError``) or argument-validation
+  errors (``ValueError``/``IndexError``/``TypeError``) — never ad-hoc
+  ``RuntimeError``/``Exception`` types a caller cannot dispatch on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterable, Optional
+
+from repro.analysis.framework import FileContext, Finding, Rule, register_rule
+
+__all__ = ["RouteOutcomeRule"]
+
+#: Exception types the routing layer may legitimately raise: its declared
+#: taxonomy plus argument-validation errors raised before any routing work.
+_ALLOWED_RAISES = frozenset(
+    {"RoutingError", "NetworkError", "ValueError", "IndexError", "TypeError"}
+)
+
+
+def _raised_name(node: ast.Raise) -> Optional[str]:
+    """The exception class name of a raise, or None for a bare re-raise."""
+    exc = node.exc
+    if exc is None:
+        return None
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return None
+
+
+def _returns_route_outcome(node: ast.FunctionDef) -> bool:
+    """Does the function's return annotation name ``RouteOutcome``?"""
+    returns = node.returns
+    if returns is None:
+        return False
+    if isinstance(returns, ast.Constant) and isinstance(returns.value, str):
+        return "RouteOutcome" in returns.value
+    return any(
+        isinstance(part, ast.Name)
+        and part.id == "RouteOutcome"
+        or isinstance(part, ast.Attribute)
+        and part.attr == "RouteOutcome"
+        for part in ast.walk(returns)
+    )
+
+
+@register_rule
+class RouteOutcomeRule(Rule):
+    """ERR001 — routing failures use the ``RouteOutcome`` taxonomy."""
+
+    id: ClassVar[str] = "ERR001"
+    title: ClassVar[str] = "routing failures return RouteOutcome"
+    rationale: ClassVar[str] = (
+        "graceful degradation (PR 3) requires failures as data: a "
+        "RouteOutcome-returning function that raises, or an ad-hoc "
+        "exception type, breaks the resilient estimation path"
+    )
+    paths: ClassVar[tuple[str, ...]] = ("*repro/ring/routing.py",)
+
+    def check(self, context: FileContext) -> Iterable[Finding]:
+        outcome_functions: list[ast.FunctionDef] = [
+            node
+            for node in ast.walk(context.tree)
+            if isinstance(node, ast.FunctionDef) and _returns_route_outcome(node)
+        ]
+        outcome_spans = [
+            (node.lineno, getattr(node, "end_lineno", node.lineno) or node.lineno, node)
+            for node in outcome_functions
+        ]
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            name = _raised_name(node)
+            enclosing = next(
+                (
+                    fn
+                    for start, end, fn in outcome_spans
+                    if start <= node.lineno <= end
+                ),
+                None,
+            )
+            if enclosing is not None:
+                yield context.finding(
+                    self,
+                    node,
+                    f"`{enclosing.name}` promises a RouteOutcome but raises "
+                    f"`{name or 're-raise'}`; encode the failure as a "
+                    "RouteOutcome failure reason instead",
+                )
+            elif name is not None and name not in _ALLOWED_RAISES:
+                yield context.finding(
+                    self,
+                    node,
+                    f"ad-hoc `raise {name}` in the routing layer; raise the "
+                    "declared taxonomy (RoutingError/NetworkError) or return "
+                    "a RouteOutcome failure",
+                )

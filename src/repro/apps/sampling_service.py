@@ -53,7 +53,9 @@ class SamplingService:
 
     def __post_init__(self) -> None:
         if self.rng is None:
-            self.rng = np.random.default_rng()
+            # Seeded default: sample streams must replay identically when
+            # the caller supplies no generator.
+            self.rng = np.random.default_rng(0)
 
     # ------------------------------------------------------------------
     # State refresh

@@ -19,10 +19,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.core.cdf import PiecewiseCDF
 from repro.core.estimate import DensityEstimate, degraded_from_exception
-from repro.ring.messages import MessageType
+from repro.ring.messages import CostSnapshot, MessageType
 from repro.ring.network import NetworkError, RingNetwork
 from repro.ring.node import PeerNode
 
@@ -63,7 +64,7 @@ _PASS_CACHE: "weakref.WeakKeyDictionary[RingNetwork, tuple]" = weakref.WeakKeyDi
 
 def _pass_setup(
     network: RingNetwork, buckets: int
-) -> tuple[list[int], np.ndarray, list[Optional[list[int]]]]:
+) -> tuple[list[int], NDArray[np.float64], list[Optional[list[int]]]]:
     low, high = network.domain
     nodes = list(network.peers())
     store_token = sum(node.store.version for node in nodes)
@@ -153,7 +154,14 @@ class PushSumHistogramEstimator:
                 network.n_peers,
             )
 
-    def _run_push_sum(self, network, generator, before, low, high) -> DensityEstimate:
+    def _run_push_sum(
+        self,
+        network: RingNetwork,
+        generator: np.random.Generator,
+        before: CostSnapshot,
+        low: float,
+        high: float,
+    ) -> DensityEstimate:
 
         # State as one (N, B+1) matrix: histogram slots + [indicator], and
         # a weight vector.  Mass movement per round is then two scatter-adds

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Literal, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 __all__ = ["PiecewiseCDF", "empirical_cdf"]
 
@@ -115,7 +116,7 @@ class PiecewiseCDF:
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
-    def __call__(self, x: np.ndarray | float) -> np.ndarray:
+    def __call__(self, x: NDArray[np.float64] | float) -> NDArray[np.float64]:
         """Evaluate ``F`` at ``x`` (vectorised)."""
         x_arr = np.atleast_1d(np.asarray(x, dtype=float))
         if self.kind == "step":
@@ -126,7 +127,7 @@ class PiecewiseCDF:
             out = np.interp(x_arr, self.xs, self.fs, left=0.0, right=float(self.fs[-1]))
         return out if np.ndim(x) else float(out[0])
 
-    def inverse(self, u: np.ndarray | float) -> np.ndarray:
+    def inverse(self, u: NDArray[np.float64] | float) -> NDArray[np.float64]:
         """Generalised inverse ``F⁻¹(u) = min{x : F(x) >= u}`` (vectorised).
 
         This is the inversion-method primitive: feeding it uniforms yields
@@ -152,7 +153,7 @@ class PiecewiseCDF:
                 out[interior] = x_lo + frac * (x_hi - x_lo)
         return out if np.ndim(u) else float(out[0])
 
-    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+    def sample(self, n: int, rng: np.random.Generator) -> NDArray[np.float64]:
         """Draw ``n`` variates by the inversion method."""
         if n < 0:
             raise ValueError(f"sample size must be >= 0, got {n}")
@@ -177,7 +178,7 @@ class PiecewiseCDF:
             raise ValueError("cannot normalize a CDF with zero mass")
         return PiecewiseCDF(self.xs, self.fs / self.total_mass, kind=self.kind)
 
-    def density_on_grid(self, grid: np.ndarray) -> np.ndarray:
+    def density_on_grid(self, grid: NDArray[np.float64]) -> NDArray[np.float64]:
         """Finite-difference density on an evaluation grid.
 
         Returns one value per grid *cell* (length ``len(grid) - 1``):

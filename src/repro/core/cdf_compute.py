@@ -21,7 +21,6 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.cdf import PiecewiseCDF
 from repro.core.cdf_sampling import assemble_cdf
 from repro.core.estimate import DensityEstimate
 from repro.core.synopsis import PeerSummary, summarize_peer

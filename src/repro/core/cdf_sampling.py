@@ -22,15 +22,19 @@ above) or a stratified grid with jitter (same unbiasedness, lower variance
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal, Optional, Sequence
+from typing import TYPE_CHECKING, Literal, Optional, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.core.cdf import PiecewiseCDF
-from repro.core.synopsis import PeerSummary, summarize_peer
+from repro.core.synopsis import PeerSummary, SegmentSummary, summarize_peer
 from repro.ring.messages import MessageType
 from repro.ring.network import RingNetwork
 from repro.ring.routing import route_probes_batch, route_to_key
+
+if TYPE_CHECKING:  # runtime import stays local to avoid a module cycle
+    from repro.ring.faults import RetryPolicy
 
 __all__ = [
     "ProbeResult",
@@ -80,7 +84,7 @@ def probe_positions(
     ring_size: int,
     rng: np.random.Generator,
     placement: Placement = "uniform",
-) -> np.ndarray:
+) -> NDArray[np.uint64]:
     """Ring positions to probe.
 
     ``uniform``: iid uniform draws — the textbook HT design.
@@ -164,7 +168,7 @@ def collect_probes_resilient(
     targets: Sequence[int],
     buckets: int,
     synopsis_kind: str = "equi-width",
-    policy=None,
+    policy: Optional[RetryPolicy] = None,
 ) -> tuple[list[ProbeResult], list[ProbeFailure]]:
     """Probe explicit ring positions, reporting failures instead of raising.
 
@@ -246,7 +250,7 @@ def _collect_probes_batch(
     return results
 
 
-def ht_weights(summaries: Sequence[PeerSummary]) -> np.ndarray:
+def ht_weights(summaries: Sequence[PeerSummary]) -> NDArray[np.float64]:
     """Normalised Horvitz–Thompson weights ``w_i ∝ c_i / ℓ_i``.
 
     Peers with no data get weight zero.  Raises if *all* probed peers are
@@ -380,7 +384,7 @@ def assemble_cdf_interpolated(
         raise ValueError("no probe evidence to reconstruct from")
     low, high = domain
 
-    def edge_densities(seg) -> tuple[float, float]:
+    def edge_densities(seg: SegmentSummary) -> tuple[float, float]:
         """Densities (items per value unit) at both edges of a segment.
 
         Each side uses its outermost bucket with positive width (equi-depth

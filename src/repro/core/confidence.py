@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Literal, Optional, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.core.cdf_sampling import (
     assemble_cdf_interpolated,
@@ -33,9 +34,9 @@ __all__ = ["ConfidenceBand", "bootstrap_confidence_band", "estimate_with_confide
 class ConfidenceBand:
     """A pointwise bootstrap band around an estimated CDF."""
 
-    grid: np.ndarray
-    lower: np.ndarray
-    upper: np.ndarray
+    grid: NDArray[np.float64]
+    lower: NDArray[np.float64]
+    upper: NDArray[np.float64]
     level: float
     replicates: int
 
@@ -51,7 +52,7 @@ class ConfidenceBand:
         summary (shrinks as ``O(1/sqrt(probes))``)."""
         return float(np.mean(self.upper - self.lower))
 
-    def coverage_of(self, truth: Callable[[np.ndarray], np.ndarray]) -> float:
+    def coverage_of(self, truth: Callable[[NDArray[np.float64]], NDArray[np.float64]]) -> float:
         """Fraction of grid points where a reference CDF lies in the band."""
         values = np.asarray(truth(self.grid), dtype=float)
         inside = (values >= self.lower - 1e-12) & (values <= self.upper + 1e-12)
@@ -85,7 +86,9 @@ def bootstrap_confidence_band(
         raise ValueError(f"level must be in (0, 1), got {level}")
     if replicates < 2:
         raise ValueError(f"need at least 2 bootstrap replicates, got {replicates}")
-    generator = rng if rng is not None else np.random.default_rng()
+    # Seeded default: bands quoted without an explicit generator must
+    # still be identical run to run.
+    generator = rng if rng is not None else np.random.default_rng(0)
     low, high = domain
     grid = np.linspace(low, high, grid_points)
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.core.cdf import PiecewiseCDF
 
@@ -22,8 +23,8 @@ __all__ = ["DensityCurve", "density_from_cdf", "smoothed_density_from_cdf"]
 class DensityCurve:
     """A density sampled on grid-cell midpoints."""
 
-    midpoints: np.ndarray
-    density: np.ndarray
+    midpoints: NDArray[np.float64]
+    density: NDArray[np.float64]
 
     def __post_init__(self) -> None:
         if self.midpoints.shape != self.density.shape:

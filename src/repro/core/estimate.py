@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.core.cdf import PiecewiseCDF
 from repro.core.density import DensityCurve, density_from_cdf, smoothed_density_from_cdf
@@ -62,11 +63,11 @@ class DensityEstimate:
     method: str
     latency_rounds: float = float("nan")
 
-    def cdf_at(self, x: np.ndarray | float) -> np.ndarray | float:
+    def cdf_at(self, x: NDArray[np.float64] | float) -> NDArray[np.float64] | float:
         """Evaluate ``F̂`` at domain points."""
         return self.cdf(x)
 
-    def quantile(self, q: np.ndarray | float) -> np.ndarray | float:
+    def quantile(self, q: NDArray[np.float64] | float) -> NDArray[np.float64] | float:
         """Estimated ``q``-quantile(s) of the global data, ``q ∈ [0, 1]``."""
         q_arr = np.asarray(q, dtype=float)
         if np.any((q_arr < 0) | (q_arr > 1)):
@@ -81,13 +82,15 @@ class DensityEstimate:
         """Estimated absolute number of items in ``[low, high)``."""
         return self.selectivity(low, high) * self.n_items
 
-    def sample(self, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    def sample(self, n: int, rng: Optional[np.random.Generator] = None) -> NDArray[np.float64]:
         """Draw ``n`` variates from ``F̂`` by the inversion method.
 
         These are the "random samples for any arbitrary distribution" of
         the paper's abstract: locally generated, no further network cost.
         """
-        generator = rng if rng is not None else np.random.default_rng()
+        # Seeded default: draws without an explicit generator must still
+        # replay identically run to run.
+        generator = rng if rng is not None else np.random.default_rng(0)
         return self.cdf.sample(n, generator)
 
     def density(self, cells: int = 128, smooth: bool = True) -> DensityCurve:

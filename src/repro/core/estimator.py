@@ -10,7 +10,7 @@ cost comparisons are apples-to-apples by construction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal, Optional, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Literal, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -27,6 +27,10 @@ from repro.core.cdf_sampling import (
 from repro.core.estimate import DegradedEstimate, DensityEstimate, zero_evidence_estimate
 from repro.ring.faults import RetryPolicy
 from repro.ring.network import RingNetwork
+
+if TYPE_CHECKING:  # runtime imports stay local to avoid module cycles
+    from repro.core.confidence import ConfidenceBand
+    from repro.core.synopsis import PeerSummary
 
 __all__ = ["DensityEstimator", "DistributionFreeEstimator"]
 
@@ -286,11 +290,11 @@ class DistributionFreeEstimator:
 
     def _widened_band(
         self,
-        summaries,
+        summaries: Sequence[PeerSummary],
         domain: tuple[float, float],
         rng: np.random.Generator,
         inflation: float,
-    ):
+    ) -> Optional[ConfidenceBand]:
         """Bootstrap band from the surviving replies, widened by ``inflation``.
 
         The bootstrap quantifies the variance of the realised sample; the

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.core.cdf import PiecewiseCDF
 
@@ -23,11 +24,13 @@ __all__ = ["InversionSampler", "inverse_transform_sample"]
 
 def inverse_transform_sample(
     cdf: PiecewiseCDF, n: int, rng: Optional[np.random.Generator] = None
-) -> np.ndarray:
+) -> NDArray[np.float64]:
     """Draw ``n`` variates from ``cdf`` by plain inversion."""
     if n < 0:
         raise ValueError(f"sample size must be >= 0, got {n}")
-    generator = rng if rng is not None else np.random.default_rng()
+    # Seeded default: draws without an explicit generator must still
+    # replay identically run to run.
+    generator = rng if rng is not None else np.random.default_rng(0)
     return cdf.sample(n, generator)
 
 
@@ -36,15 +39,15 @@ class InversionSampler:
 
     def __init__(self, cdf: PiecewiseCDF, rng: Optional[np.random.Generator] = None) -> None:
         self.cdf = cdf
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
 
-    def sample(self, n: int) -> np.ndarray:
+    def sample(self, n: int) -> NDArray[np.float64]:
         """``n`` iid variates."""
         if n < 0:
             raise ValueError(f"sample size must be >= 0, got {n}")
         return self.cdf.sample(n, self.rng)
 
-    def sample_antithetic(self, n: int) -> np.ndarray:
+    def sample_antithetic(self, n: int) -> NDArray[np.float64]:
         """``n`` variates from antithetic uniform pairs ``(u, 1-u)``.
 
         Marginally identical to iid sampling; negatively correlated pairs
@@ -58,7 +61,7 @@ class InversionSampler:
         uniforms = np.concatenate([u, 1.0 - u])[:n]
         return np.asarray(self.cdf.inverse(uniforms), dtype=float)
 
-    def sample_stratified(self, n: int) -> np.ndarray:
+    def sample_stratified(self, n: int) -> NDArray[np.float64]:
         """``n`` variates from stratified uniforms (one per equal stratum).
 
         Guarantees even coverage of the quantile axis — useful when a small

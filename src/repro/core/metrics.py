@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 __all__ = [
     "ErrorReport",
@@ -31,10 +32,10 @@ __all__ = [
     "evaluate_estimate",
 ]
 
-CdfLike = Callable[[np.ndarray], np.ndarray]
+CdfLike = Callable[[NDArray[np.float64]], NDArray[np.float64]]
 
 
-def ks_distance(estimate: CdfLike, truth: CdfLike, grid: np.ndarray) -> float:
+def ks_distance(estimate: CdfLike, truth: CdfLike, grid: NDArray[np.float64]) -> float:
     """Kolmogorov–Smirnov distance ``sup_x |F̂(x) - F(x)|`` on a grid."""
     grid = np.asarray(grid, dtype=float)
     return float(np.max(np.abs(np.asarray(estimate(grid)) - np.asarray(truth(grid)))))
@@ -56,7 +57,7 @@ def ks_distance_to_samples(estimate: CdfLike, samples: Sequence[float]) -> float
     return float(max(upper.max(), lower.max(), 0.0))
 
 
-def l1_cdf_distance(estimate: CdfLike, truth: CdfLike, grid: np.ndarray) -> float:
+def l1_cdf_distance(estimate: CdfLike, truth: CdfLike, grid: NDArray[np.float64]) -> float:
     """Mean absolute CDF difference, trapezoid-integrated over the grid,
     normalised by domain width (so the value is comparable across domains)."""
     grid = np.asarray(grid, dtype=float)
@@ -67,7 +68,7 @@ def l1_cdf_distance(estimate: CdfLike, truth: CdfLike, grid: np.ndarray) -> floa
     return float(np.trapezoid(diff, grid) / width)
 
 
-def l2_cdf_distance(estimate: CdfLike, truth: CdfLike, grid: np.ndarray) -> float:
+def l2_cdf_distance(estimate: CdfLike, truth: CdfLike, grid: NDArray[np.float64]) -> float:
     """Root-mean-square CDF difference over the grid (Cramér-style)."""
     grid = np.asarray(grid, dtype=float)
     diff = np.asarray(estimate(grid)) - np.asarray(truth(grid))
@@ -77,7 +78,7 @@ def l2_cdf_distance(estimate: CdfLike, truth: CdfLike, grid: np.ndarray) -> floa
     return float(np.sqrt(np.trapezoid(diff * diff, grid) / width))
 
 
-def emd(estimate: CdfLike, truth: CdfLike, grid: np.ndarray) -> float:
+def emd(estimate: CdfLike, truth: CdfLike, grid: NDArray[np.float64]) -> float:
     """Earth Mover's Distance (1-D): ``∫ |F̂ - F| dx`` over the grid."""
     grid = np.asarray(grid, dtype=float)
     diff = np.abs(np.asarray(estimate(grid)) - np.asarray(truth(grid)))
@@ -85,8 +86,8 @@ def emd(estimate: CdfLike, truth: CdfLike, grid: np.ndarray) -> float:
 
 
 def _binned_densities(
-    estimate: CdfLike, truth: CdfLike, grid: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
+    estimate: CdfLike, truth: CdfLike, grid: NDArray[np.float64]
+) -> tuple[NDArray[np.float64], NDArray[np.float64]]:
     """Per-cell probability masses of both distributions (non-negative)."""
     grid = np.asarray(grid, dtype=float)
     p = np.clip(np.diff(np.asarray(truth(grid), dtype=float)), 0.0, None)
@@ -98,7 +99,7 @@ def _binned_densities(
 
 
 def kl_divergence_binned(
-    estimate: CdfLike, truth: CdfLike, grid: np.ndarray, epsilon: float = 1e-12
+    estimate: CdfLike, truth: CdfLike, grid: NDArray[np.float64], epsilon: float = 1e-12
 ) -> float:
     """KL(truth ‖ estimate) on grid cells, with epsilon-smoothing.
 
@@ -112,7 +113,7 @@ def kl_divergence_binned(
     return float(np.sum(p[mask] * np.log(p[mask] / q[mask])))
 
 
-def total_variation_binned(estimate: CdfLike, truth: CdfLike, grid: np.ndarray) -> float:
+def total_variation_binned(estimate: CdfLike, truth: CdfLike, grid: NDArray[np.float64]) -> float:
     """Total-variation distance on grid cells, in ``[0, 1]``."""
     p, q = _binned_densities(estimate, truth, grid)
     return float(0.5 * np.abs(p - q).sum())
@@ -161,10 +162,10 @@ def evaluate_estimate(
     estimate_values = np.asarray(estimate(grid), dtype=float)
     truth_values = np.asarray(truth(grid), dtype=float)
 
-    def cached_estimate(_: np.ndarray) -> np.ndarray:
+    def cached_estimate(_: NDArray[np.float64]) -> NDArray[np.float64]:
         return estimate_values
 
-    def cached_truth(_: np.ndarray) -> np.ndarray:
+    def cached_truth(_: NDArray[np.float64]) -> NDArray[np.float64]:
         return truth_values
 
     return ErrorReport(

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.core.cdf import PiecewiseCDF
 
@@ -25,7 +26,7 @@ def quantile(cdf: PiecewiseCDF, q: float) -> float:
     return float(cdf.inverse(q))
 
 
-def quantiles(cdf: PiecewiseCDF, levels: Sequence[float]) -> np.ndarray:
+def quantiles(cdf: PiecewiseCDF, levels: Sequence[float]) -> NDArray[np.float64]:
     """Batch quantiles for a sequence of levels."""
     arr = np.asarray(levels, dtype=float)
     if np.any((arr < 0) | (arr > 1)):
@@ -44,7 +45,7 @@ def interquartile_range(cdf: PiecewiseCDF) -> float:
     return float(q3 - q1)
 
 
-def equi_depth_boundaries(cdf: PiecewiseCDF, parts: int) -> np.ndarray:
+def equi_depth_boundaries(cdf: PiecewiseCDF, parts: int) -> NDArray[np.float64]:
     """``parts + 1`` boundaries splitting the distribution into equal-mass
     parts — the partitioning an ideal load balancer would install."""
     if parts < 1:

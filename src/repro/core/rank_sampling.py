@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.ring.messages import MessageType
 from repro.ring.network import RingNetwork
@@ -100,7 +101,7 @@ def sample_by_rank(
     index: PrefixIndex,
     count: int,
     rng: Optional[np.random.Generator] = None,
-) -> np.ndarray:
+) -> NDArray[np.float64]:
     """Draw ``count`` inversion-method samples from the live network.
 
     Each draw: ``u ~ U(0,1)`` → global rank → locate peer in the index

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.core.cdf import PiecewiseCDF
 from repro.ring.network import RingNetwork
@@ -39,8 +40,8 @@ class SegmentSummary:
 
     value_low: float
     value_high: float
-    counts: np.ndarray                 # int64, one entry per bucket
-    edges: np.ndarray | None = None    # B+1 boundaries; None = equi-width
+    counts: NDArray[np.int64]                 # int64, one entry per bucket
+    edges: NDArray[np.float64] | None = None    # B+1 boundaries; None = equi-width
 
     def __post_init__(self) -> None:
         if not self.value_low < self.value_high:
@@ -62,14 +63,14 @@ class SegmentSummary:
 
     @classmethod
     def equi_width(
-        cls, value_low: float, value_high: float, counts: np.ndarray
+        cls, value_low: float, value_high: float, counts: NDArray[np.int64]
     ) -> "SegmentSummary":
         """The classic equi-width histogram segment."""
         return cls(value_low, value_high, counts)
 
     @classmethod
     def from_quantiles(
-        cls, value_low: float, value_high: float, values: np.ndarray, buckets: int
+        cls, value_low: float, value_high: float, values: NDArray[np.float64], buckets: int
     ) -> "SegmentSummary":
         """Equi-depth segment: edges at the local data's quantiles.
 
@@ -102,7 +103,7 @@ class SegmentSummary:
         """Synopsis resolution ``B``."""
         return int(self.counts.size)
 
-    def bucket_edges(self) -> np.ndarray:
+    def bucket_edges(self) -> NDArray[np.float64]:
         """The ``B + 1`` bucket boundary values (memoized; treat as
         read-only — CDF assembly asks for the same edges once per probe
         that returns this segment)."""
@@ -192,8 +193,8 @@ class PeerSummary:
 
     def _build_local_cdf(self, kind: str) -> PiecewiseCDF:
         """Uncached :meth:`local_cdf` construction."""
-        xs_parts: list[np.ndarray] = []
-        fs_parts: list[np.ndarray] = []
+        xs_parts: list[NDArray[np.float64]] = []
+        fs_parts: list[NDArray[np.float64]] = []
         running = 0.0
         total = max(self.local_count, 1)
         for seg in sorted(self.segments, key=lambda s: s.value_low):

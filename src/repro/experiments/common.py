@@ -5,7 +5,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Optional, Sequence, TypeVar
+from typing import Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
@@ -45,9 +45,9 @@ def measure_estimator(
     walls: list[float] = []
     for rep in range(repetitions):
         rng = np.random.default_rng(seed * 10_007 + rep)
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro-lint: disable=RNG002 (wall_s instrumentation; timing is reported, never fed into results)
         estimate = estimator.estimate(fixture.network, rng=rng)
-        walls.append(time.perf_counter() - started)
+        walls.append(time.perf_counter() - started)  # repro-lint: disable=RNG002 (wall_s instrumentation; timing is reported, never fed into results)
         estimates.append(estimate)
         reports.append(
             evaluate_estimate(estimate.cdf, fixture.truth, fixture.domain, grid_points)

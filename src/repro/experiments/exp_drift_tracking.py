@@ -76,7 +76,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ResultTable:
         "every-4": {"refresh_every": 4},
         "drift-triggered": {"refresh_every": -1},
     }
-    for policy, config in policies.items():
+    for policy, config in policies.items():  # repro-lint: disable=SUM001 (dict literal: fixed insertion order; accumulators reset per policy)
         fixture = setup_network("normal", n_peers=n_peers, n_items=n_items, seed=seed)
         network = fixture.network
         # Drift: inserts slide from the original mean towards the right edge.

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.cdf import empirical_cdf
 from repro.core.estimator import DistributionFreeEstimator
 from repro.core.metrics import ks_distance
 from repro.experiments.common import scale_int

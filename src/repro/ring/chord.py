@@ -279,7 +279,7 @@ def _notify(network: RingNetwork, successor: PeerNode, node: PeerNode) -> None:
     """Chord ``notify``: successor adopts ``node`` as predecessor if better."""
     current = successor.predecessor_id
     if current is None or network.try_node(current) is None:
-        successor.predecessor_id = node.ident
+        successor.predecessor_id = node.ident  # repro-lint: disable=VER001 (sole caller stabilize() bumps via note_overlay_change after notifying)
         return
     if network.space.in_open(node.ident, current, successor.ident):
         successor.predecessor_id = node.ident

@@ -464,7 +464,7 @@ class FaultPlane:
         return (
             f"FaultPlane(seed={self.seed}, loss={self.loss_rate}, "
             f"stalled={len(self._stalled)}, cuts={len(self._cuts)}, "
-            f"scheduled={sum(len(v) for v in self._schedule.values())})"
+            f"scheduled={sum(len(v) for v in self._schedule.values())})"  # repro-lint: disable=SUM001 (integer count in a debug repr; order-insensitive)
         )
 
 

@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.ring.messages import MessageType
 from repro.ring.network import RingNetwork
@@ -170,7 +171,7 @@ def apply_joins(network: RingNetwork, idents: list[int]) -> int:
     list_length = network.SUCCESSOR_LIST_LENGTH
     sim_ids = list(network._sorted_ids)
     # Hashed keys of each opened store, kept in lockstep with its contents.
-    keys_of: dict[int, np.ndarray] = {}
+    keys_of: dict[int, NDArray[np.uint64]] = {}
     notifies = 0
     moved_total = 0
     for new_ident in idents:
@@ -339,8 +340,8 @@ def matrix_maintenance_round(network: RingNetwork, fingers_per_peer: int) -> boo
     )
     d_sp = (ids - preds_fix) & mask
     d_ss = (true_succ - ids) & mask
-    self_owned: list[np.ndarray] = []
-    succ_owned: list[np.ndarray] = []
+    self_owned: list[NDArray[np.bool_]] = []
+    succ_owned: list[NDArray[np.bool_]] = []
     for sub in range(fingers_per_peer):
         kf = (ks + np.uint64(sub)) % np.uint64(bits)
         targets = (ids + (np.uint64(1) << kf)) & mask
@@ -364,7 +365,7 @@ def matrix_maintenance_round(network: RingNetwork, fingers_per_peer: int) -> boo
         if stale_indices:
             mutated = True
             for index in stale_indices:
-                node_list[index].successor_id = int(true_succ[index])
+                node_list[index].successor_id = int(true_succ[index])  # repro-lint: disable=VER001 (every write sets `mutated`; note_overlay_change fires under that flag at function end)
         matrix = np.array(lists, dtype=np.uint64)
         new_rows = np.empty_like(matrix)
         new_rows[:, 0] = true_succ

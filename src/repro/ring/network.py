@@ -66,7 +66,9 @@ class RingNetwork:
     ) -> None:
         self.space = space
         self.data_hash = OrderPreservingHash(space, domain[0], domain[1])
-        self.rng = rng if rng is not None else np.random.default_rng()
+        # Seeded default: a network built without an explicit generator
+        # must still behave identically run to run.
+        self.rng = rng if rng is not None else np.random.default_rng(0)
         self.stats = MessageStats()
         self.loss_rate = validate_probability("loss_rate", loss_rate)
         #: Optional unified fault plane (see :mod:`repro.ring.faults`).

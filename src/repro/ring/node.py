@@ -16,6 +16,8 @@ from repro.ring.storage import LocalStore
 
 __all__ = ["PeerNode"]
 
+_NO_EXCLUSIONS: frozenset[int] = frozenset()
+
 
 class PeerNode:
     """One peer in the ring overlay.
@@ -130,7 +132,9 @@ class PeerNode:
             self._finger_scan = scan
         return scan
 
-    def closest_preceding_finger(self, target: int, excluded: frozenset[int] = frozenset()) -> int:
+    def closest_preceding_finger(
+        self, target: int, excluded: frozenset[int] = _NO_EXCLUSIONS
+    ) -> int:
         """Best known hop towards ``target``: the farthest finger that
         precedes it, falling back to the successor, then to self.
 

@@ -140,7 +140,7 @@ class ReplicationManager:
                 per_owner[owner.ident] = (owner, [value])
             else:
                 entry[1].append(value)
-        for owner, values in per_owner.values():
+        for owner, values in per_owner.values():  # repro-lint: disable=SUM001 (`recovered` is an integer count; dict preserves snapshot insertion order)
             store = owner.store
             fresh: list[float] = []
             seen: set[float] = set()

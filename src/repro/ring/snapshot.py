@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
+from numpy.typing import NDArray
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (network imports us)
     from repro.ring.network import RingNetwork
@@ -61,62 +62,62 @@ class RingSnapshot:
     def __init__(self, network: "RingNetwork") -> None:
         self._network = network
         self._token: Optional[tuple[int, int]] = None
-        self._ids: np.ndarray = _EMPTY_U
+        self._ids: NDArray[np.uint64] = _EMPTY_U
         # Per-peer value chunk as of the last refresh.  Store arrays are
         # never mutated in place (mutations rebind a fresh array), so
         # holding the old object preserves the pre-delta contents needed to
         # subtract a changed peer's items from the sorted pool.
-        self._chunks: dict[int, np.ndarray] = {}
-        self._counts: np.ndarray = _EMPTY_I
-        self._cum_counts: np.ndarray = np.zeros(1, dtype=np.int64)
-        self._values: np.ndarray = _EMPTY_F
-        self._sorted_values: np.ndarray = _EMPTY_F
+        self._chunks: dict[int, NDArray[np.float64]] = {}
+        self._counts: NDArray[np.int64] = _EMPTY_I
+        self._cum_counts: NDArray[np.int64] = np.zeros(1, dtype=np.int64)
+        self._values: NDArray[np.float64] = _EMPTY_F
+        self._sorted_values: NDArray[np.float64] = _EMPTY_F
         # Overlay-pointer views, keyed on topology_version alone (pointer
         # maintenance advances it without touching the data plane).
         self._overlay_token: Optional[int] = None
-        self._successors: np.ndarray = _EMPTY_U
-        self._predecessors: np.ndarray = _EMPTY_U
-        self._predecessor_valid: np.ndarray = np.empty(0, dtype=bool)
-        self._finger_matrix: np.ndarray = _EMPTY_U.reshape(0, 0)
-        self._finger_valid: np.ndarray = np.empty((0, 0), dtype=bool)
+        self._successors: NDArray[np.uint64] = _EMPTY_U
+        self._predecessors: NDArray[np.uint64] = _EMPTY_U
+        self._predecessor_valid: NDArray[np.bool_] = np.empty(0, dtype=bool)
+        self._finger_matrix: NDArray[np.uint64] = _EMPTY_U.reshape(0, 0)
+        self._finger_valid: NDArray[np.bool_] = np.empty((0, 0), dtype=bool)
         self._adjacency: Optional[dict[int, list[int]]] = None
-        self._overlay_ids: np.ndarray = _EMPTY_U
+        self._overlay_ids: NDArray[np.uint64] = _EMPTY_U
         # Compressed finger-scan view, derived lazily from the finger
         # matrix (its own token: callers may never ask for it).
         self._scan_token: Optional[int] = None
-        self._scan_matrix: np.ndarray = _EMPTY_U.reshape(0, 0)
+        self._scan_matrix: NDArray[np.uint64] = _EMPTY_U.reshape(0, 0)
 
     # ------------------------------------------------------------------
     # Data-plane views
     # ------------------------------------------------------------------
     @property
-    def ids(self) -> np.ndarray:
+    def ids(self) -> NDArray[np.uint64]:
         """Sorted live peer identifiers (``uint64``)."""
         return self._ids
 
     @property
-    def counts(self) -> np.ndarray:
+    def counts(self) -> NDArray[np.int64]:
         """Per-peer item counts in ring order (``int64``)."""
         return self._counts
 
     @property
-    def cum_counts(self) -> np.ndarray:
+    def cum_counts(self) -> NDArray[np.int64]:
         """Prefix sums of :attr:`counts`, length ``n_peers + 1``."""
         return self._cum_counts
 
     @property
-    def values(self) -> np.ndarray:
+    def values(self) -> NDArray[np.float64]:
         """All stored items packed per peer in ring order."""
         return self._values
 
     @property
-    def offsets(self) -> np.ndarray:
+    def offsets(self) -> NDArray[np.int64]:
         """Alias of :attr:`cum_counts`: peer ``i`` owns
         ``values[offsets[i]:offsets[i+1]]``."""
         return self._cum_counts
 
     @property
-    def sorted_values(self) -> np.ndarray:
+    def sorted_values(self) -> NDArray[np.float64]:
         """Every stored value globally sorted (the ground-truth dataset)."""
         return self._sorted_values
 
@@ -125,7 +126,7 @@ class RingSnapshot:
         """Total items across all live peers."""
         return int(self._cum_counts[-1])
 
-    def chunk(self, ident: int) -> np.ndarray:
+    def chunk(self, ident: int) -> NDArray[np.float64]:
         """One peer's sorted values as of this snapshot."""
         return self._chunks[ident]
 
@@ -156,7 +157,7 @@ class RingSnapshot:
         network = self._network
         ids = network.sorted_ids_array()
         nodes = network._nodes
-        chunks: dict[int, np.ndarray] = {}
+        chunks: dict[int, NDArray[np.float64]] = {}
         for ident in ids.tolist():
             node = nodes[ident]
             chunks[ident] = node.store.as_array()
@@ -203,8 +204,8 @@ class RingSnapshot:
             if ident in nodes and ident not in came_set
         )
 
-        removed_arrays: list[np.ndarray] = []
-        added_arrays: list[np.ndarray] = []
+        removed_arrays: list[NDArray[np.float64]] = []
+        added_arrays: list[NDArray[np.float64]] = []
         chunks = self._chunks
         for ident in gone.tolist():
             old_chunk = chunks.pop(ident)
@@ -300,22 +301,22 @@ class RingSnapshot:
         # therefore be newer than self._ids until the next data refresh.
         self._overlay_ids = ids
 
-    def successor_array(self) -> np.ndarray:
+    def successor_array(self) -> NDArray[np.uint64]:
         """Per-peer primary successor pointers in ring order (``uint64``)."""
         self._ensure_overlay()
         return self._successors
 
-    def predecessor_array(self) -> tuple[np.ndarray, np.ndarray]:
+    def predecessor_array(self) -> tuple[NDArray[np.uint64], NDArray[np.bool_]]:
         """Per-peer predecessor pointers and their validity mask."""
         self._ensure_overlay()
         return self._predecessors, self._predecessor_valid
 
-    def finger_tables(self) -> tuple[np.ndarray, np.ndarray]:
+    def finger_tables(self) -> tuple[NDArray[np.uint64], NDArray[np.bool_]]:
         """The ``(n, bits)`` finger matrix and its validity mask."""
         self._ensure_overlay()
         return self._finger_matrix, self._finger_valid
 
-    def finger_scan_tables(self) -> np.ndarray:
+    def finger_scan_tables(self) -> NDArray[np.uint64]:
         """The finger matrix with consecutive duplicate runs collapsed.
 
         Finger targets are successors of exponentially spaced points, so

@@ -1,0 +1,22 @@
+"""Helpers for the repro-lint tests: fixture loading and rule selection."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import select_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(scope="session")
+def rules():
+    """All registered rules (instantiated once: rules are stateless)."""
+    return select_rules()
+
+
+def fixture_source(name: str) -> str:
+    """Source text of one fixture module."""
+    return (FIXTURES / name).read_text(encoding="utf-8")

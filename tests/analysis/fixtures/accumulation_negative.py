@@ -1,0 +1,19 @@
+"""SUM001 negative fixture: strictly-sequential accumulation only."""
+
+import numpy as np
+
+values = [0.1, 0.2, 0.7]
+weights = {"a": 0.25, "b": 0.5, "c": 0.25}
+
+total_from_list = sum(values)
+total_from_sorted = sum(sorted(weights.values()))
+prefix = np.add.accumulate(np.asarray(values))
+cumulative = np.cumsum(np.asarray(values))
+
+running = 0.0
+for value in values:
+    running += value
+
+labels = []
+for name in {"a", "b"}:  # unordered source but no += accumulator
+    labels.append(name)

@@ -1,0 +1,14 @@
+"""SUM001 positive fixture: unordered or compensated float accumulation."""
+
+import math
+
+weights = {"a": 0.25, "b": 0.5, "c": 0.25}
+
+total_from_set = sum({0.1, 0.2, 0.7})
+total_from_view = sum(weights.values())
+total_from_comp = sum(w * 2.0 for w in weights.values())
+total_compensated = math.fsum([0.1, 0.2, 0.7])
+
+running = 0.0
+for value in {1.0, 2.0, 3.0}:
+    running += value

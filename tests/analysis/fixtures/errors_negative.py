@@ -1,0 +1,25 @@
+"""ERR001 negative fixture: taxonomy raises and RouteOutcome returns."""
+
+
+class RoutingError(Exception):
+    pass
+
+
+class RouteOutcome:
+    def __init__(self, ok: bool, reason: str = "") -> None:
+        self.ok = ok
+        self.reason = reason
+
+
+def route_with_policy(network, key: int) -> RouteOutcome:
+    if network is None:
+        return RouteOutcome(ok=False, reason="partitioned")
+    return RouteOutcome(ok=True)
+
+
+def route_to_key(network, key: int) -> int:
+    if key < 0:
+        raise ValueError("key must be non-negative")
+    if network is None:
+        raise RoutingError("no route")
+    return key

@@ -1,0 +1,18 @@
+"""ERR001 positive fixture: routing code failing outside the taxonomy."""
+
+
+def route_with_policy(network, key: int) -> "RouteOutcome":
+    if network is None:
+        raise RuntimeError("no network")  # must be a RouteOutcome failure
+    return RouteOutcome(ok=True)
+
+
+def helper(network) -> int:
+    if network is None:
+        raise Exception("boom")  # ad-hoc type outside the taxonomy
+    return 0
+
+
+class RouteOutcome:
+    def __init__(self, ok: bool) -> None:
+        self.ok = ok

@@ -1,0 +1,19 @@
+"""RNG001/RNG002 negative fixture: all randomness is seeded and threaded."""
+
+import numpy as np
+
+
+def draw(rng: np.random.Generator, n: int) -> np.ndarray:
+    return rng.uniform(0.0, 1.0, size=n)
+
+
+def build_generator(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def build_explicit(seed: int) -> np.random.Generator:
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def spawn(seed: int) -> list[np.random.SeedSequence]:
+    return np.random.SeedSequence(seed).spawn(4)

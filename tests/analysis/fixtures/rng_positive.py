@@ -1,0 +1,20 @@
+"""RNG001/RNG002 positive fixture: every statement here violates a rule."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+lucky = random.random()
+pick = random.randint(0, 10)
+rng = np.random.default_rng()
+noise = np.random.normal(0.0, 1.0, size=8)
+shuffled = np.random.permutation(8)
+
+
+def measured_path() -> float:
+    started = time.time()
+    stamp = datetime.now()
+    _ = stamp
+    return time.perf_counter() - started

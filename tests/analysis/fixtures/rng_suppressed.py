@@ -1,0 +1,6 @@
+"""Suppression fixture: one documented exemption, one missing its reason."""
+
+import time
+
+started = time.perf_counter()  # repro-lint: disable=RNG002 (wall_s instrumentation only)
+elapsed = time.perf_counter() - started  # repro-lint: disable=RNG002

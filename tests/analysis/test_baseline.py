@@ -1,0 +1,89 @@
+"""Ratchet-baseline semantics: accept, fail-on-new, shrink-only."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline
+from repro.analysis.framework import Finding
+
+
+def finding(message: str, line: int = 1, rule: str = "RNG001") -> Finding:
+    return Finding(
+        rule=rule,
+        path="src/repro/core/fake.py",
+        line=line,
+        column=0,
+        message=message,
+        symbol="f",
+    )
+
+
+class TestPartition:
+    def test_known_findings_accepted(self):
+        base = Baseline.from_findings([finding("a"), finding("b")])
+        part = base.partition([finding("a", line=99), finding("b", line=100)])
+        assert part.new == [] and len(part.accepted) == 2 and part.stale == {}
+
+    def test_key_ignores_line_numbers(self):
+        assert finding("a", line=1).key == finding("a", line=500).key
+
+    def test_new_finding_fails(self):
+        base = Baseline.from_findings([finding("a")])
+        part = base.partition([finding("a"), finding("brand new")])
+        assert [f.message for f in part.new] == ["brand new"]
+
+    def test_growth_of_known_key_fails(self):
+        base = Baseline.from_findings([finding("a")])
+        part = base.partition([finding("a", line=1), finding("a", line=2)])
+        # One occurrence is covered; the surplus is new (earliest accepted).
+        assert len(part.accepted) == 1 and len(part.new) == 1
+        assert part.accepted[0].line == 1 and part.new[0].line == 2
+
+    def test_paid_down_debt_reported_stale(self):
+        base = Baseline.from_findings([finding("a"), finding("gone")])
+        part = base.partition([finding("a")])
+        assert part.stale == {finding("gone").key: 1}
+
+    def test_sup001_never_baselined(self):
+        base = Baseline.from_findings([finding("no reason", rule="SUP001")])
+        assert base.entries == {}
+        part = base.partition([finding("no reason", rule="SUP001")])
+        assert len(part.new) == 1
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        base = Baseline.from_findings([finding("a"), finding("a"), finding("b")])
+        path = tmp_path / "baseline.json"
+        base.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == base.entries
+        assert loaded.entries[finding("a").key] == 2
+
+    def test_save_is_sorted_and_versioned(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([finding("z"), finding("a")]).save(path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert list(payload["entries"]) == sorted(payload["entries"])
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": {}}))
+        with pytest.raises(ValueError, match="unsupported baseline version"):
+            Baseline.load(path)
+
+    def test_non_baseline_file_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"oops": True}))
+        with pytest.raises(ValueError, match="not a repro-lint baseline"):
+            Baseline.load(path)
+
+    def test_negative_counts_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 1, "entries": {"k": 0}}))
+        with pytest.raises(ValueError, match="counts >= 1"):
+            Baseline.load(path)

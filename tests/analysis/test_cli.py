@@ -1,0 +1,109 @@
+"""End-to-end CLI tests: exit codes, baseline workflow, output formats."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+CLEAN = "import numpy as np\n\ndef f(rng: np.random.Generator) -> float:\n    return float(rng.uniform())\n"
+DIRTY = "import numpy as np\n\nrng = np.random.default_rng()\n"
+
+
+def write_module(tmp_path: Path, source: str, name: str = "mod.py") -> Path:
+    target = tmp_path / "src" / "repro" / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return target
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        module = write_module(tmp_path, CLEAN)
+        assert main([str(module), "--no-baseline"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        module = write_module(tmp_path, DIRTY)
+        assert main([str(module), "--no-baseline"]) == 1
+        assert "RNG001" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["definitely/not/here.py"]) == 2
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        module = write_module(tmp_path, CLEAN)
+        assert main([str(module), "--select", "NOPE99"]) == 2
+
+    def test_missing_baseline_file_exits_two(self, tmp_path, capsys):
+        module = write_module(tmp_path, CLEAN)
+        assert main([str(module), "--baseline", str(tmp_path / "no.json")]) == 2
+
+
+class TestBaselineWorkflow:
+    def test_update_then_clean_run(self, tmp_path, capsys):
+        module = write_module(tmp_path, DIRTY)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(module), "--baseline", str(baseline), "--update-baseline"]) == 0
+        assert baseline.exists()
+        # The recorded finding is accepted on the next run...
+        assert main([str(module), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "(1 baselined" in out
+
+    def test_ratchet_fails_on_new_finding(self, tmp_path, capsys):
+        module = write_module(tmp_path, DIRTY)
+        baseline = tmp_path / "baseline.json"
+        main([str(module), "--baseline", str(baseline), "--update-baseline"])
+        module.write_text(DIRTY + "rng2 = np.random.default_rng()\n")
+        assert main([str(module), "--baseline", str(baseline)]) == 1
+
+    def test_stale_entries_reported_and_strict_fails(self, tmp_path, capsys):
+        module = write_module(tmp_path, DIRTY)
+        baseline = tmp_path / "baseline.json"
+        main([str(module), "--baseline", str(baseline), "--update-baseline"])
+        module.write_text(CLEAN)
+        assert main([str(module), "--baseline", str(baseline)]) == 0
+        assert "stale baseline entry" in capsys.readouterr().out
+        assert (
+            main([str(module), "--baseline", str(baseline), "--strict-baseline"]) == 1
+        )
+
+    def test_update_baseline_never_absorbs_sup001(self, tmp_path, capsys):
+        module = write_module(
+            tmp_path,
+            "import time\nt = time.perf_counter()  # repro-lint: disable=RNG002\n",
+        )
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main([str(module), "--baseline", str(baseline), "--update-baseline"]) == 1
+        )
+        entries = json.loads(baseline.read_text())["entries"]
+        assert not any(key.startswith("SUP001") for key in entries)
+
+
+class TestOutput:
+    def test_json_format(self, tmp_path, capsys):
+        module = write_module(tmp_path, DIRTY)
+        assert main([str(module), "--no-baseline", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["new"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "RNG001"
+        assert finding["path"].startswith("src/repro/")
+        assert "key" in finding
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RNG001", "RNG002", "VER001", "SUM001", "ERR001"):
+            assert rule_id in out
+
+    def test_select_limits_rules(self, tmp_path, capsys):
+        module = write_module(
+            tmp_path, "import time\nt = time.perf_counter()\n" + DIRTY
+        )
+        assert main([str(module), "--no-baseline", "--select", "RNG002"]) == 1
+        out = capsys.readouterr().out
+        assert "RNG002" in out and "RNG001" not in out

@@ -1,0 +1,135 @@
+"""Framework tests: suppressions, paths, imports, scopes, rule selection."""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.analysis import (
+    ImportMap,
+    canonical_path,
+    lint_source,
+    parse_suppressions,
+    select_rules,
+)
+from repro.analysis.framework import PARSE_RULE_ID, SUPPRESSION_RULE_ID, FileContext
+
+
+class TestSuppressions:
+    def test_reasoned_disable_parses(self):
+        by_line, malformed = parse_suppressions(
+            "x = 1  # repro-lint: disable=RNG001 (seeded upstream)\n", "m.py"
+        )
+        assert not malformed
+        assert by_line[1].covers("RNG001")
+        assert not by_line[1].covers("RNG002")
+        assert by_line[1].reason == "seeded upstream"
+
+    def test_reason_may_contain_parentheses(self):
+        by_line, malformed = parse_suppressions(
+            "x = f()  # repro-lint: disable=VER001 (caller stabilize() bumps)\n",
+            "m.py",
+        )
+        assert not malformed
+        assert by_line[1].reason == "caller stabilize() bumps"
+
+    def test_multiple_rules_one_comment(self):
+        by_line, _ = parse_suppressions(
+            "x = 1  # repro-lint: disable=RNG001, SUM001 (fixture)\n", "m.py"
+        )
+        assert by_line[1].covers("RNG001") and by_line[1].covers("SUM001")
+
+    def test_reasonless_disable_is_a_finding_and_does_not_silence(self):
+        source = "import time\nstarted = time.perf_counter()  # repro-lint: disable=RNG002\n"
+        active, suppressed = lint_source(source, "src/repro/x.py", select_rules())
+        rules_hit = {finding.rule for finding in active}
+        assert SUPPRESSION_RULE_ID in rules_hit  # the bare disable itself
+        assert "RNG002" in rules_hit  # ...and it silenced nothing
+        assert not suppressed
+
+    def test_disable_all(self):
+        by_line, _ = parse_suppressions(
+            "x = 1  # repro-lint: disable=all (generated file)\n", "m.py"
+        )
+        assert by_line[1].covers("VER001")
+
+
+class TestCanonicalPath:
+    def test_trims_to_src(self):
+        assert canonical_path("/root/repo/src/repro/ring/chord.py") == (
+            "src/repro/ring/chord.py"
+        )
+
+    def test_relative_invocation_matches_absolute(self):
+        assert canonical_path("src/repro/core/cdf.py") == canonical_path(
+            "/somewhere/else/src/repro/core/cdf.py"
+        )
+
+    def test_no_src_component_left_alone(self):
+        assert canonical_path("tests/analysis/fixtures/rng_positive.py") == (
+            "tests/analysis/fixtures/rng_positive.py"
+        )
+
+
+class TestImportMap:
+    def _resolve(self, source: str, expr: str):
+        imports = ImportMap(ast.parse(source))
+        node = ast.parse(expr, mode="eval").body
+        return imports.resolve(node)
+
+    def test_aliased_module(self):
+        assert (
+            self._resolve("import numpy as np", "np.random.default_rng")
+            == "numpy.random.default_rng"
+        )
+
+    def test_from_import(self):
+        assert (
+            self._resolve("from numpy.random import default_rng", "default_rng")
+            == "numpy.random.default_rng"
+        )
+
+    def test_unbound_name_resolves_to_none(self):
+        assert self._resolve("import numpy as np", "rng.uniform") is None
+
+
+class TestScopes:
+    def test_symbol_at_innermost_scope(self):
+        source = (
+            "class A:\n"
+            "    def method(self):\n"
+            "        x = 1\n"
+            "        return x\n"
+            "top = 2\n"
+        )
+        context = FileContext("m.py", source, ast.parse(source))
+        assert context.symbol_at(3) == "A.method"
+        assert context.symbol_at(5) == ""
+
+
+class TestSelection:
+    def test_all_five_rules_registered(self, rules):
+        assert {rule.id for rule in rules} == {
+            "RNG001",
+            "RNG002",
+            "VER001",
+            "SUM001",
+            "ERR001",
+        }
+
+    def test_select_subset(self):
+        assert [rule.id for rule in select_rules(["RNG001"])] == ["RNG001"]
+
+    def test_ignore(self):
+        assert "VER001" not in {rule.id for rule in select_rules(None, ["VER001"])}
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown rule ids"):
+            select_rules(["NOPE99"])
+
+
+class TestParseErrors:
+    def test_unparsable_file_is_a_finding(self):
+        active, _ = lint_source("def broken(:\n", "src/repro/x.py", select_rules())
+        assert [finding.rule for finding in active] == [PARSE_RULE_ID]

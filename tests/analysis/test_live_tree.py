@@ -1,0 +1,56 @@
+"""Meta-tests: the committed tree satisfies its own lint gate.
+
+These run the real linter over ``src/repro`` exactly as CI does, so a
+change that introduces a violation (or an undocumented suppression) fails
+the normal test suite too — not just the separate lint job.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import Baseline, lint_paths, parse_suppressions, select_rules
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "lint-baseline.json"
+
+
+def test_live_tree_clean_modulo_baseline(capsys):
+    code = main([str(SRC), "--baseline", str(BASELINE)])
+    out = capsys.readouterr().out
+    assert code == 0, f"repro-lint found new violations:\n{out}"
+
+
+def test_every_suppression_carries_a_reason():
+    active, _ = lint_paths([SRC], select_rules())
+    bare = [f for f in active if f.rule == "SUP001"]
+    assert bare == [], [f.location for f in bare]
+
+
+def test_baseline_is_loadable_and_not_hand_grown():
+    baseline = Baseline.load(BASELINE)
+    # The ratchet only shrinks: the committed file starts (and should stay)
+    # empty after the PR-5 cleanup.  If a future change genuinely must add
+    # debt, this pin forces the discussion in review.
+    assert baseline.entries == {}
+
+
+def test_suppressions_documented_in_tree_are_exercised():
+    """Every inline suppression silences at least one live finding.
+
+    A suppression that no longer matches anything is stale documentation
+    and should be deleted (the inverse of the ratchet).
+    """
+    _, suppressed = lint_paths([SRC], select_rules())
+    suppressed_lines = {(f.path, f.line) for f in suppressed}
+
+    stale: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = "src/" + path.relative_to(REPO_ROOT / "src").as_posix()
+        by_line, _ = parse_suppressions(path.read_text(), rel)
+        for lineno in by_line:
+            if (rel, lineno) not in suppressed_lines:
+                stale.append(f"{rel}:{lineno}")
+    assert stale == [], f"suppressions that silence nothing: {stale}"

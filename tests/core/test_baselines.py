@@ -8,7 +8,6 @@ from repro.core.baselines.naive import NaivePeerSamplingEstimator
 from repro.core.baselines.parametric import ParametricEstimator, weighted_moments
 from repro.core.baselines.random_walk import RandomWalkEstimator, metropolis_hastings_walk
 from repro.core.cdf import empirical_cdf
-from repro.core.cdf_sampling import ht_weights
 from repro.core.estimator import DistributionFreeEstimator
 from repro.core.metrics import evaluate_estimate
 from repro.core.synopsis import summarize_peer

@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.experiments import bench_cli
 
 

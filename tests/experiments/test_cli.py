@@ -1,7 +1,5 @@
 """Tests for the repro-experiments CLI."""
 
-import pytest
-
 from repro.experiments.cli import main
 
 

@@ -1,7 +1,6 @@
 """Property-based tests: routing and overlay invariants on random worlds."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

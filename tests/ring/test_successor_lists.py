@@ -1,7 +1,6 @@
 """Tests for successor lists: construction, maintenance, and routing use."""
 
 import numpy as np
-import pytest
 
 from repro.ring import chord
 from repro.ring.network import RingNetwork
