@@ -13,10 +13,35 @@ from __future__ import annotations
 
 import os
 import warnings
+from typing import Sequence
 
 from repro.experiments.registry import run_experiment
+from repro.serve.metrics import latency_summary, percentile_nearest_rank
 
-__all__ = ["regenerate"]
+__all__ = ["regenerate", "p50", "p99", "summarize_latencies"]
+
+
+def p50(values: Sequence[float]) -> float:
+    """Deterministic median: nearest-rank, always an element of ``values``.
+
+    Benchmarks that summarize their own timing samples should use these
+    instead of ``np.percentile`` — the default interpolating estimator
+    manufactures values that are in no sample and whose low-order bits
+    depend on the platform's fma contraction; nearest-rank selection
+    (``np.partition``) is a pure function of the multiset with fixed
+    tie-breaking.
+    """
+    return percentile_nearest_rank(values, 50.0)
+
+
+def p99(values: Sequence[float]) -> float:
+    """Deterministic 99th percentile (nearest-rank; see :func:`p50`)."""
+    return percentile_nearest_rank(values, 99.0)
+
+
+def summarize_latencies(latencies_s: Sequence[float]) -> dict[str, float]:
+    """``{"p50_ms", "p99_ms"}`` of latency samples given in seconds."""
+    return latency_summary(latencies_s)
 
 
 def _bench_workers() -> int:

@@ -1,0 +1,31 @@
+"""S1 — the serving benchmark (real pytest-benchmark timing).
+
+Runs :func:`repro.serve.bench.run_serving_bench` at the acceptance
+configuration (``scale=1.0``: a 10^4-peer ring) and asserts the serving
+layer's contract: the batched cached path answers the steady-state
+workload at >= 5x the per-query scalar loop's QPS, and the staleness-SLO
+refresh policy keeps the served estimate's accuracy within the configured
+SLO through the churn + drift phase.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.serve.bench import run_serving_bench
+
+
+def test_s1_serving(benchmark):
+    metrics = benchmark.pedantic(
+        run_serving_bench,
+        kwargs={"scale": 1.0, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(json.dumps(metrics, indent=2, sort_keys=True))
+    # The acceptance contract of the serving layer.
+    assert metrics["speedup"] >= 5.0
+    assert metrics["slo_met"] == 1.0
+    assert metrics["hit_rate"] > 0.0
+    assert metrics["max_abs_error"] <= metrics["slo_max_error"]

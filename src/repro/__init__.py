@@ -74,11 +74,18 @@ from repro.ring import (
     RingNetwork,
     estimate_network_size,
 )
+from repro.serve import (
+    AdaptiveRefreshPolicy,
+    EstimationService,
+    StalenessSLO,
+    VersionKeyedCache,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AdaptiveDensityEstimator",
+    "AdaptiveRefreshPolicy",
     "ByzantineBehavior",
     "ChurnConfig",
     "ChurnProcess",
@@ -90,6 +97,7 @@ __all__ = [
     "DistributionFreeEstimator",
     "Domain",
     "ErrorReport",
+    "EstimationService",
     "ExactCdfEstimator",
     "IdentifierSpace",
     "InversionSampler",
@@ -106,7 +114,9 @@ __all__ = [
     "RingNetwork",
     "SamplingService",
     "SelectivityReport",
+    "StalenessSLO",
     "UpdateStream",
+    "VersionKeyedCache",
     "analyze_load_balance",
     "build_dataset",
     "build_prefix_index",

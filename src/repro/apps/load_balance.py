@@ -12,6 +12,7 @@ their evaluation against the network's actual per-peer loads.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -19,11 +20,15 @@ from repro.core.estimate import DensityEstimate
 from repro.core.quantile import equi_depth_boundaries
 from repro.ring.network import RingNetwork
 
+if TYPE_CHECKING:
+    from repro.serve.service import EstimationService
+
 __all__ = [
     "gini_coefficient",
     "coefficient_of_variation",
     "LoadBalanceReport",
     "predict_peer_loads",
+    "predict_peer_loads_served",
     "analyze_load_balance",
     "rebalanced_boundaries",
 ]
@@ -55,23 +60,21 @@ def coefficient_of_variation(loads: np.ndarray) -> float:
     return float(arr.std() / mean)
 
 
-def predict_peer_loads(network: RingNetwork, estimate: DensityEstimate) -> np.ndarray:
-    """Predicted item count per peer (ring order) from a density estimate.
+def _ownership_segments(
+    network: RingNetwork,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[int]]:
+    """Translate every peer's ownership arc to value segments.
 
-    Each peer's ownership arc is translated to its value range(s) and the
-    estimated mass inside is scaled by the estimated total volume.  Only
-    the estimate and the (public) peer boundaries are used — no per-peer
-    counts, which is the whole point of predicting.
+    Returns ``(base, seg_low, seg_high, seg_owner)``: a per-peer base load
+    (1.0 for degenerate single-ident arcs, else 0.0) plus the value
+    segments whose estimated mass accumulates onto ``seg_owner``.  A
+    wrapped arc contributes two segments (one at each domain end).  Cheap
+    integer and hash arithmetic only — no CDF evaluation.
     """
     low, high = network.domain
     to_value = network.data_hash.to_value
     space_add = network.space.add
     nodes = list(network.peers())
-    # Translate every ownership arc to value segments first (cheap integer
-    # and hash arithmetic), then evaluate the CDF over all segment bounds
-    # in two vectorised passes instead of two scalar calls per peer.  A
-    # wrapped arc contributes two segments (one at each domain end), so
-    # the per-peer masses are accumulated by segment owner.
     base = np.zeros(len(nodes), dtype=float)
     seg_low: list[float] = []
     seg_high: list[float] = []
@@ -99,14 +102,55 @@ def predict_peer_loads(network: RingNetwork, estimate: DensityEstimate) -> np.nd
             seg_low.append(low)
             seg_high.append(max(b, low))
             seg_owner.append(index)
-    if seg_low:
+    return (
+        base,
+        np.asarray(seg_low, dtype=float),
+        np.asarray(seg_high, dtype=float),
+        seg_owner,
+    )
+
+
+def predict_peer_loads(network: RingNetwork, estimate: DensityEstimate) -> np.ndarray:
+    """Predicted item count per peer (ring order) from a density estimate.
+
+    Each peer's ownership arc is translated to its value range(s) and the
+    estimated mass inside is scaled by the estimated total volume.  Only
+    the estimate and the (public) peer boundaries are used — no per-peer
+    counts, which is the whole point of predicting.  The CDF is evaluated
+    over all segment bounds in two vectorised passes instead of two scalar
+    calls per peer.
+    """
+    base, seg_low, seg_high, seg_owner = _ownership_segments(network)
+    if seg_owner:
         cdf = estimate.cdf
-        masses = cdf(np.asarray(seg_high, dtype=float)) - cdf(
-            np.asarray(seg_low, dtype=float)
-        )
+        masses = cdf(seg_high) - cdf(seg_low)
         np.maximum(masses, 0.0, out=masses)
         np.add.at(base, seg_owner, masses)
     return base * estimate.n_items
+
+
+def predict_peer_loads_served(service: "EstimationService") -> np.ndarray:
+    """Predicted item count per peer, through the serving layer.
+
+    Same contract as :func:`predict_peer_loads`, but the segment masses
+    come from the service's batched selectivity path — kept fresh against
+    the live network by the staleness SLO, and cached across repeated
+    calls (peer boundaries only move on topology bumps, which also key the
+    cache).  Element-wise equal to ``predict_peer_loads(service.network,
+    service.current)`` evaluated against the estimate the service serves.
+    """
+    base, seg_low, seg_high, seg_owner = _ownership_segments(service.network)
+    if seg_owner:
+        # The cached batch is read-only; the subtraction inside
+        # selectivity_batch already allocated a fresh array only on a
+        # cache miss, so clamp on a copy.
+        masses = service.selectivity_batch(seg_low, seg_high).copy()
+        np.maximum(masses, 0.0, out=masses)
+        np.add.at(base, seg_owner, masses)
+    current = service.current
+    if current is None:  # degenerate ring with no proper arcs: bootstrap
+        current = service.refresh()
+    return base * current.n_items
 
 
 @dataclass(frozen=True)

@@ -50,6 +50,12 @@ class SamplingService:
     rng: Optional[np.random.Generator] = None
     _estimate: Optional[DensityEstimate] = field(init=False, default=None)
     _index: Optional[PrefixIndex] = field(init=False, default=None)
+    # Version tokens captured when each cached artifact was built.  A draw
+    # against a token that no longer matches the live network means the
+    # cache describes a network that no longer exists — rebuild, don't
+    # serve items that were deleted or miss peers that joined.
+    _estimate_token: Optional[tuple[int, int]] = field(init=False, default=None)
+    _index_token: Optional[tuple[int, int]] = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         if self.rng is None:
@@ -62,12 +68,16 @@ class SamplingService:
     # ------------------------------------------------------------------
     def refresh_model(self) -> DensityEstimate:
         """(Re)estimate the global distribution; returns the new estimate."""
+        token = self.network.version_token
         self._estimate = self.estimator.estimate(self.network, rng=self.rng)
+        self._estimate_token = token
         return self._estimate
 
     def refresh_index(self) -> PrefixIndex:
         """(Re)build the prefix-count index (Θ(N) messages)."""
+        token = self.network.version_token
         self._index = build_prefix_index(self.network)
+        self._index_token = token
         return self._index
 
     @property
@@ -89,16 +99,21 @@ class SamplingService:
         ``model`` samples are free (post-estimate) inversion draws from the
         estimated CDF; ``exact`` samples are fetched from the network by
         rank routing.  Either mode lazily builds its required state on
-        first use.
+        first use, and rebuilds it when the network's version token has
+        moved since the build — a stale model misrepresents the live data,
+        and a stale prefix index routes ranks to peers that may have left
+        or resolves them against counts that no longer add up.
         """
         if n < 0:
             raise ValueError(f"sample size must be >= 0, got {n}")
         if mode == "model":
-            if self._estimate is None:
-                self.refresh_model()
-            return self._estimate.sample(n, rng=self.rng)
+            estimate = self._estimate
+            if estimate is None or self._estimate_token != self.network.version_token:
+                estimate = self.refresh_model()
+            return estimate.sample(n, rng=self.rng)
         if mode == "exact":
-            if self._index is None:
-                self.refresh_index()
-            return sample_by_rank(self.network, self._index, n, rng=self.rng)
+            index = self._index
+            if index is None or self._index_token != self.network.version_token:
+                index = self.refresh_index()
+            return sample_by_rank(self.network, index, n, rng=self.rng)
         raise ValueError(f"unknown sampling mode {mode!r}")

@@ -10,18 +10,22 @@ estimates are against the network's actual contents over a query workload.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.core.estimate import DensityEstimate
 from repro.data.workload import RangeQuery, RangeQueryWorkload
 
+if TYPE_CHECKING:
+    from repro.serve.service import EstimationService
+
 __all__ = [
     "SelectivityReport",
     "estimate_selectivity",
     "estimate_selectivities",
     "evaluate_selectivity",
+    "served_selectivities",
     "true_selectivities",
 ]
 
@@ -47,6 +51,26 @@ def estimate_selectivities(
     if lows.size == 0:
         return np.empty(0, dtype=float)
     return estimate.cdf(highs) - estimate.cdf(lows)
+
+
+def served_selectivities(
+    service: "EstimationService",
+    workload: RangeQueryWorkload | Sequence[RangeQuery],
+) -> np.ndarray:
+    """Estimated selectivity of a workload through the serving layer.
+
+    Same contract as :func:`estimate_selectivities`, but evaluated by an
+    :class:`~repro.serve.service.EstimationService`: the service keeps its
+    estimate fresh against the live network (staleness SLO), and repeated
+    workloads hit the version-keyed result cache.  The returned array is
+    the cache's read-only entry — copy before mutating.
+    """
+    queries = list(workload)
+    if not queries:
+        return np.empty(0, dtype=float)
+    lows = np.asarray([q.low for q in queries], dtype=float)
+    highs = np.asarray([q.high for q in queries], dtype=float)
+    return service.selectivity_batch(lows, highs)
 
 
 def true_selectivities(

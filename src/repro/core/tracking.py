@@ -17,12 +17,42 @@ from typing import Literal, Optional
 
 import numpy as np
 
+from repro.core.cdf import PiecewiseCDF
 from repro.core.cdf_sampling import assemble_cdf_interpolated, collect_probes
 from repro.core.estimate import DensityEstimate
 from repro.core.estimator import DensityEstimator, DistributionFreeEstimator
 from repro.ring.network import RingNetwork
 
-__all__ = ["MaintenanceAction", "ContinuousEstimator"]
+__all__ = ["MaintenanceAction", "ContinuousEstimator", "drift_score_between"]
+
+
+def drift_score_between(
+    network: RingNetwork,
+    model_cdf: PiecewiseCDF,
+    check_probes: int,
+    synopsis_buckets: int,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Cheap KS-style discrepancy between fresh evidence and a model CDF.
+
+    Collects ``check_probes`` probes, reconstructs a coarse CDF from them
+    alone, and returns the max absolute difference to ``model_cdf`` over
+    the reconstruction's breakpoints.  Expected value under no drift is
+    the sampling noise of the small batch (≈ ``1/sqrt(check_probes)``);
+    drift adds bias on top.  This is the drift signal shared by
+    :class:`ContinuousEstimator` and the serving layer's staleness-SLO
+    refresh policy (:mod:`repro.serve.policy`).
+    """
+    if check_probes < 1:
+        raise ValueError(f"check_probes must be >= 1, got {check_probes}")
+    results = collect_probes(network, check_probes, synopsis_buckets, rng=rng)
+    reconstruction = assemble_cdf_interpolated(
+        [r.summary for r in results], network.domain
+    )
+    grid = reconstruction.cdf.xs
+    fresh = np.asarray(reconstruction.cdf(grid), dtype=float)
+    model = np.asarray(model_cdf(grid), dtype=float)
+    return float(np.max(np.abs(fresh - model)))
 
 
 @dataclass(frozen=True)
@@ -88,16 +118,13 @@ class ContinuousEstimator:
         """
         if self._current is None:
             raise RuntimeError("no current estimate; call refresh() or maintain() first")
-        results = collect_probes(
-            network, self.check_probes, self.synopsis_buckets, rng=rng
+        return drift_score_between(
+            network,
+            self._current.cdf,
+            self.check_probes,
+            self.synopsis_buckets,
+            rng=rng,
         )
-        reconstruction = assemble_cdf_interpolated(
-            [r.summary for r in results], network.domain
-        )
-        grid = reconstruction.cdf.xs
-        fresh = np.asarray(reconstruction.cdf(grid), dtype=float)
-        model = np.asarray(self._current.cdf(grid), dtype=float)
-        return float(np.max(np.abs(fresh - model)))
 
     def maintain(
         self, network: RingNetwork, rng: Optional[np.random.Generator] = None

@@ -6,6 +6,13 @@ trajectory as JSON: per-bench wall-clock medians, machine info, and the
 git sha.  With ``--baseline`` pointing at a previously committed file,
 the run fails when any shared bench regressed by more than the threshold
 — the CI smoke check against the repository's committed trajectory.
+
+Besides the registry experiments, the id ``S1`` runs the serving
+benchmark (:func:`repro.serve.bench.run_serving_bench`) — it is not a
+registry experiment because its QPS/latency numbers are wall-clock, which
+the registry's bit-identity contract forbids.  Its entry carries the full
+serving metrics document under ``"metrics"`` alongside the usual
+``median_s``, so the regression check applies to it unchanged.
 """
 
 from __future__ import annotations
@@ -20,11 +27,17 @@ import time
 from typing import Callable, Optional, Sequence
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.serve.bench import SERVING_BENCH_ID, run_serving_bench
 
-__all__ = ["main", "build_payload", "check_regression"]
+__all__ = ["main", "build_payload", "check_regression", "time_serving_bench"]
 
 DEFAULT_BENCHES = ("F6", "F11", "F12")
 DEFAULT_THRESHOLD = 0.25
+
+#: Non-registry benches: wall-clock serving benchmarks keyed by id.
+SERVING_BENCHES: dict[str, Callable[..., dict[str, float]]] = {
+    SERVING_BENCH_ID: run_serving_bench,
+}
 
 
 def _git_sha() -> Optional[str]:
@@ -81,6 +94,30 @@ def time_experiment(
     else:
         median = (ordered[mid - 1] + ordered[mid]) / 2.0
     return {"median_s": median, "runs_s": runs}
+
+
+def time_serving_bench(
+    bench_id: str, scale: float, seed: int, repetitions: int
+) -> dict[str, object]:
+    """Median wall time of a serving bench plus its last run's metrics.
+
+    Timing goes through :func:`time_experiment` (same warmup and median
+    protocol as the registry benches); the metrics document of the final
+    timed run — QPS, latency percentiles, cache hit rate, accuracy-at-SLO
+    — rides along under ``"metrics"``.  Every run's logical content is
+    identical (it is a function of ``(seed, scale)``), so "the last run"
+    is not a choice that matters beyond the wall-clock fields.
+    """
+    bench = SERVING_BENCHES[bench_id]
+    metrics: dict[str, float] = {}
+
+    def runner(_bench_id: str, scale: float, seed: int) -> None:
+        metrics.clear()
+        metrics.update(bench(scale=scale, seed=seed))
+
+    result = time_experiment(bench_id, scale, seed, repetitions, runner=runner)
+    result["metrics"] = metrics
+    return result
 
 
 def build_payload(
@@ -182,7 +219,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     ids = [e.upper() for e in args.experiments] or list(DEFAULT_BENCHES)
-    unknown = [e for e in ids if e not in EXPERIMENTS]
+    unknown = [e for e in ids if e not in EXPERIMENTS and e not in SERVING_BENCHES]
     if unknown:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         return 2
@@ -192,9 +229,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     benches: dict[str, dict[str, object]] = {}
     for experiment_id in ids:
-        result = time_experiment(experiment_id, args.scale, args.seed, args.repetitions)
+        if experiment_id in SERVING_BENCHES:
+            result = time_serving_bench(
+                experiment_id, args.scale, args.seed, args.repetitions
+            )
+            metrics = result["metrics"]
+            assert isinstance(metrics, dict)
+            print(
+                f"{experiment_id}: median {result['median_s']:.3f}s over "
+                f"{args.repetitions} runs — speedup {metrics['speedup']:.1f}x, "
+                f"p50 {metrics['p50_ms']:.3f}ms, p99 {metrics['p99_ms']:.3f}ms, "
+                f"hit rate {metrics['hit_rate']:.2f}, "
+                f"slo_met {int(metrics['slo_met'])}"
+            )
+        else:
+            result = time_experiment(
+                experiment_id, args.scale, args.seed, args.repetitions
+            )
+            print(
+                f"{experiment_id}: median {result['median_s']:.3f}s "
+                f"over {args.repetitions} runs"
+            )
         benches[experiment_id] = result
-        print(f"{experiment_id}: median {result['median_s']:.3f}s over {args.repetitions} runs")
     payload = build_payload(benches, args.scale, args.seed, args.repetitions)
 
     if args.json:

@@ -307,6 +307,18 @@ class RingNetwork:
         self._ids_array = None
         self.topology_version += 1
 
+    @property
+    def version_token(self) -> tuple[int, int]:
+        """The ``(topology_version, data_version)`` pair as one token.
+
+        This is the staleness key shared by every version-aware consumer:
+        the snapshot plane refreshes against it, the serving layer
+        (:mod:`repro.serve`) keys its result cache on it, and cached
+        derived state (models, prefix indexes) is valid exactly as long as
+        the token it was built under still equals the live one.
+        """
+        return (self.topology_version, self.data_version)
+
     def note_overlay_change(self) -> None:
         """Advance the overlay token after a pointer-only mutation.
 

@@ -91,6 +91,17 @@ class RingSnapshot:
     # Data-plane views
     # ------------------------------------------------------------------
     @property
+    def version_token(self) -> Optional[tuple[int, int]]:
+        """The ``(topology_version, data_version)`` this view reflects.
+
+        ``None`` before the first refresh.  Downstream epoch-keyed caches
+        (the serving layer's result cache, app-level model caches) compare
+        this against :attr:`RingNetwork.version_token` to decide whether
+        derived state built from the snapshot is still current.
+        """
+        return self._token
+
+    @property
     def ids(self) -> NDArray[np.uint64]:
         """Sorted live peer identifiers (``uint64``)."""
         return self._ids

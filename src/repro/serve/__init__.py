@@ -1,0 +1,27 @@
+"""repro.serve — the high-QPS estimation serving layer.
+
+A long-lived façade (:class:`EstimationService`) that answers sustained
+query traffic against a cached :class:`~repro.core.estimate.DensityEstimate`:
+batched vectorized query APIs, a version-keyed result cache with
+deterministic eviction, and an adaptive staleness-SLO refresh policy
+driven by drift signals instead of a timer.  See ``docs/PERFORMANCE.md``
+("Serving") for the architecture and knobs.
+"""
+
+from repro.serve.cache import CacheStats, EpochKey, VersionKeyedCache
+from repro.serve.metrics import latency_summary, percentile_nearest_rank
+from repro.serve.policy import AdaptiveRefreshPolicy, RefreshDecision, StalenessSLO
+from repro.serve.service import EstimationService, ServingStats
+
+__all__ = [
+    "AdaptiveRefreshPolicy",
+    "CacheStats",
+    "EpochKey",
+    "EstimationService",
+    "RefreshDecision",
+    "ServingStats",
+    "StalenessSLO",
+    "VersionKeyedCache",
+    "latency_summary",
+    "percentile_nearest_rank",
+]

@@ -1,0 +1,268 @@
+"""S1 — the serving benchmark: QPS, tail latency, and accuracy-at-SLO.
+
+Drives :class:`~repro.serve.service.EstimationService` with a sustained,
+deterministic query workload (mixed CDF / quantile / selectivity / sample
+batches with realistic batch reuse) in two phases — steady state, then
+under churn plus data drift — and times the same logical queries answered
+by the **per-query uncached scalar loop** every app call used to be.  The
+reported contrast is the whole point of the serving layer:
+
+* ``qps_served`` vs ``qps_scalar`` (and their ratio, ``speedup``),
+* ``p50_ms`` / ``p99_ms`` per-batch serving latency (nearest-rank,
+  deterministic given the latency samples),
+* ``hit_rate`` of the version-keyed result cache,
+* ``max_abs_error`` of the served estimate against ground truth across
+  the churn phase, next to the configured ``slo_max_error`` —
+  the staleness-SLO refresh policy is doing its job iff
+  ``max_abs_error <= slo_max_error`` (``slo_met``).
+
+Wall-clock reads here are instrumentation: they are *reported* (QPS,
+latency percentiles) and never feed back into any estimate or table, so
+the run's logical results remain a function of ``(seed, scale)`` only.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.core.cdf import empirical_cdf
+from repro.core.estimate import DensityEstimate
+from repro.core.estimator import DistributionFreeEstimator
+from repro.core.metrics import ks_distance
+from repro.data.distributions import TruncatedNormal
+from repro.data.domain import UNIT_DOMAIN
+from repro.data.workload import UpdateStream
+from repro.experiments.common import scale_int
+from repro.experiments.config import setup_network
+from repro.ring.churn import ChurnConfig, ChurnProcess
+from repro.serve.metrics import latency_summary
+from repro.serve.policy import StalenessSLO
+from repro.serve.service import EstimationService
+
+__all__ = ["run_serving_bench", "SERVING_BENCH_ID"]
+
+SERVING_BENCH_ID = "S1"
+
+#: Default workload shape at ``scale=1.0`` (the acceptance configuration:
+#: a 10^4-peer ring).
+FULL_PEERS = 10_000
+FULL_ITEMS = 100_000
+FULL_BATCHES = 240
+BATCH_SIZE = 512
+DISTINCT_BATCHES = 24       # pool size per query kind; reuse drives cache hits
+CHURN_ROUNDS = 6
+ESTIMATOR_PROBES = 128
+SLO_MAX_ERROR = 0.1
+GRID_POINTS = 512
+
+_KINDS = ("cdf", "quantile", "selectivity", "sample")
+
+
+def _build_pools(
+    domain: tuple[float, float], rng: np.random.Generator
+) -> dict[str, list[NDArray[np.float64]]]:
+    """Per-kind pools of distinct query batches (drawn once, then reused)."""
+    low, high = domain
+    pools: dict[str, list[NDArray[np.float64]]] = {kind: [] for kind in _KINDS}
+    for _ in range(DISTINCT_BATCHES):
+        pools["cdf"].append(rng.uniform(low, high, size=BATCH_SIZE))
+        pools["quantile"].append(rng.uniform(0.0, 1.0, size=BATCH_SIZE))
+        lows = rng.uniform(low, high, size=BATCH_SIZE)
+        widths = rng.uniform(0.0, (high - low) * 0.2, size=BATCH_SIZE)
+        highs = np.minimum(lows + widths, high)
+        pools["selectivity"].append(np.stack((lows, highs)))
+        # Sample batches are named by their seed (column 0) — the batch
+        # payload is (n, seed), not an input array.
+        pools["sample"].append(np.asarray([float(int(rng.integers(0, 64)))]))
+    return pools
+
+
+def _batch_schedule(
+    n_batches: int, rng: np.random.Generator
+) -> Iterator[tuple[str, int]]:
+    """The serving workload: kind round-robin, pool index Zipf-ish reused.
+
+    Low indexes repeat often (hot queries), high indexes are rare — the
+    reuse pattern the result cache exists for.
+    """
+    for i in range(n_batches):
+        kind = _KINDS[i % len(_KINDS)]
+        # Squared uniform skews towards 0: a heavy-reuse pool pick.
+        index = int(rng.random() ** 2 * DISTINCT_BATCHES)
+        yield kind, min(index, DISTINCT_BATCHES - 1)
+
+
+def _serve_batch(
+    service: EstimationService,
+    kind: str,
+    batch: NDArray[np.float64],
+) -> NDArray[np.float64]:
+    """Answer one batch through the service (the batched cached path)."""
+    if kind == "cdf":
+        return service.cdf_batch(batch)
+    if kind == "quantile":
+        return service.quantile_batch(batch)
+    if kind == "selectivity":
+        return service.selectivity_batch(batch[0], batch[1])
+    return service.sample_batch(BATCH_SIZE, seed=int(batch[0]))
+
+
+def _scalar_batch(
+    estimate: DensityEstimate, kind: str, batch: NDArray[np.float64]
+) -> float:
+    """Answer one batch with per-query scalar calls — the pre-serving path.
+
+    Returns a checksum so the loop cannot be optimized away.
+    """
+    total = 0.0
+    if kind == "cdf":
+        cdf_at = estimate.cdf_at
+        for x in batch.tolist():
+            total += float(cdf_at(x))
+    elif kind == "quantile":
+        quantile = estimate.quantile
+        for q in batch.tolist():
+            total += float(quantile(q))
+    elif kind == "selectivity":
+        selectivity = estimate.selectivity
+        for low, high in zip(batch[0].tolist(), batch[1].tolist()):
+            total += selectivity(low, high)
+    else:
+        rng = np.random.default_rng(int(batch[0]))
+        sample = estimate.cdf.sample
+        for _ in range(BATCH_SIZE):
+            total += float(sample(1, rng)[0])
+    return total
+
+
+def run_serving_bench(scale: float = 1.0, seed: int = 0) -> dict[str, float]:
+    """Run the serving benchmark; returns the S1 metrics document.
+
+    ``scale=1.0`` is the acceptance configuration (``N = 10^4`` peers).
+    All logical behaviour (queries, refreshes, accuracy) is a function of
+    ``(seed, scale)``; only the QPS/latency numbers are machine-dependent.
+    """
+    n_peers = scale_int(FULL_PEERS, scale, minimum=64)
+    n_items = scale_int(FULL_ITEMS, scale, minimum=4_000)
+    n_batches = scale_int(FULL_BATCHES, min(scale, 1.0), minimum=32)
+    # The drift-tracking workload (cf. F11): a normal-fixture ring.  The
+    # SLO phase needs an estimator whose *fresh* error sits well under the
+    # promise — heavy-tailed fixtures (zipf) need probe budgets beyond any
+    # serving refresh to clear 0.1 KS, which would test the estimator, not
+    # the staleness policy.
+    fixture = setup_network("normal", n_peers=n_peers, n_items=n_items, seed=seed)
+    network = fixture.network
+
+    slo = StalenessSLO(max_error=SLO_MAX_ERROR, check_probes=16)
+    service = EstimationService(
+        network,
+        estimator=DistributionFreeEstimator(probes=ESTIMATOR_PROBES),
+        slo=slo,
+        cache_entries=256,
+        rng=np.random.default_rng(seed + 11),
+    )
+    pools = _build_pools(network.domain, np.random.default_rng(seed + 23))
+    schedule = list(_batch_schedule(n_batches, np.random.default_rng(seed + 31)))
+    grid = np.linspace(*network.domain, GRID_POINTS)
+
+    # ------------------------------------------------------------------
+    # Phase 1 — steady state: sustained traffic, no mutations.
+    # ------------------------------------------------------------------
+    latencies: list[float] = []
+    service.refresh()  # bootstrap outside the timed loop
+    served_start = time.perf_counter()  # repro-lint: disable=RNG002 (QPS instrumentation; timing is reported, never fed into results)
+    for kind, index in schedule:
+        t0 = time.perf_counter()  # repro-lint: disable=RNG002 (latency instrumentation; timing is reported, never fed into results)
+        _serve_batch(service, kind, pools[kind][index])
+        latencies.append(time.perf_counter() - t0)  # repro-lint: disable=RNG002 (latency instrumentation; timing is reported, never fed into results)
+    served_elapsed = time.perf_counter() - served_start  # repro-lint: disable=RNG002 (QPS instrumentation; timing is reported, never fed into results)
+
+    # ------------------------------------------------------------------
+    # Phase 2 — under churn + data drift: the SLO must hold while the
+    # policy decides when to spend messages.
+    # ------------------------------------------------------------------
+    churn = ChurnProcess(
+        network,
+        ChurnConfig(join_rate=0.02, leave_rate=0.02, crash_fraction=0.5),
+        rng=np.random.default_rng(seed + 41),
+    )
+    stream = UpdateStream(fixture.dataset, insert_fraction=0.5, seed=seed + 5)
+    errors: list[float] = []
+    churn_schedule = list(
+        _batch_schedule(n_batches, np.random.default_rng(seed + 43))
+    )
+    per_round = max(len(churn_schedule) // CHURN_ROUNDS, 1)
+    updates = max(n_items // 10, 200)
+    for round_index in range(CHURN_ROUNDS):
+        # Drift: inserts slide towards the right edge of the domain.
+        stream.insert_distribution = TruncatedNormal(
+            mean=0.5 + 0.4 * (round_index + 1) / CHURN_ROUNDS,
+            std=0.08,
+            _domain=UNIT_DOMAIN,
+        )
+        ops = list(stream.ops(updates))
+        owners = network.owners_of_values(
+            np.asarray([op.value for op in ops], dtype=float)
+        )
+        for op, owner in zip(ops, owners):
+            if op.kind == "insert":
+                owner.store.insert(op.value)
+            else:
+                owner.store.remove(op.value)
+        churn.run_round()
+        for kind, index in churn_schedule[
+            round_index * per_round : (round_index + 1) * per_round
+        ]:
+            t0 = time.perf_counter()  # repro-lint: disable=RNG002 (latency instrumentation; timing is reported, never fed into results)
+            _serve_batch(service, kind, pools[kind][index])
+            latencies.append(time.perf_counter() - t0)  # repro-lint: disable=RNG002 (latency instrumentation; timing is reported, never fed into results)
+        # Accuracy-at-SLO: the served estimate vs live ground truth.
+        truth = empirical_cdf(network.all_values(), presorted=True)
+        assert service.current is not None
+        errors.append(ks_distance(service.current.cdf, truth, grid))
+
+    # ------------------------------------------------------------------
+    # Baseline — the same logical queries, per-query scalar, no cache.
+    # ------------------------------------------------------------------
+    baseline_estimate = service.current
+    checksum = 0.0
+    scalar_start = time.perf_counter()  # repro-lint: disable=RNG002 (QPS instrumentation; timing is reported, never fed into results)
+    for kind, index in schedule:
+        checksum += _scalar_batch(baseline_estimate, kind, pools[kind][index])
+    scalar_elapsed = time.perf_counter() - scalar_start  # repro-lint: disable=RNG002 (QPS instrumentation; timing is reported, never fed into results)
+
+    # QPS contrast is apples-to-apples: the identical steady-state schedule
+    # through both paths.  (Churn-phase batches still feed the latency
+    # tails and the cache hit rate; their cost is maintenance, reported via
+    # ``maintenance_messages``, not folded into throughput.)
+    steady_queries = float(len(schedule) * BATCH_SIZE)
+    qps_served = steady_queries / served_elapsed if served_elapsed > 0 else 0.0
+    qps_scalar = steady_queries / scalar_elapsed if scalar_elapsed > 0 else 0.0
+    tails = latency_summary(np.asarray(latencies, dtype=float))
+    max_abs_error = float(np.max(errors)) if errors else 0.0
+
+    return {
+        "n_peers": float(n_peers),
+        "n_items": float(n_items),
+        "batches": float(service.stats.batches),
+        "queries": float(service.stats.queries),
+        "qps_served": qps_served,
+        "qps_scalar": qps_scalar,
+        "speedup": qps_served / qps_scalar if qps_scalar > 0 else 0.0,
+        "p50_ms": tails["p50_ms"],
+        "p99_ms": tails["p99_ms"],
+        "hit_rate": service.cache_stats.hit_rate,
+        "refreshes": float(service.stats.refreshes),
+        "drift_checks": float(service.stats.drift_checks),
+        "served_fresh": float(service.stats.served_fresh),
+        "served_stale": float(service.stats.served_stale),
+        "maintenance_messages": float(service.stats.maintenance_messages),
+        "max_abs_error": max_abs_error,
+        "slo_max_error": slo.max_error,
+        "slo_met": float(max_abs_error <= slo.max_error),
+        "checksum": checksum,
+    }

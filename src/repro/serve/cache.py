@@ -1,0 +1,149 @@
+"""The version-keyed result cache behind the estimation service.
+
+Serving millions of queries means the same (and overlapping) batches come
+back again and again; re-evaluating the interpolation tables for each is
+pure waste while the underlying estimate has not changed.  The cache keys
+every result on the *epoch key* — ``(topology_version, data_version,
+estimate_epoch)`` captured when the served estimate was built — plus a
+content digest of the query batch, so
+
+* a repeated batch against the same estimate is a dictionary hit,
+* any refresh (new epoch) or any network mutation that produced a new
+  estimate silently invalidates every older entry (their keys can never
+  be constructed again), and
+* two different batches can never collide (the key carries the exact
+  input bytes' BLAKE2b digest, dtype, and shape).
+
+Eviction is **deterministic**: a bounded least-recently-used map whose
+order is a pure function of the (deterministic) query sequence — the same
+serving run always holds, hits, and evicts the same entries.  Cached
+arrays are frozen (``writeable=False``) and handed back by reference, so
+a hit costs O(1) regardless of the batch size.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+from numpy.typing import NDArray
+
+__all__ = ["CacheStats", "VersionKeyedCache", "EpochKey"]
+
+#: The serving epoch key: ``(topology_version, data_version, estimate_epoch)``.
+EpochKey = tuple[int, int, int]
+
+#: Hashable cache-key parts derived from one query batch.
+_KeyPart = Union[int, float, str, bytes, tuple[int, ...]]
+
+
+@dataclass
+class CacheStats:
+    """Running counters of cache effectiveness."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that were hits (0.0 before any lookup)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
+class VersionKeyedCache:
+    """A bounded, deterministic result cache keyed on epoch + query bytes.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity bound; inserting beyond it evicts the least recently
+        used entry.  Must be >= 1.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple[_KeyPart, ...], NDArray[np.float64]] = (
+            OrderedDict()
+        )
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def digest(array: NDArray[np.float64]) -> bytes:
+        """Content digest of one query array (dtype- and shape-aware)."""
+        hasher = hashlib.blake2b(digest_size=16)
+        hasher.update(str(array.dtype).encode())
+        hasher.update(str(array.shape).encode())
+        hasher.update(np.ascontiguousarray(array).tobytes())
+        return hasher.digest()
+
+    def key(
+        self,
+        kind: str,
+        epoch_key: EpochKey,
+        *parts: Union[NDArray[np.float64], int, float, str],
+    ) -> tuple[_KeyPart, ...]:
+        """Build the cache key for one query batch.
+
+        ``kind`` names the query family (``"cdf"``, ``"quantile"``, ...);
+        ``parts`` are the batch inputs — arrays are digested by content,
+        scalars are embedded directly.
+        """
+        key_parts: list[_KeyPart] = [kind, *epoch_key]
+        for part in parts:
+            if isinstance(part, np.ndarray):
+                key_parts.append(self.digest(part))
+            else:
+                key_parts.append(part)
+        return tuple(key_parts)
+
+    def lookup(self, key: tuple[_KeyPart, ...]) -> Optional[NDArray[np.float64]]:
+        """The cached result for ``key``, or ``None`` (counts a miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def store(
+        self, key: tuple[_KeyPart, ...], value: NDArray[np.float64]
+    ) -> NDArray[np.float64]:
+        """Insert a result and return the frozen array actually cached.
+
+        The stored array is made read-only so hits can alias it safely;
+        callers that need to mutate a result must copy it first.
+        """
+        frozen = np.asarray(value)
+        frozen.setflags(write=False)
+        if key not in self._entries and len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = frozen
+        self._entries.move_to_end(key)
+        self.stats.insertions += 1
+        return frozen
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept — they describe the session)."""
+        self._entries.clear()
+
+    def keys(self) -> list[tuple[_KeyPart, ...]]:
+        """Current keys, oldest-used first (for tests and introspection)."""
+        return list(self._entries.keys())

@@ -1,0 +1,59 @@
+"""Deterministic serving metrics: nearest-rank percentiles and summaries.
+
+Latency percentiles computed with interpolating estimators (numpy's
+default ``linear`` method) are bit-stable only if every float involved
+is; the safer contract for a benchmark that must compare runs across
+machines and worker counts is **nearest-rank**: the percentile *is one of
+the samples*, selected by a fixed rule with fixed tie-breaking (ties are
+indistinguishable — any of the equal samples is the same float).  One
+``np.partition`` call selects it in O(n) without sorting the batch.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from numpy.typing import NDArray
+
+__all__ = ["percentile_nearest_rank", "latency_summary"]
+
+
+def percentile_nearest_rank(
+    values: NDArray[np.float64] | Sequence[float], percentile: float
+) -> float:
+    """The nearest-rank ``percentile`` of ``values``.
+
+    Uses the classic definition: the smallest sample whose rank ``k``
+    satisfies ``k >= ceil(p/100 · n)`` (1-indexed), so ``p=50`` on an even
+    batch picks the lower median and ``p=100`` the maximum — always an
+    element of ``values``, never an interpolation.  Selection uses
+    ``np.partition``: O(n), and deterministic because the k-th order
+    statistic of a multiset is unique as a *value* even when ties make the
+    choice of index arbitrary.
+    """
+    if not 0.0 < percentile <= 100.0:
+        raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("values must be a non-empty 1-D array")
+    rank = int(np.ceil(percentile / 100.0 * arr.size))  # 1-indexed
+    index = max(rank - 1, 0)
+    return float(np.partition(arr, index)[index])
+
+
+def latency_summary(
+    latencies_s: NDArray[np.float64] | Sequence[float],
+    percentiles: Sequence[float] = (50.0, 99.0),
+) -> dict[str, float]:
+    """Millisecond latency percentiles keyed ``p50_ms``, ``p99_ms``, ...
+
+    ``percentiles`` with fractional parts key as e.g. ``p99.9_ms``.  The
+    input is in seconds (what ``perf_counter`` differences yield).
+    """
+    arr = np.asarray(latencies_s, dtype=float)
+    summary: dict[str, float] = {}
+    for pct in percentiles:
+        label = f"{pct:g}"
+        summary[f"p{label}_ms"] = percentile_nearest_rank(arr, pct) * 1e3
+    return summary

@@ -1,0 +1,349 @@
+"""The long-lived estimation service: cheap answers for heavy traffic.
+
+The paper's promise is that one compact estimate ``F̂`` lets applications
+answer selectivity, load-balance, sampling, and range-planning questions
+*locally*; this module is the piece that actually serves that promise
+under sustained load.  :class:`EstimationService` wraps a live network
+and an estimator behind four **batched, vectorized** query entry points —
+``cdf_batch``, ``quantile_batch``, ``selectivity_batch``,
+``sample_batch`` — and keeps three invariants:
+
+* **bit-identity** — a batched answer equals the per-query scalar answer
+  element for element (the batch APIs evaluate the same piecewise-CDF
+  arithmetic, vectorized);
+* **version-keyed caching** — results are cached under
+  ``(topology_version, data_version, estimate_epoch)`` plus the batch's
+  content digest (:mod:`repro.serve.cache`), so repeated and overlapping
+  batches cost a dictionary lookup;
+* **staleness SLO** — the served estimate is refreshed when the adaptive
+  policy (:mod:`repro.serve.policy`) predicts its error exceeds the SLO,
+  not on a timer; failed or low-coverage refreshes fall through to the
+  previous estimate (degraded mode) instead of serving garbage.
+
+Every network touch (drift checks, refreshes) is accounted in
+:class:`ServingStats`, so a serving run can report amortized refresh cost
+next to its QPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.core.estimate import DensityEstimate
+from repro.core.estimator import DensityEstimator, DistributionFreeEstimator
+from repro.core.tracking import drift_score_between
+from repro.ring.network import NetworkError, RingNetwork
+from repro.ring.routing import RoutingError
+from repro.serve.cache import CacheStats, EpochKey, VersionKeyedCache
+from repro.serve.policy import AdaptiveRefreshPolicy, RefreshDecision, StalenessSLO
+
+__all__ = ["ServingStats", "EstimationService"]
+
+
+@dataclass
+class ServingStats:
+    """What the service did: query volume, cache traffic, refresh spend."""
+
+    batches: int = 0
+    queries: int = 0
+    bootstraps: int = 0
+    refreshes: int = 0
+    failed_refreshes: int = 0
+    drift_checks: int = 0
+    checks_kept: int = 0
+    served_fresh: int = 0
+    served_stale: int = 0
+    served_while_failed: int = 0
+    refresh_messages: int = 0
+    check_messages: int = 0
+
+    @property
+    def maintenance_messages(self) -> int:
+        """Total network messages spent keeping the estimate serviceable."""
+        return self.refresh_messages + self.check_messages
+
+
+class EstimationService:
+    """Serve density-estimate queries against a live ring network.
+
+    Parameters
+    ----------
+    network:
+        The live network the served estimate describes.
+    estimator:
+        Builds (and rebuilds) the served estimate.  Defaults to the
+        paper's distribution-free estimator.
+    slo:
+        The staleness/accuracy promise (see :class:`StalenessSLO`).
+    cache_entries:
+        Result-cache capacity (deterministic LRU eviction beyond it).
+    synopsis_buckets:
+        Histogram resolution of drift-check probe replies.
+    rng:
+        Randomness for drift checks and refreshes; seeded default so a
+        service built without a generator replays identically.
+    """
+
+    def __init__(
+        self,
+        network: RingNetwork,
+        estimator: Optional[DensityEstimator] = None,
+        slo: Optional[StalenessSLO] = None,
+        cache_entries: int = 256,
+        synopsis_buckets: int = 8,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.network = network
+        self.estimator: DensityEstimator = (
+            estimator if estimator is not None else DistributionFreeEstimator()
+        )
+        self.slo = slo if slo is not None else StalenessSLO()
+        self.policy = AdaptiveRefreshPolicy(slo=self.slo)
+        self.synopsis_buckets = synopsis_buckets
+        # Seeded default: serving without an explicit generator must still
+        # replay identically run to run.
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._cache = VersionKeyedCache(cache_entries)
+        self.stats = ServingStats()
+        self._current: Optional[DensityEstimate] = None
+        self._epoch = 0
+        self._epoch_key: EpochKey = (-1, -1, -1)
+        # Version token the policy's bump counter is based at (last
+        # refresh or kept drift check).
+        self._base_token: Optional[tuple[int, int]] = None
+        # Version token of the last *failed* refresh: while the network
+        # has not moved past it, retrying would re-fail identically, so
+        # the service keeps serving the previous estimate without
+        # re-probing every batch.
+        self._failed_token: Optional[tuple[int, int]] = None
+        self.last_decision: Optional[RefreshDecision] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Optional[DensityEstimate]:
+        """The estimate currently served (``None`` before first use)."""
+        return self._current
+
+    @property
+    def epoch_key(self) -> EpochKey:
+        """``(topology_version, data_version, estimate_epoch)`` of the
+        served estimate — the cache key prefix of every current result."""
+        return self._epoch_key
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the result cache."""
+        return self._cache.stats
+
+    @property
+    def degraded(self) -> bool:
+        """Is the service in degraded mode (serving a degraded estimate,
+        or serving across a failed refresh)?"""
+        if self._current is None:
+            return False
+        if self._current.degraded:
+            return True
+        return self._failed_token is not None
+
+    # ------------------------------------------------------------------
+    # Refresh machinery
+    # ------------------------------------------------------------------
+    def refresh(self) -> DensityEstimate:
+        """Force a full re-estimate (bypassing the policy) and return it.
+
+        A degraded result is adopted as-is (the caller asked).  If the
+        estimator *raises* and a previous estimate exists, the service
+        falls through to it; with nothing to fall through to, the error
+        propagates.
+        """
+        estimate = self._attempt_refresh(force_adopt=True)
+        if estimate is None:
+            assert self._current is not None  # fallthrough implies a previous
+            return self._current
+        return estimate
+
+    def _attempt_refresh(self, force_adopt: bool = False) -> Optional[DensityEstimate]:
+        """Run the estimator once; adopt the result unless it is a failed
+        refresh (exception, or coverage below the SLO's floor) and a
+        previous estimate exists to fall through to."""
+        token = self.network.version_token
+        before = self.network.stats.messages
+        try:
+            estimate: Optional[DensityEstimate] = self.estimator.estimate(
+                self.network, rng=self._rng
+            )
+        except (NetworkError, RoutingError):
+            if force_adopt and self._current is None:
+                raise  # a forced bootstrap has nothing to fall through to
+            estimate = None
+        self.stats.refresh_messages += self.network.stats.messages - before
+        low_coverage = (
+            estimate is not None
+            and estimate.degraded
+            and estimate.coverage < self.slo.min_coverage
+        )
+        if estimate is None or (low_coverage and not force_adopt):
+            if self._current is not None:
+                # Degraded fallthrough: keep the previous estimate and
+                # remember the token so this batch's failure is not
+                # retried until the network moves again.
+                self.stats.failed_refreshes += 1
+                self._failed_token = token
+                return None
+            if estimate is None:
+                raise NetworkError("estimation failed with no previous estimate to serve")
+        assert estimate is not None  # every None path returned or raised above
+        self._adopt(estimate, token)
+        return estimate
+
+    def _adopt(self, estimate: DensityEstimate, token: tuple[int, int]) -> None:
+        self._current = estimate
+        self._epoch += 1
+        self._epoch_key = (token[0], token[1], self._epoch)
+        self._base_token = token
+        self._failed_token = None
+        self.policy.observe_refresh()
+        self.stats.refreshes += 1
+
+    def _bumps_since_base(self, token: tuple[int, int]) -> int:
+        assert self._base_token is not None
+        return (token[0] - self._base_token[0]) + (token[1] - self._base_token[1])
+
+    def _prepare(self) -> DensityEstimate:
+        """Pre-batch maintenance: consult the policy, check, refresh.
+
+        Returns the estimate the batch must be answered from.  This is
+        the amortization point: the common case (unchanged version token,
+        or predicted staleness within the SLO) costs two integer compares
+        and zero messages.
+        """
+        self.stats.batches += 1
+        if self._current is None:
+            self.stats.bootstraps += 1
+            self._attempt_refresh(force_adopt=True)
+            self.last_decision = RefreshDecision("bootstrapped", float("inf"), 0)
+            assert self._current is not None
+            return self._current
+        token = self.network.version_token
+        if token == self._failed_token:
+            # Known-bad network state: serve the fallthrough estimate.
+            self.stats.served_while_failed += 1
+            return self._current
+        decision = self.policy.decide(self._bumps_since_base(token))
+        self.last_decision = decision
+        if decision.action == "served_fresh":
+            self.stats.served_fresh += 1
+            return self._current
+        if decision.action == "served_stale":
+            self.stats.served_stale += 1
+            return self._current
+        # Escalate: measure drift before paying for a full refresh.
+        self.stats.drift_checks += 1
+        before = self.network.stats.messages
+        try:
+            score = drift_score_between(
+                self.network,
+                self._current.cdf,
+                self.slo.check_probes,
+                self.synopsis_buckets,
+                rng=self._rng,
+            )
+        except (NetworkError, RoutingError, ValueError):
+            # The check itself failed (empty/unroutable/empty-evidence
+            # network): treat as a demanded refresh and let the refresh
+            # path handle fallthrough.
+            score = float("inf")
+        self.stats.check_messages += self.network.stats.messages - before
+        if self.policy.observe_check(decision.bumps, score):
+            self._attempt_refresh()
+        else:
+            self.stats.checks_kept += 1
+            self._base_token = token
+        assert self._current is not None
+        return self._current
+
+    # ------------------------------------------------------------------
+    # Batched query API
+    # ------------------------------------------------------------------
+    def cdf_batch(self, x: NDArray[np.float64]) -> NDArray[np.float64]:
+        """``F̂`` at every point of ``x`` (read-only result array).
+
+        Element ``i`` equals ``estimate.cdf_at(float(x[i]))`` for the
+        served estimate, bit for bit.
+        """
+        x_arr = np.atleast_1d(np.asarray(x, dtype=float))
+        estimate = self._prepare()
+        self.stats.queries += x_arr.size
+        key = self._cache.key("cdf", self._epoch_key, x_arr)
+        cached = self._cache.lookup(key)
+        if cached is None:
+            cached = self._cache.store(
+                key, np.asarray(estimate.cdf(x_arr), dtype=float)
+            )
+        return cached
+
+    def quantile_batch(self, q: NDArray[np.float64]) -> NDArray[np.float64]:
+        """Estimated quantiles at every level of ``q ∈ [0, 1]``."""
+        q_arr = np.atleast_1d(np.asarray(q, dtype=float))
+        if np.any((q_arr < 0) | (q_arr > 1)):
+            raise ValueError("quantile levels must lie in [0, 1]")
+        estimate = self._prepare()
+        self.stats.queries += q_arr.size
+        key = self._cache.key("quantile", self._epoch_key, q_arr)
+        cached = self._cache.lookup(key)
+        if cached is None:
+            cached = self._cache.store(
+                key, np.asarray(estimate.cdf.inverse(q_arr), dtype=float)
+            )
+        return cached
+
+    def selectivity_batch(
+        self, lows: NDArray[np.float64], highs: NDArray[np.float64]
+    ) -> NDArray[np.float64]:
+        """Estimated mass of every ``[low, high)`` pair.
+
+        Element ``i`` equals ``estimate.selectivity(lows[i], highs[i])``.
+        """
+        lows_arr = np.atleast_1d(np.asarray(lows, dtype=float))
+        highs_arr = np.atleast_1d(np.asarray(highs, dtype=float))
+        if lows_arr.shape != highs_arr.shape:
+            raise ValueError("lows and highs must have identical shapes")
+        if np.any(lows_arr > highs_arr):
+            raise ValueError("every selectivity interval needs low <= high")
+        estimate = self._prepare()
+        self.stats.queries += lows_arr.size
+        key = self._cache.key("selectivity", self._epoch_key, lows_arr, highs_arr)
+        cached = self._cache.lookup(key)
+        if cached is None:
+            cdf = estimate.cdf
+            masses = np.asarray(cdf(highs_arr), dtype=float) - np.asarray(
+                cdf(lows_arr), dtype=float
+            )
+            cached = self._cache.store(key, masses)
+        return cached
+
+    def sample_batch(self, n: int, seed: int = 0) -> NDArray[np.float64]:
+        """``n`` inversion-method variates from the served estimate.
+
+        ``seed`` names the draw: the same ``(estimate epoch, n, seed)``
+        triple always yields the same variates (and hits the cache), and
+        equals ``estimate.sample(n, rng=np.random.default_rng(seed))``
+        bit for bit.
+        """
+        if n < 0:
+            raise ValueError(f"sample size must be >= 0, got {n}")
+        estimate = self._prepare()
+        self.stats.queries += n
+        key = self._cache.key("sample", self._epoch_key, n, seed)
+        cached = self._cache.lookup(key)
+        if cached is None:
+            cached = self._cache.store(
+                key, estimate.cdf.sample(n, np.random.default_rng(seed))
+            )
+        return cached

@@ -71,3 +71,78 @@ class TestSamplingService:
         _, service = service_world
         with pytest.raises(ValueError):
             service.sample(-1)
+
+
+class TestVersionInvalidation:
+    """Regression: cached model/index must not survive network mutation.
+
+    Before version-keyed invalidation, a service built once kept serving
+    its ``_estimate``/``_index`` forever — model draws reflected departed
+    data and exact draws routed ranks through a prefix index whose counts
+    no longer added up.
+    """
+
+    def _churned_world(self):
+        from repro.ring.churn import ChurnConfig, ChurnProcess
+
+        network, _ = make_loaded_network(n_peers=48, n_items=4_000, seed=11)
+        service = SamplingService(
+            network,
+            estimator=DistributionFreeEstimator(probes=48),
+            rng=np.random.default_rng(7),
+        )
+        churn = ChurnProcess(
+            network,
+            ChurnConfig(join_rate=0.1, leave_rate=0.1),
+            rng=np.random.default_rng(13),
+        )
+        return network, service, churn
+
+    def test_model_rebuilt_after_churn_round(self):
+        network, service, churn = self._churned_world()
+        service.sample(10, mode="model")
+        stale_estimate = service.estimate
+        churn.run_round()
+        before = network.stats.messages
+        service.sample(10, mode="model")
+        assert service.estimate is not stale_estimate  # re-estimated
+        assert network.stats.messages > before
+        assert service._estimate_token == network.version_token
+
+    def test_index_rebuilt_after_churn_round(self):
+        network, service, churn = self._churned_world()
+        service.sample(10, mode="exact")
+        stale_index = service.index
+        churn.run_round()
+        service.sample(10, mode="exact")
+        assert service.index is not stale_index
+        assert service._index_token == network.version_token
+
+    def test_data_mutation_also_invalidates(self):
+        network, service, _ = self._churned_world()
+        service.sample(10, mode="model")
+        stale_estimate = service.estimate
+        # A single insert moves the data version: the model must rebuild.
+        owner = network.owners_of_values(np.asarray([0.5]))[0]
+        owner.store.insert(0.5)
+        service.sample(10, mode="model")
+        assert service.estimate is not stale_estimate
+
+    def test_unchanged_network_keeps_cache(self):
+        network, service, _ = self._churned_world()
+        service.sample(10, mode="model")
+        estimate = service.estimate
+        before = network.stats.messages
+        service.sample(10, mode="model")
+        assert service.estimate is estimate  # no rebuild, no messages
+        assert network.stats.messages == before
+
+    def test_exact_mode_correct_across_churn(self):
+        # The end-to-end symptom the invalidation fixes: exact draws after
+        # a churn round must still be items the network actually stores.
+        network, service, churn = self._churned_world()
+        service.sample(10, mode="exact")
+        churn.run_round()
+        draws = service.sample(200, mode="exact")
+        live = set(network.all_values().tolist())
+        assert all(v in live for v in draws.tolist())

@@ -128,3 +128,58 @@ class TestMain:
         assert (
             bench_cli.main(["F6", "--scale", "0.25", "--baseline", str(baseline)]) == 0
         )
+
+
+FAKE_METRICS = {
+    "speedup": 12.0,
+    "p50_ms": 0.05,
+    "p99_ms": 1.0,
+    "hit_rate": 0.5,
+    "slo_met": 1.0,
+}
+
+
+class TestServingBench:
+    """The non-registry serving bench rides the same CLI and trajectory."""
+
+    def test_s1_is_a_known_id(self):
+        # S1 is CLI-only: wall-clock metrics cannot satisfy the registry's
+        # bit-identity contract, so it must never appear in EXPERIMENTS.
+        assert "S1" in bench_cli.SERVING_BENCHES
+        assert "S1" not in bench_cli.EXPERIMENTS
+
+    def test_time_serving_bench_records_metrics(self, monkeypatch):
+        calls = []
+
+        def fake_bench(scale, seed):
+            calls.append((scale, seed))
+            return dict(FAKE_METRICS)
+
+        monkeypatch.setitem(bench_cli.SERVING_BENCHES, "S1", fake_bench)
+        result = bench_cli.time_serving_bench("S1", 0.5, 3, repetitions=2)
+        # One warmup plus the timed repetitions, all at (scale, seed).
+        assert calls == [(0.5, 3)] * 3
+        assert len(result["runs_s"]) == 2
+        assert result["metrics"] == FAKE_METRICS
+
+    def test_main_writes_s1_metrics_into_trajectory(self, tmp_path, monkeypatch):
+        monkeypatch.setitem(
+            bench_cli.SERVING_BENCHES, "S1", lambda scale, seed: dict(FAKE_METRICS)
+        )
+        out = tmp_path / "BENCH.json"
+        assert bench_cli.main(["S1", "--json", str(out), "--repetitions", "1"]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["benches"]["S1"]["metrics"] == FAKE_METRICS
+        assert "median_s" in payload["benches"]["S1"]
+
+    def test_s1_regression_checked_like_any_bench(self, tmp_path, monkeypatch):
+        monkeypatch.setitem(
+            bench_cli.SERVING_BENCHES, "S1", lambda scale, seed: dict(FAKE_METRICS)
+        )
+        baseline = tmp_path / "BASE.json"
+        baseline.write_text(
+            json.dumps({"scale": 1.0, "benches": {"S1": {"median_s": 1e-9}}})
+        )
+        assert bench_cli.main(
+            ["S1", "--repetitions", "1", "--baseline", str(baseline)]
+        ) == 1

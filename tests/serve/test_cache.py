@@ -1,0 +1,111 @@
+"""Tests for the version-keyed result cache."""
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import VersionKeyedCache
+
+
+@pytest.fixture()
+def cache() -> VersionKeyedCache:
+    return VersionKeyedCache(max_entries=4)
+
+
+EPOCH = (3, 7, 1)
+
+
+class TestKeying:
+    def test_same_batch_same_key(self, cache):
+        x = np.linspace(0.0, 1.0, 16)
+        assert cache.key("cdf", EPOCH, x) == cache.key("cdf", EPOCH, x.copy())
+
+    def test_different_content_different_key(self, cache):
+        x = np.linspace(0.0, 1.0, 16)
+        y = x.copy()
+        y[3] += 1e-12
+        assert cache.key("cdf", EPOCH, x) != cache.key("cdf", EPOCH, y)
+
+    def test_kind_separates_keys(self, cache):
+        x = np.linspace(0.0, 1.0, 16)
+        assert cache.key("cdf", EPOCH, x) != cache.key("quantile", EPOCH, x)
+
+    def test_topology_bump_changes_key(self, cache):
+        x = np.linspace(0.0, 1.0, 8)
+        bumped = (EPOCH[0] + 1, EPOCH[1], EPOCH[2])
+        assert cache.key("cdf", EPOCH, x) != cache.key("cdf", bumped, x)
+
+    def test_data_bump_changes_key(self, cache):
+        x = np.linspace(0.0, 1.0, 8)
+        bumped = (EPOCH[0], EPOCH[1] + 1, EPOCH[2])
+        assert cache.key("cdf", EPOCH, x) != cache.key("cdf", bumped, x)
+
+    def test_epoch_bump_changes_key(self, cache):
+        # Same network token, new estimate epoch (a forced refresh):
+        # results computed from the old estimate must not be served.
+        x = np.linspace(0.0, 1.0, 8)
+        bumped = (EPOCH[0], EPOCH[1], EPOCH[2] + 1)
+        assert cache.key("cdf", EPOCH, x) != cache.key("cdf", bumped, x)
+
+    def test_scalar_parts_key(self, cache):
+        assert cache.key("sample", EPOCH, 100, 7) == cache.key("sample", EPOCH, 100, 7)
+        assert cache.key("sample", EPOCH, 100, 7) != cache.key("sample", EPOCH, 100, 8)
+
+
+class TestLookupStore:
+    def test_miss_then_hit(self, cache):
+        x = np.linspace(0.0, 1.0, 8)
+        key = cache.key("cdf", EPOCH, x)
+        assert cache.lookup(key) is None
+        stored = cache.store(key, x * 2.0)
+        hit = cache.lookup(key)
+        assert hit is stored
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_stored_arrays_are_read_only(self, cache):
+        key = cache.key("cdf", EPOCH, np.zeros(4))
+        stored = cache.store(key, np.ones(4))
+        with pytest.raises(ValueError):
+            stored[0] = 9.0
+
+    def test_clear_empties(self, cache):
+        key = cache.key("cdf", EPOCH, np.zeros(4))
+        cache.store(key, np.ones(4))
+        cache.clear()
+        assert cache.lookup(key) is None
+
+
+class TestEviction:
+    def test_oldest_entry_evicted_first(self):
+        cache = VersionKeyedCache(max_entries=2)
+        keys = [cache.key("cdf", EPOCH, np.full(4, float(i))) for i in range(3)]
+        for i, key in enumerate(keys):
+            cache.store(key, np.full(4, float(i)))
+        assert cache.lookup(keys[0]) is None  # evicted
+        assert cache.lookup(keys[1]) is not None
+        assert cache.lookup(keys[2]) is not None
+        assert cache.stats.evictions == 1
+
+    def test_hit_refreshes_lru_position(self):
+        cache = VersionKeyedCache(max_entries=2)
+        keys = [cache.key("cdf", EPOCH, np.full(4, float(i))) for i in range(3)]
+        cache.store(keys[0], np.zeros(4))
+        cache.store(keys[1], np.zeros(4))
+        cache.lookup(keys[0])          # key 0 becomes most-recent
+        cache.store(keys[2], np.zeros(4))
+        assert cache.lookup(keys[0]) is not None
+        assert cache.lookup(keys[1]) is None  # evicted instead
+
+    def test_eviction_order_is_deterministic(self):
+        # The same store/lookup sequence leaves the identical key set —
+        # eviction is a pure function of the access sequence.
+        def run() -> list:
+            cache = VersionKeyedCache(max_entries=3)
+            keys = [cache.key("cdf", EPOCH, np.full(2, float(i))) for i in range(6)]
+            for i, key in enumerate(keys):
+                cache.store(key, np.full(2, float(i)))
+                cache.lookup(keys[i // 2])
+            return list(cache.keys())
+
+        assert run() == run()

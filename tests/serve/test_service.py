@@ -1,0 +1,336 @@
+"""Tests for the estimation service: bit-identity, caching, SLO refresh."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import DistributionFreeEstimator
+from repro.ring.churn import ChurnConfig, ChurnProcess
+from repro.ring.network import NetworkError
+from repro.serve.policy import StalenessSLO
+from repro.serve.service import EstimationService
+
+from tests.conftest import make_loaded_network
+
+
+def make_service(n_peers=64, n_items=4_000, probes=48, seed=42, **kwargs):
+    network, dataset = make_loaded_network(
+        n_peers=n_peers, n_items=n_items, seed=seed
+    )
+    service = EstimationService(
+        network,
+        estimator=DistributionFreeEstimator(probes=probes),
+        rng=np.random.default_rng(3),
+        **kwargs,
+    )
+    return network, dataset, service
+
+
+def bump_data_version(network, values):
+    """Mutate stored data (bumps the data version) via batch owner lookup."""
+    arr = np.asarray(values, dtype=float)
+    owners = network.owners_of_values(arr)
+    for value, owner in zip(arr.tolist(), owners):
+        owner.store.insert(value)
+
+
+def heavy_drift_values(network):
+    """A drift burst a 16-probe check reliably detects: half the data
+    volume again, concentrated in the domain's bottom fifth (spread over
+    many peers — a point mass could hide from sparse probing)."""
+    low, high = network.domain
+    return np.linspace(low, low + 0.2 * (high - low), 4_000)
+
+
+class TestBatchedScalarBitIdentity:
+    """Every batched answer equals the per-query scalar answer, bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def world(self):
+        network, _, service = make_service()
+        xs = np.random.default_rng(5).uniform(*network.domain, size=257)
+        return network, service, xs
+
+    def test_cdf_batch(self, world):
+        _, service, xs = world
+        batched = service.cdf_batch(xs)
+        estimate = service.current
+        scalar = np.asarray([float(estimate.cdf_at(float(x))) for x in xs])
+        assert np.array_equal(batched, scalar)
+
+    def test_quantile_batch(self, world):
+        _, service, _ = world
+        qs = np.linspace(0.0, 1.0, 101)
+        batched = service.quantile_batch(qs)
+        estimate = service.current
+        scalar = np.asarray([float(estimate.quantile(float(q))) for q in qs])
+        assert np.array_equal(batched, scalar)
+
+    def test_selectivity_batch(self, world):
+        network, service, xs = world
+        lows = np.minimum(xs[:-1], xs[1:])
+        highs = np.maximum(xs[:-1], xs[1:])
+        batched = service.selectivity_batch(lows, highs)
+        estimate = service.current
+        scalar = np.asarray(
+            [
+                float(estimate.selectivity(float(a), float(b)))
+                for a, b in zip(lows, highs)
+            ]
+        )
+        assert np.array_equal(batched, scalar)
+
+    def test_sample_batch(self, world):
+        _, service, _ = world
+        batched = service.sample_batch(500, seed=9)
+        estimate = service.current
+        scalar = estimate.cdf.sample(500, np.random.default_rng(9))
+        assert np.array_equal(batched, scalar)
+
+
+class TestCaching:
+    def test_repeat_batch_hits_cache(self):
+        _, _, service = make_service()
+        xs = np.linspace(0.2, 0.8, 64)
+        first = service.cdf_batch(xs)
+        before = service.cache_stats.hits
+        second = service.cdf_batch(xs.copy())  # same content, new object
+        assert second is first  # the cached frozen array, by reference
+        assert service.cache_stats.hits == before + 1
+
+    def test_results_are_read_only(self):
+        _, _, service = make_service()
+        out = service.cdf_batch(np.linspace(0.2, 0.8, 8))
+        with pytest.raises(ValueError):
+            out[0] = 2.0
+
+    def test_same_seed_sample_hits_cache(self):
+        _, _, service = make_service()
+        a = service.sample_batch(100, seed=4)
+        b = service.sample_batch(100, seed=4)
+        assert b is a
+        assert service.sample_batch(100, seed=5) is not a
+
+    def test_fresh_serving_costs_zero_messages(self):
+        network, _, service = make_service()
+        service.cdf_batch(np.linspace(0.2, 0.8, 16))  # bootstrap
+        before = network.stats.messages
+        service.cdf_batch(np.linspace(0.1, 0.9, 16))
+        service.quantile_batch(np.linspace(0.0, 1.0, 16))
+        assert network.stats.messages == before
+        assert service.stats.served_fresh == 2
+
+    def test_kept_check_preserves_cache_entries(self):
+        # A data bump whose drift check *keeps* the estimate leaves the
+        # epoch key (and so every cached result) intact: stale-but-within-
+        # SLO serving still benefits from the cache.
+        network, dataset, service = make_service(
+            slo=StalenessSLO(max_error=0.3, check_probes=32)
+        )
+        xs = np.linspace(0.2, 0.8, 32)
+        first = service.cdf_batch(xs)
+        epoch_before = service.epoch_key
+        bump_data_version(network, dataset.values[:5])
+        second = service.cdf_batch(xs)
+        assert service.stats.checks_kept == 1
+        assert service.epoch_key == epoch_before
+        assert second is first
+
+    def test_forced_refresh_invalidates_cached_results(self):
+        _, _, service = make_service()
+        xs = np.linspace(0.2, 0.8, 32)
+        first = service.cdf_batch(xs)
+        epoch_before = service.epoch_key
+        service.refresh()
+        assert service.epoch_key != epoch_before
+        second = service.cdf_batch(xs)
+        assert second is not first  # old entry unreachable under new epoch
+
+
+class TestRefreshPolicyIntegration:
+    def test_bootstrap_on_first_query(self):
+        _, _, service = make_service()
+        assert service.current is None
+        service.cdf_batch(np.asarray([0.5]))
+        assert service.current is not None
+        assert service.stats.bootstraps == 1
+        assert service.last_decision.action == "bootstrapped"
+
+    def test_first_staleness_always_checked(self):
+        network, dataset, service = make_service(slo=StalenessSLO(max_error=0.2))
+        service.cdf_batch(np.asarray([0.5]))
+        bump_data_version(network, dataset.values[:3])
+        before = network.stats.messages
+        service.cdf_batch(np.asarray([0.5]))
+        # Unknown drift rate: the service paid for a drift check.
+        assert service.stats.drift_checks == 1
+        assert network.stats.messages > before
+
+    def test_small_drift_is_kept_then_served_stale(self):
+        network, dataset, service = make_service(
+            slo=StalenessSLO(max_error=0.3, check_probes=32)
+        )
+        service.cdf_batch(np.asarray([0.5]))
+        bump_data_version(network, dataset.values[:3])
+        service.cdf_batch(np.asarray([0.5]))  # drift check, kept
+        assert service.stats.checks_kept == 1
+        assert service.stats.refreshes == 1  # the bootstrap only
+        # More tiny movement: the learned rate now predicts within-SLO
+        # staleness and the service serves stale with zero messages.
+        bump_data_version(network, dataset.values[3:6])
+        before = network.stats.messages
+        service.cdf_batch(np.asarray([0.5]))
+        assert service.stats.served_stale == 1
+        assert network.stats.messages == before
+
+    def test_heavy_churn_triggers_refresh(self):
+        network, _, service = make_service(
+            n_peers=96, slo=StalenessSLO(max_error=0.05)
+        )
+        truth_query = np.asarray([0.3, 0.5, 0.7])
+        service.cdf_batch(truth_query)
+        # Drastic drift: pile a far-off-distribution block onto the ring.
+        bump_data_version(network, heavy_drift_values(network))
+        ChurnProcess(
+            network,
+            ChurnConfig(join_rate=0.05, leave_rate=0.05),
+            rng=np.random.default_rng(11),
+        ).run_round()
+        service.cdf_batch(truth_query)
+        assert service.stats.drift_checks == 1
+        assert service.stats.refreshes == 2  # bootstrap + demanded refresh
+        assert service.epoch_key[:2] == service.network.version_token
+
+    def test_maintenance_messages_accounted(self):
+        network, dataset, service = make_service()
+        service.cdf_batch(np.asarray([0.5]))
+        assert service.stats.refresh_messages > 0
+        bump_data_version(network, dataset.values[:3])
+        service.cdf_batch(np.asarray([0.5]))
+        assert service.stats.check_messages > 0
+        assert (
+            service.stats.maintenance_messages
+            == service.stats.refresh_messages + service.stats.check_messages
+        )
+
+
+class FailingEstimator:
+    """Succeeds ``successes`` times, then raises ``NetworkError``."""
+
+    def __init__(self, inner, successes=1):
+        self.inner = inner
+        self.remaining = successes
+
+    def estimate(self, network, rng=None):
+        if self.remaining <= 0:
+            raise NetworkError("injected estimator failure")
+        self.remaining -= 1
+        return self.inner.estimate(network, rng=rng)
+
+
+class LowCoverageEstimator:
+    """Returns real estimates downgraded to hopeless probe coverage."""
+
+    def __init__(self, inner, coverage=0.1):
+        self.inner = inner
+        self.coverage = coverage
+
+    def estimate(self, network, rng=None):
+        from repro.core.estimate import DegradedEstimate
+
+        est = self.inner.estimate(network, rng=rng)
+        return DegradedEstimate(
+            cdf=est.cdf,
+            domain=est.domain,
+            n_items=est.n_items,
+            n_peers=est.n_peers,
+            probes=est.probes,
+            cost=est.cost,
+            method=est.method,
+            coverage=self.coverage,
+            probes_requested=est.probes,
+        )
+
+
+class TestDegradedFallthrough:
+    def test_failed_refresh_keeps_previous_estimate(self):
+        network, dataset, service = make_service()
+        service.estimator = FailingEstimator(service.estimator, successes=1)
+        first = service.cdf_batch(np.asarray([0.5]))
+        previous = service.current
+        bump_data_version(network, heavy_drift_values(network))
+        out = service.cdf_batch(np.asarray([0.5]))
+        # The demanded refresh failed: the service fell through.
+        assert service.stats.failed_refreshes == 1
+        assert service.current is previous
+        assert service.degraded
+        assert np.array_equal(out, first)
+
+    def test_failed_token_suppresses_retry_until_network_moves(self):
+        network, dataset, service = make_service()
+        service.estimator = FailingEstimator(service.estimator, successes=1)
+        service.cdf_batch(np.asarray([0.5]))
+        bump_data_version(network, heavy_drift_values(network))
+        service.cdf_batch(np.asarray([0.5]))  # fails, records the token
+        before = network.stats.messages
+        service.cdf_batch(np.asarray([0.5]))
+        service.cdf_batch(np.asarray([0.6]))
+        # Known-bad token: served without re-probing.
+        assert service.stats.served_while_failed == 2
+        assert network.stats.messages == before
+        # The network moves again: the service re-attempts (and re-fails,
+        # spending messages on the new drift check).
+        bump_data_version(network, dataset.values[:3])
+        service.cdf_batch(np.asarray([0.5]))
+        assert service.stats.failed_refreshes == 2
+
+    def test_bootstrap_failure_propagates(self):
+        _, _, service = make_service()
+        service.estimator = FailingEstimator(service.estimator, successes=0)
+        with pytest.raises(NetworkError):
+            service.cdf_batch(np.asarray([0.5]))
+
+    def test_low_coverage_refresh_falls_through(self):
+        network, dataset, service = make_service(
+            slo=StalenessSLO(max_error=0.05, min_coverage=0.5)
+        )
+        service.cdf_batch(np.asarray([0.5]))
+        previous = service.current
+        service.estimator = LowCoverageEstimator(
+            DistributionFreeEstimator(probes=48), coverage=0.1
+        )
+        bump_data_version(network, heavy_drift_values(network))
+        service.cdf_batch(np.asarray([0.5]))
+        assert service.stats.failed_refreshes == 1
+        assert service.current is previous
+
+    def test_forced_refresh_adopts_low_coverage_result(self):
+        _, _, service = make_service()
+        service.cdf_batch(np.asarray([0.5]))
+        service.estimator = LowCoverageEstimator(
+            DistributionFreeEstimator(probes=48), coverage=0.1
+        )
+        adopted = service.refresh()
+        assert adopted.degraded
+        assert service.current is adopted
+
+
+class TestValidation:
+    def test_quantile_levels_validated(self):
+        _, _, service = make_service()
+        with pytest.raises(ValueError, match="quantile"):
+            service.quantile_batch(np.asarray([0.5, 1.2]))
+
+    def test_selectivity_shapes_validated(self):
+        _, _, service = make_service()
+        with pytest.raises(ValueError, match="identical shapes"):
+            service.selectivity_batch(np.zeros(3), np.zeros(4))
+
+    def test_selectivity_order_validated(self):
+        _, _, service = make_service()
+        with pytest.raises(ValueError, match="low <= high"):
+            service.selectivity_batch(np.asarray([0.8]), np.asarray([0.2]))
+
+    def test_negative_sample_size_rejected(self):
+        _, _, service = make_service()
+        with pytest.raises(ValueError, match="sample size"):
+            service.sample_batch(-1)

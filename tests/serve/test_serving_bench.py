@@ -1,0 +1,79 @@
+"""Smoke test of the S1 serving benchmark at a small scale.
+
+Wall-clock numbers (QPS, latency) vary by machine and are only checked
+for plausibility; the *logical* outcomes — query/batch counts, refresh
+and check activity, cache effectiveness, and SLO compliance — are a pure
+function of ``(seed, scale)`` and are asserted exactly where possible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve.bench import SERVING_BENCH_ID, run_serving_bench
+
+
+@pytest.fixture(scope="module")
+def metrics():
+    return run_serving_bench(scale=0.05, seed=0)
+
+
+class TestServingBenchSmoke:
+    def test_bench_id(self):
+        assert SERVING_BENCH_ID == "S1"
+
+    def test_reports_all_acceptance_metrics(self, metrics):
+        for key in (
+            "qps_served",
+            "qps_scalar",
+            "speedup",
+            "p50_ms",
+            "p99_ms",
+            "hit_rate",
+            "max_abs_error",
+            "slo_max_error",
+            "slo_met",
+        ):
+            assert key in metrics
+
+    def test_slo_holds_under_churn(self, metrics):
+        # The adaptive refresh policy's whole job: served accuracy stays
+        # within the configured SLO through the churn + drift phase.
+        assert metrics["max_abs_error"] <= metrics["slo_max_error"]
+        assert metrics["slo_met"] == 1.0
+
+    def test_batched_path_is_faster(self, metrics):
+        # The acceptance bar is 5x at scale=1.0 (asserted by
+        # benchmarks/bench_s1_serving.py); even at toy scale the batched
+        # cached path must clearly beat the scalar loop.
+        assert metrics["speedup"] > 2.0
+
+    def test_cache_sees_reuse(self, metrics):
+        assert 0.0 < metrics["hit_rate"] < 1.0
+
+    def test_maintenance_happened_and_was_bounded(self, metrics):
+        assert metrics["refreshes"] >= 1.0
+        assert metrics["drift_checks"] >= 1.0
+        # The policy must not refresh per batch — that is the naive
+        # always-refresh extreme the SLO policy exists to avoid.
+        assert metrics["refreshes"] < metrics["batches"] / 4.0
+
+    def test_logical_content_is_deterministic(self, metrics):
+        again = run_serving_bench(scale=0.05, seed=0)
+        for key in (
+            "n_peers",
+            "n_items",
+            "batches",
+            "queries",
+            "hit_rate",
+            "refreshes",
+            "drift_checks",
+            "served_fresh",
+            "served_stale",
+            "maintenance_messages",
+            "max_abs_error",
+            "checksum",
+        ):
+            assert again[key] == metrics[key], key
+
+    def test_checksum_finite(self, metrics):
+        assert np.isfinite(metrics["checksum"])

@@ -2,9 +2,11 @@
 
 import warnings
 
+import numpy as np
 import pytest
 
-from benchmarks._harness import _bench_workers
+from benchmarks._harness import _bench_workers, p50, p99, summarize_latencies
+from repro.serve.metrics import percentile_nearest_rank
 
 
 class TestBenchWorkers:
@@ -32,3 +34,53 @@ class TestBenchWorkers:
         monkeypatch.setenv("REPRO_BENCH_WORKERS", "-3")
         with pytest.warns(RuntimeWarning, match="must be >= 1"):
             assert _bench_workers() == 1
+
+
+class TestPercentiles:
+    """The deterministic nearest-rank percentile helpers."""
+
+    def test_result_is_always_a_sample(self):
+        values = np.random.default_rng(0).uniform(size=101)
+        for pct in (1.0, 50.0, 99.0, 100.0):
+            assert percentile_nearest_rank(values, pct) in values
+
+    def test_p50_even_batch_is_lower_median(self):
+        assert p50([4.0, 1.0, 3.0, 2.0]) == 2.0
+
+    def test_p50_odd_batch_is_median(self):
+        assert p50([5.0, 1.0, 3.0]) == 3.0
+
+    def test_p99_small_batch_is_max(self):
+        # ceil(0.99 * 10) = 10 -> the maximum for batches under 100.
+        values = list(range(10))
+        assert p99([float(v) for v in values]) == 9.0
+
+    def test_p99_large_batch(self):
+        values = np.arange(1000, dtype=float)
+        # ceil(0.99 * 1000) = 990 -> the 990th order statistic (1-indexed).
+        assert p99(values) == 989.0
+
+    def test_ties_are_stable(self):
+        assert p50([1.0, 2.0, 2.0, 2.0, 3.0]) == 2.0
+
+    def test_order_invariance(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(size=257)
+        shuffled = values.copy()
+        rng.shuffle(shuffled)
+        assert p50(values) == p50(shuffled)
+        assert p99(values) == p99(shuffled)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="percentile"):
+            percentile_nearest_rank([1.0], 0.0)
+        with pytest.raises(ValueError, match="percentile"):
+            percentile_nearest_rank([1.0], 101.0)
+        with pytest.raises(ValueError, match="non-empty"):
+            percentile_nearest_rank([], 50.0)
+        with pytest.raises(ValueError, match="non-empty"):
+            percentile_nearest_rank(np.zeros((2, 2)), 50.0)
+
+    def test_summarize_latencies_converts_to_ms(self):
+        summary = summarize_latencies([0.001, 0.002, 0.003])
+        assert summary == {"p50_ms": 2.0, "p99_ms": 3.0}
