@@ -1,0 +1,66 @@
+"""E1 — the scale benchmark's acceptance assertions (memory smoke).
+
+Plain pytest (no pytest-benchmark dependency in the assertions): the CI
+memory-footprint job runs this file directly to enforce the compact
+backend's contract —
+
+* bytes/peer within the CI budget at N=10^5 (the smoke scale), and
+* a full million-peer ring constructs and completes a routing round plus
+  a gossip campaign with the process's peak RSS under the CI budget.
+
+``resource.getrusage`` is a coarse, monotone high-water mark, so the
+budget is deliberately generous (the measured peak is ~0.5 GB; the budget
+is 3 GB) — the assertion exists to catch an accidental return to O(n x
+bits) intermediates, not to measure precisely.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+
+import numpy as np
+
+from repro.ring.compact import CompactRing
+
+#: Per-peer budget for the persistent columns (measured: ~224 B/peer at
+#: N=10^6, ~230 at N=10^5; the scan width grows with log2 n).
+BYTES_PER_PEER_BUDGET = 512.0
+
+#: Peak-RSS ceiling for the million-peer run, in bytes.
+PEAK_RSS_BUDGET = 3 * 1024**3
+
+MILLION = 1_000_000
+
+
+def _peak_rss_bytes() -> int:
+    """The process's lifetime peak RSS (ru_maxrss is KiB on Linux)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+def test_e1_bytes_per_peer_budget_at_1e5():
+    ring = CompactRing.build(100_000, seed=0)
+    report = ring.memory_report()
+    assert report["bytes_per_peer"] <= BYTES_PER_PEER_BUDGET, report
+
+
+def test_e1_million_peer_ring_under_memory_budget():
+    ring = CompactRing.build(MILLION, seed=0)
+    report = ring.memory_report()
+    assert ring.n_peers == MILLION
+    assert report["bytes_per_peer"] <= BYTES_PER_PEER_BUDGET, report
+
+    rng = np.random.default_rng(1)
+    ring.load_counts(rng.random(MILLION))
+    routing = ring.routing_round(lookups=131_072, rng=rng)
+    assert routing["lookups"] == 131_072.0
+    # ~log2(1e6)/2 = 10 expected hops on a stabilized Chord ring.
+    assert 5.0 <= routing["mean_hops"] <= 20.0
+    gossip = ring.gossip_round(rng=rng)
+    assert gossip["pushes"] == float(MILLION)
+
+    assert _peak_rss_bytes() <= PEAK_RSS_BUDGET, (
+        f"peak RSS {_peak_rss_bytes() / 1024**2:.0f} MB exceeds the "
+        f"{PEAK_RSS_BUDGET / 1024**2:.0f} MB budget"
+    )

@@ -1,0 +1,26 @@
+"""F19 — lookup latency and hot-peer congestion under concurrent load."""
+
+from benchmarks._harness import regenerate
+
+
+def test_f19_congestion(benchmark):
+    table = regenerate(benchmark, "F19", scale=0.25)
+    # Pure delays do not queue: with zero service time the deepest queue
+    # is zero at every concurrency.
+    free = [r for r in table.rows if r["service_time"] == 0.0]
+    assert free and all(r["max_queue_depth"] == 0 for r in free)
+    # With a service time, queueing grows with offered concurrency while
+    # path length stays flat — congestion, not hops, is what degrades.
+    queued = sorted(
+        (r for r in table.rows if r["service_time"] > 0.0),
+        key=lambda r: r["concurrency"],
+    )
+    depths = [r["max_queue_depth"] for r in queued]
+    assert depths == sorted(depths) and depths[-1] > depths[0]
+    assert queued[-1]["p99_latency"] > free[-1]["p99_latency"]
+    hops = [r["mean_hops"] for r in table.rows]
+    assert max(hops) - min(hops) < 2.0
+    # Latency percentiles are ordered and scale with the hop latency.
+    for row in table.rows:
+        assert row["p50_latency"] <= row["p99_latency"]
+        assert row["p50_latency"] > row["mean_hops"] * 0.9

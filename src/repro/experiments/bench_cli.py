@@ -7,12 +7,20 @@ git sha.  With ``--baseline`` pointing at a previously committed file,
 the run fails when any shared bench regressed by more than the threshold
 — the CI smoke check against the repository's committed trajectory.
 
-Besides the registry experiments, the id ``S1`` runs the serving
-benchmark (:func:`repro.serve.bench.run_serving_bench`) — it is not a
-registry experiment because its QPS/latency numbers are wall-clock, which
-the registry's bit-identity contract forbids.  Its entry carries the full
-serving metrics document under ``"metrics"`` alongside the usual
-``median_s``, so the regression check applies to it unchanged.
+Besides the registry experiments, two ids run wall-clock benchmarks that
+the registry's bit-identity contract forbids: ``S1``, the serving
+benchmark (:func:`repro.serve.bench.run_serving_bench`), and ``E1``, the
+scale benchmark (:func:`repro.experiments.scale_bench.run_scale_bench` —
+million-peer compact-ring throughput plus event-engine storm throughput).
+Their entries carry the full metrics document under ``"metrics"``
+alongside the usual ``median_s``, so the regression check applies to them
+unchanged.
+
+The payload stamps the commit the numbers were taken at: ``git_sha`` is
+resolved at bench time (not imported from anywhere it could go stale) and
+``dirty`` records whether the working tree had uncommitted changes — a
+trajectory file whose ``dirty`` is true describes a tree that no single
+sha reproduces.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ import time
 from typing import Callable, Optional, Sequence
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.scale_bench import SCALE_BENCH_ID, run_scale_bench
 from repro.serve.bench import SERVING_BENCH_ID, run_serving_bench
 
 __all__ = ["main", "build_payload", "check_regression", "time_serving_bench"]
@@ -34,10 +43,16 @@ __all__ = ["main", "build_payload", "check_regression", "time_serving_bench"]
 DEFAULT_BENCHES = ("F6", "F11", "F12")
 DEFAULT_THRESHOLD = 0.25
 
-#: Non-registry benches: wall-clock serving benchmarks keyed by id.
-SERVING_BENCHES: dict[str, Callable[..., dict[str, float]]] = {
+#: Non-registry benches keyed by id: wall-clock benchmarks (serving QPS,
+#: scale throughput) whose metrics ride along under ``"metrics"``.
+EXTRA_BENCHES: dict[str, Callable[..., dict[str, float]]] = {
     SERVING_BENCH_ID: run_serving_bench,
+    SCALE_BENCH_ID: run_scale_bench,
 }
+
+#: Backwards-compatible alias (same dict object) from when S1 was the only
+#: non-registry bench.
+SERVING_BENCHES = EXTRA_BENCHES
 
 
 def _git_sha() -> Optional[str]:
@@ -54,6 +69,28 @@ def _git_sha() -> Optional[str]:
         return None
     sha = out.stdout.strip()
     return sha if out.returncode == 0 and sha else None
+
+
+def _git_dirty() -> Optional[bool]:
+    """Whether the working tree differs from HEAD (``None`` outside git).
+
+    A bench taken on a dirty tree measures code no commit contains; the
+    flag makes such trajectory files self-describing instead of silently
+    attributing the numbers to the stamped sha.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return None
+    if out.returncode != 0:
+        return None
+    return bool(out.stdout.strip())
 
 
 def machine_info() -> dict[str, object]:
@@ -99,16 +136,16 @@ def time_experiment(
 def time_serving_bench(
     bench_id: str, scale: float, seed: int, repetitions: int
 ) -> dict[str, object]:
-    """Median wall time of a serving bench plus its last run's metrics.
+    """Median wall time of a non-registry bench plus its last run's metrics.
 
     Timing goes through :func:`time_experiment` (same warmup and median
     protocol as the registry benches); the metrics document of the final
-    timed run — QPS, latency percentiles, cache hit rate, accuracy-at-SLO
-    — rides along under ``"metrics"``.  Every run's logical content is
-    identical (it is a function of ``(seed, scale)``), so "the last run"
-    is not a choice that matters beyond the wall-clock fields.
+    timed run — QPS, latency percentiles, peers/sec, bytes/peer — rides
+    along under ``"metrics"``.  Every run's logical content is identical
+    (it is a function of ``(seed, scale)``), so "the last run" is not a
+    choice that matters beyond the wall-clock fields.
     """
-    bench = SERVING_BENCHES[bench_id]
+    bench = EXTRA_BENCHES[bench_id]
     metrics: dict[str, float] = {}
 
     def runner(_bench_id: str, scale: float, seed: int) -> None:
@@ -127,6 +164,7 @@ def build_payload(
     return {
         "schema": 1,
         "git_sha": _git_sha(),
+        "dirty": _git_dirty(),
         "machine": machine_info(),
         "scale": scale,
         "seed": seed,
@@ -219,7 +257,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     ids = [e.upper() for e in args.experiments] or list(DEFAULT_BENCHES)
-    unknown = [e for e in ids if e not in EXPERIMENTS and e not in SERVING_BENCHES]
+    unknown = [e for e in ids if e not in EXPERIMENTS and e not in EXTRA_BENCHES]
     if unknown:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         return 2
@@ -229,19 +267,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     benches: dict[str, dict[str, object]] = {}
     for experiment_id in ids:
-        if experiment_id in SERVING_BENCHES:
+        if experiment_id in EXTRA_BENCHES:
             result = time_serving_bench(
                 experiment_id, args.scale, args.seed, args.repetitions
             )
             metrics = result["metrics"]
             assert isinstance(metrics, dict)
-            print(
-                f"{experiment_id}: median {result['median_s']:.3f}s over "
-                f"{args.repetitions} runs — speedup {metrics['speedup']:.1f}x, "
-                f"p50 {metrics['p50_ms']:.3f}ms, p99 {metrics['p99_ms']:.3f}ms, "
-                f"hit rate {metrics['hit_rate']:.2f}, "
-                f"slo_met {int(metrics['slo_met'])}"
-            )
+            if experiment_id == SERVING_BENCH_ID:
+                print(
+                    f"{experiment_id}: median {result['median_s']:.3f}s over "
+                    f"{args.repetitions} runs — speedup {metrics['speedup']:.1f}x, "
+                    f"p50 {metrics['p50_ms']:.3f}ms, p99 {metrics['p99_ms']:.3f}ms, "
+                    f"hit rate {metrics['hit_rate']:.2f}, "
+                    f"slo_met {int(metrics['slo_met'])}"
+                )
+            elif experiment_id == SCALE_BENCH_ID:
+                print(
+                    f"{experiment_id}: median {result['median_s']:.3f}s over "
+                    f"{args.repetitions} runs — "
+                    f"{metrics['peers_per_s']:,.0f} peers/s, "
+                    f"{metrics['bytes_per_peer']:.1f} B/peer, "
+                    f"{metrics['events_per_s']:,.0f} events/s, "
+                    f"max queue {metrics['max_queue_depth']:.0f}"
+                )
+            else:  # pragma: no cover - no third extra bench yet
+                print(
+                    f"{experiment_id}: median {result['median_s']:.3f}s over "
+                    f"{args.repetitions} runs"
+                )
         else:
             result = time_experiment(
                 experiment_id, args.scale, args.seed, args.repetitions

@@ -22,6 +22,7 @@ from repro.data.workload import build_dataset
 from repro.experiments.common import scale_int
 from repro.experiments.config import DEFAULTS
 from repro.experiments.results import ResultTable
+from repro.ring.faults import FaultPlane
 from repro.ring.network import RingNetwork
 
 EXPERIMENT_ID = "F15"
@@ -54,9 +55,15 @@ def run(scale: float = 1.0, seed: int = 0) -> ResultTable:
     domain = dataset.distribution.domain.as_tuple()
     baseline_messages = None
     for loss_rate in LOSS_RATES:
-        network = RingNetwork.create(
-            n_peers, domain=domain, seed=seed + 1, loss_rate=loss_rate
-        )
+        network = RingNetwork.create(n_peers, domain=domain, seed=seed + 1)
+        if loss_rate > 0.0:
+            if network.faults is None:
+                network.install_faults(FaultPlane(seed=seed + 1, loss_rate=loss_rate))
+            else:
+                # A profile plane attached at create (--faults): keep its
+                # structural faults, sweep only the base loss rate.
+                network.faults.loss_rate = loss_rate
+                network.loss_rate = loss_rate
         network.load_data(dataset.values)
         network.reset_stats()
         truth = empirical_cdf(network.all_values(), presorted=True)

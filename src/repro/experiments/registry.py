@@ -14,6 +14,7 @@ from repro.experiments import (
     exp_accuracy_vs_skew,
     exp_accuracy_vs_volume,
     exp_churn,
+    exp_congestion,
     exp_cost_accuracy,
     exp_cost_table,
     exp_fault_plane,
@@ -67,6 +68,7 @@ EXPERIMENTS: dict[str, Callable[..., ResultTable]] = {
     "F16": exp_virtual_nodes.run,
     "F17": exp_byzantine.run,
     "F18": exp_fault_plane.run,
+    "F19": exp_congestion.run,
     "A1": exp_ablations.run_synopsis_ablation,
     "A2": exp_ablations.run_placement_ablation,
     "A3": exp_ablations.run_assembly_ablation,

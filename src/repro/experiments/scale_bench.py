@@ -1,0 +1,114 @@
+"""E1 — the scale benchmark: million-peer rings and event throughput.
+
+Exercises the two planes PR 7 added and reports the numbers that justify
+them:
+
+* **Compact plane** — build a ``compact=True`` ring at N=10^6 (peers/sec),
+  place one data item per peer, run a full vectorized routing round and a
+  short push-sum gossip campaign, and read ``bytes_per_peer`` off
+  :meth:`~repro.ring.compact.CompactRing.memory_report`.  The hot peer's
+  message count is the batch-side congestion statistic.
+* **Event plane** — a concurrent lookup storm on an object-backed ring
+  driven by the discrete-event engine (per-hop latency jitter plus a
+  single-server service queue), reporting simulated-event throughput
+  (events/sec) and the deepest queue observed at the hottest peer.
+
+Like S1 this is not a registry experiment: peers/sec and events/sec are
+wall-clock, which the registry's bit-identity contract forbids.  All
+wall-clock reads here are instrumentation — they are reported, never fed
+back into any simulated result, so the logical content of a run remains a
+pure function of ``(seed, scale)``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.experiments.common import scale_int
+from repro.ring.events import EventEngine, LatencyModel, ServiceModel, schedule_lookup
+from repro.ring.network import RingNetwork
+
+__all__ = ["run_scale_bench", "SCALE_BENCH_ID"]
+
+SCALE_BENCH_ID = "E1"
+
+#: Workload shape at ``scale=1.0`` (the acceptance configuration: a
+#: million-peer compact ring plus a 4096-peer event storm).
+FULL_PEERS = 1_000_000
+FULL_LOOKUPS = 131_072
+GOSSIP_ROUNDS = 3
+STORM_PEERS = 4_096
+STORM_LOOKUPS = 2_048
+STORM_LATENCY = LatencyModel(base=1.0, jitter=0.5)
+STORM_SERVICE = ServiceModel(service_time=0.25)
+
+
+def run_scale_bench(scale: float = 1.0, seed: int = 0) -> dict[str, float]:
+    """Run the scale benchmark; returns a flat metrics document.
+
+    Every metric is a float so the document drops straight into the
+    ``repro-bench`` trajectory JSON next to the timing fields.
+    """
+    n_peers = scale_int(FULL_PEERS, scale, minimum=10_000)
+    lookups = scale_int(FULL_LOOKUPS, scale, minimum=4_096)
+
+    started = time.perf_counter()  # repro-lint: disable=RNG002 (peers/sec instrumentation; reported, never fed into results)
+    ring = RingNetwork.create(n_peers, seed=seed + 1, compact=True)
+    build_s = time.perf_counter() - started  # repro-lint: disable=RNG002 (peers/sec instrumentation; reported, never fed into results)
+
+    rng = np.random.default_rng(seed + 2)
+    ring.load_counts(rng.random(n_peers))
+
+    started = time.perf_counter()  # repro-lint: disable=RNG002 (lookups/sec instrumentation; reported, never fed into results)
+    routing = ring.routing_round(lookups=lookups, rng=rng)
+    route_s = time.perf_counter() - started  # repro-lint: disable=RNG002 (lookups/sec instrumentation; reported, never fed into results)
+
+    started = time.perf_counter()  # repro-lint: disable=RNG002 (gossip throughput instrumentation; reported, never fed into results)
+    gossip: dict[str, float] = {"max_rel_error": 0.0}
+    for _ in range(GOSSIP_ROUNDS):
+        gossip = ring.gossip_round(rng=rng)
+    gossip_s = time.perf_counter() - started  # repro-lint: disable=RNG002 (gossip throughput instrumentation; reported, never fed into results)
+
+    report = ring.memory_report()
+
+    # Event-plane storm: latency jitter plus a service queue, so the run
+    # exercises both the heap ordering and the per-peer backlog tracking.
+    storm_peers = scale_int(STORM_PEERS, scale, minimum=256)
+    storm_lookups = scale_int(STORM_LOOKUPS, scale, minimum=128)
+    network = RingNetwork.create(storm_peers, seed=seed + 3)
+    engine = EventEngine(
+        network, seed=seed + 4, latency=STORM_LATENCY, service=STORM_SERVICE
+    )
+    storm_rng = np.random.default_rng(seed + 5)
+    ids = network.peer_ids()
+    entries = storm_rng.integers(0, len(ids), size=storm_lookups)
+    keys = storm_rng.integers(0, network.space.size, size=storm_lookups, dtype=np.uint64)
+    for i, (entry, key) in enumerate(zip(entries, keys)):
+        schedule_lookup(engine, network.node(ids[int(entry)]), int(key), tag=i)
+    started = time.perf_counter()  # repro-lint: disable=RNG002 (events/sec instrumentation; reported, never fed into results)
+    engine.run()
+    storm_s = time.perf_counter() - started  # repro-lint: disable=RNG002 (events/sec instrumentation; reported, never fed into results)
+
+    return {
+        "peers": float(n_peers),
+        "build_s": build_s,
+        "peers_per_s": n_peers / build_s if build_s > 0 else 0.0,
+        "bytes_per_peer": float(report["bytes_per_peer"]),
+        "scan_width": float(report["scan_width"]),
+        "route_lookups": float(lookups),
+        "route_s": route_s,
+        "lookups_per_s": lookups / route_s if route_s > 0 else 0.0,
+        "mean_hops": float(routing["mean_hops"]),
+        "hot_peer_messages": float(routing["hot_peer_messages"]),
+        "gossip_rounds": float(GOSSIP_ROUNDS),
+        "gossip_s": gossip_s,
+        "gossip_max_rel_error": float(gossip["max_rel_error"]),
+        "storm_peers": float(storm_peers),
+        "storm_lookups": float(storm_lookups),
+        "storm_events": float(engine.events_processed),
+        "events_per_s": engine.events_processed / storm_s if storm_s > 0 else 0.0,
+        "max_queue_depth": float(engine.max_queue_depth),
+        "hot_peer_index": float(routing["hot_peer_index"]),
+    }

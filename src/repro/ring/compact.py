@@ -1,0 +1,436 @@
+"""Dtype-compacted peer state: million-peer rings as columnar arrays.
+
+One :class:`~repro.ring.node.PeerNode` per peer costs hundreds of bytes of
+Python object graph before the first item is stored, which caps the
+object-backed simulator around 10^5 peers.  :class:`CompactRing` keeps the
+whole ring as a handful of NumPy columns instead — sorted ``uint64``
+identifiers, ``int64`` load counts, and the compressed finger-scan matrix
+in the exact :class:`~repro.ring.snapshot.RingSnapshot` layout — so
+N=10^6–10^7 rings construct and run full routing and gossip rounds in
+bounded memory (tens to a few hundred bytes per peer, reported by
+:meth:`CompactRing.memory_report`).
+
+The compact backend models the *stabilized* ring: pointers are exact by
+construction (the state :meth:`RingNetwork.rebuild_overlay` produces), and
+rounds are batch operations — :meth:`route_batch` advances thousands of
+lookups in vectorized lockstep with the same per-hop arithmetic as
+:func:`repro.ring.routing.route_probes_batch`, and :meth:`gossip_round`
+runs one push-sum exchange for every peer at once.  Membership is
+seed-identical to the object backend: :meth:`build` consumes the identifier
+RNG draws in exactly the order :meth:`RingNetwork.create` consumes them, so
+``RingNetwork.create(n, seed=s, compact=True)`` places peers on the same
+ring positions as the object network built from the same seed.
+
+Select it with ``RingNetwork.create(..., compact=True)``; the object
+backend stays the default and is untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.ring.hashing import OrderPreservingHash
+from repro.ring.identifier import IdentifierSpace
+from repro.ring.messages import MessageStats, MessageType
+
+__all__ = ["CompactRing"]
+
+#: Rows per block when building the compressed finger-scan matrix.  The
+#: full ``block x bits`` finger slab is transient (a few MB), so the peak
+#: build footprint stays far below one uncompressed ``n x bits`` matrix
+#: (which alone would be 512 MB at N=10^6).
+_SCAN_BLOCK = 65536
+
+#: Default lookups per vectorized slab in :meth:`CompactRing.routing_round`.
+_ROUTE_SLAB = 131072
+
+
+class CompactRing:
+    """A stabilized ring held entirely in structure-of-arrays columns.
+
+    Columns (all ring-ordered, index ``i`` is the ``i``-th peer clockwise):
+
+    * :attr:`ids` — sorted peer identifiers, ``uint64``;
+    * :attr:`counts` — per-peer item counts, ``int64`` (the load column);
+    * :attr:`scan` — the compressed finger-scan matrix, ``uint64`` of shape
+      ``(n, W)`` with ``W ~ log2 n``: per peer, the distinct finger targets
+      with duplicate runs collapsed to their highest column and short rows
+      padded with the peer's own identifier (which fails every strict
+      in-arc test), exactly the
+      :meth:`~repro.ring.snapshot.RingSnapshot.finger_scan_tables` layout.
+
+    Successors and predecessors are not stored: on the stabilized ring they
+    are index rolls (``succ(i) = (i+1) % n``), which is also why no
+    liveness mask exists — the compact backend has no notion of a departed
+    peer.  Cost accounting goes through the same :class:`MessageStats`
+    ledger as the object backend.
+    """
+
+    def __init__(
+        self,
+        space: IdentifierSpace,
+        ids: NDArray[np.uint64],
+        *,
+        domain: tuple[float, float] = (0.0, 1.0),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if ids.size < 1:
+            raise ValueError("need at least one peer")
+        self.space = space
+        self.data_hash = OrderPreservingHash(space, domain[0], domain[1])
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.stats = MessageStats()
+        self.ids: NDArray[np.uint64] = np.ascontiguousarray(ids, dtype=np.uint64)
+        self.counts: NDArray[np.int64] = np.zeros(ids.size, dtype=np.int64)
+        self.scan: NDArray[np.uint64] = self._build_scan(space, self.ids)
+        # Push-sum state (created on first gossip round): estimating the
+        # network-wide mean load needs one value and one weight column.
+        self._gossip_value: Optional[NDArray[np.float64]] = None
+        self._gossip_weight: Optional[NDArray[np.float64]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        n_peers: int,
+        *,
+        bits: int = 64,
+        domain: tuple[float, float] = (0.0, 1.0),
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "CompactRing":
+        """Build a stabilized compact ring of ``n_peers`` random peers.
+
+        Identifier draws replay :meth:`RingNetwork.create` exactly — the
+        same ``needed``-sized batches against the same generator state,
+        deduplicated with ``np.unique`` instead of a Python set (distinct
+        counts are equal, so each iteration requests the same batch) —
+        which makes the membership seed-identical to the object backend.
+        """
+        if n_peers < 1:
+            raise ValueError(f"need at least one peer, got {n_peers}")
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        space = IdentifierSpace(bits)
+        ids = np.empty(0, dtype=np.uint64)
+        while ids.size < n_peers:
+            needed = n_peers - ids.size
+            draws = rng.integers(0, space.size, size=needed, dtype=np.uint64)
+            ids = np.unique(np.concatenate((ids, draws)))
+        return cls(space, ids, domain=domain, rng=rng)
+
+    @staticmethod
+    def _build_scan(
+        space: IdentifierSpace, ids: NDArray[np.uint64]
+    ) -> NDArray[np.uint64]:
+        """The compressed finger-scan matrix, built blockwise.
+
+        Per block of rows: compute the full ``block x bits`` finger slab
+        (owner of ``id + 2^k`` via one ``searchsorted``), collapse
+        duplicate runs to their highest column — every finger is valid on
+        the stabilized ring, so the keep mask is just the run-boundary
+        test — and stash the kept entries.  The final matrix pads each row
+        to the global maximum width with the row's own identifier.  Peak
+        transient memory is one block's finger slab, never ``n x bits``.
+        """
+        n = ids.size
+        bits = space.bits
+        mask = np.uint64(space.size - 1)
+        powers = np.uint64(1) << np.arange(bits, dtype=np.uint64)
+        blocks: list[tuple[NDArray[np.uint64], NDArray[np.int64]]] = []
+        width = 1
+        for lo in range(0, n, _SCAN_BLOCK):
+            hi = min(lo + _SCAN_BLOCK, n)
+            targets = (ids[lo:hi, None] + powers[None, :]) & mask
+            indices = np.searchsorted(ids, targets, side="left")
+            indices[indices == n] = 0
+            fingers = ids[indices]
+            keep = np.ones(fingers.shape, dtype=bool)
+            if bits > 1:
+                keep[:, :-1] = fingers[:, :-1] != fingers[:, 1:]
+            widths = keep.sum(axis=1)
+            width = max(width, int(widths.max()))
+            blocks.append((fingers[keep], widths))
+        scan = np.repeat(ids[:, None], width, axis=1)
+        row = 0
+        for kept, widths in blocks:
+            starts = np.zeros(widths.size + 1, dtype=np.int64)
+            np.cumsum(widths, out=starts[1:])
+            rows = np.repeat(np.arange(widths.size, dtype=np.int64), widths)
+            cols = np.arange(kept.size, dtype=np.int64) - starts[rows]
+            scan[row + rows, cols] = kept
+            row += widths.size
+        return scan
+
+    # ------------------------------------------------------------------
+    # Basic views
+    # ------------------------------------------------------------------
+    @property
+    def n_peers(self) -> int:
+        """Number of peers."""
+        return int(self.ids.size)
+
+    @property
+    def total_count(self) -> int:
+        """Total items across all peers."""
+        return int(self.counts.sum())
+
+    def record(self, message_type: MessageType, count: int = 1, payload: float = 0.0) -> None:
+        """Record simulated network traffic (same ledger as the object backend)."""
+        self.stats.record(message_type, count, payload=payload)
+
+    def memory_report(self) -> dict[str, float]:
+        """Per-column resident bytes and the bytes/peer total.
+
+        Covers every persistent column (identifiers, loads, the scan
+        matrix, gossip state when materialized); transient build slabs are
+        excluded because they are freed before the ring is usable.
+        """
+        columns = {
+            "ids": float(self.ids.nbytes),
+            "counts": float(self.counts.nbytes),
+            "scan": float(self.scan.nbytes),
+        }
+        if self._gossip_value is not None:
+            columns["gossip_value"] = float(self._gossip_value.nbytes)
+        if self._gossip_weight is not None:
+            columns["gossip_weight"] = float(self._gossip_weight.nbytes)
+        total = sum(columns.values())  # repro-lint: disable=SUM001 (byte-count bookkeeping; order-insensitive)
+        report = dict(columns)
+        report["total_bytes"] = total
+        report["bytes_per_peer"] = total / self.n_peers
+        report["scan_width"] = float(self.scan.shape[1])
+        return report
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def load_counts(self, values) -> None:
+        """Place data values on their owners, keeping *counts* only.
+
+        The compact backend stores the load column, not the items: one
+        vectorized hash + ``searchsorted`` + ``bincount`` pass adds each
+        value to its owner's count (the same owner
+        :meth:`RingNetwork.load_data` resolves), and the values are
+        discarded — memory stays O(n_peers) regardless of data volume.
+        """
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            return
+        keys = self.data_hash.map_values(arr)
+        positions = np.searchsorted(self.ids, keys, side="left")
+        positions[positions == self.ids.size] = 0
+        self.counts += np.bincount(positions, minlength=self.ids.size).astype(np.int64)
+        # New load invalidates any in-progress push-sum estimate.
+        self._gossip_value = None
+        self._gossip_weight = None
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route_batch(
+        self,
+        entries: NDArray[np.int64],
+        keys: NDArray[np.uint64],
+        *,
+        traffic: Optional[NDArray[np.int64]] = None,
+    ) -> tuple[NDArray[np.int64], NDArray[np.int64]]:
+        """Route many lookups in vectorized lockstep; returns (owners, hops).
+
+        ``entries`` are peer *indices*, ``keys`` ring positions; the result
+        arrays give each lookup's owner index and hop count.  The per-hop
+        arithmetic is the stabilized-ring core of
+        :func:`repro.ring.routing.route_probes_batch`: entry shortcuts
+        (self-key, live-predecessor half-open test), the highest-column
+        in-arc scan over the compressed finger matrix with successor
+        fallback, and one final delivery hop — minus the dead-pointer
+        handling, which cannot arise here.  Hops are posted to the ledger
+        in one bulk ``LOOKUP_HOP`` record.  When ``traffic`` (length
+        ``n_peers``) is given, every hop's destination increments it —
+        the per-peer message load the congestion metrics read.
+        """
+        count = int(keys.size)
+        if count == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        ids = self.ids
+        n = ids.size
+        mask = np.uint64(self.space.mask)
+        zero = np.uint64(0)
+        scan = self.scan
+        max_hops = 2 * n + self.space.bits
+
+        cur = np.asarray(entries, dtype=np.int64).copy()
+        keys_arr = np.asarray(keys, dtype=np.uint64)
+        hops = np.zeros(count, dtype=np.int64)
+        owner_idx = np.full(count, -1, dtype=np.int64)
+
+        succ_of = lambda idx: (idx + 1) % n  # noqa: E731 - tiny index roll
+        entry_ids = ids[cur]
+        pred_idx = (cur - 1) % n
+        preds_here = ids[pred_idx]
+
+        # Entry shortcuts, exactly as in route_to_key: the entry itself, or
+        # a node whose (always live) predecessor precedes the key.
+        done = keys_arr == entry_ids
+        owner_idx[done] = cur[done]
+        dk = (keys_arr - preds_here) & mask
+        shortcut = (
+            ~done
+            & (
+                (preds_here == entry_ids)
+                | ((dk > zero) & (dk <= (entry_ids - preds_here) & mask))
+            )
+        )
+        owner_idx[shortcut] = cur[shortcut]
+        done |= shortcut
+
+        active = np.flatnonzero(~done)
+        rounds = 0
+        while active.size:
+            rounds += 1
+            if rounds > max_hops:
+                raise RuntimeError(
+                    f"{active.size} lookups exceeded {max_hops} hops on a "
+                    "stabilized compact ring (corrupt scan matrix?)"
+                )
+            ci = cur[active]
+            ci_ids = ids[ci]
+            key_dist = (keys_arr[active] - ci_ids) & mask  # > 0 mid-route
+            si = succ_of(ci)
+            succ_ids = ids[si]
+            terminal = key_dist <= (succ_ids - ci_ids) & mask
+            finished = active[terminal]
+            if finished.size:
+                owner_idx[finished] = si[terminal]
+                hops[finished] += 1  # the final delivery hop
+                if traffic is not None:
+                    np.add.at(traffic, si[terminal], 1)
+            advancing = active[~terminal]
+            if not advancing.size:
+                break
+            ca = cur[advancing]
+            ca_ids = ids[ca]
+            finger_dist = (scan[ca] - ca_ids[:, None]) & mask
+            in_arc = (finger_dist > zero) & (
+                finger_dist < ((keys_arr[advancing] - ca_ids) & mask)[:, None]
+            )
+            hit = in_arc.any(axis=1)
+            first_rev = in_arc.shape[1] - 1 - np.argmax(in_arc[:, ::-1], axis=1)
+            cand_idx = np.searchsorted(ids, scan[ca, first_rev]).astype(np.int64)
+            # No finger inside the arc: fall to the successor, which always
+            # qualifies mid-route on a stabilized ring.
+            cand_idx = np.where(hit, cand_idx, succ_of(ca))
+            hops[advancing] += 1
+            if traffic is not None:
+                np.add.at(traffic, cand_idx, 1)
+            cur[advancing] = cand_idx
+            active = advancing
+
+        total_hops = int(hops.sum())
+        if total_hops:
+            self.record(MessageType.LOOKUP_HOP, count=total_hops)
+        return owner_idx, hops
+
+    def routing_round(
+        self,
+        *,
+        lookups: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        slab: int = _ROUTE_SLAB,
+    ) -> dict[str, float]:
+        """One full routing round: uniform lookups from uniform entry peers.
+
+        Draws ``lookups`` (default: one per peer) uniform keys and entry
+        peers, routes them through :meth:`route_batch` in slabs of ``slab``
+        (bounding the working set), and returns the round's summary —
+        total/mean/max hops and the hottest peer's message count, the
+        batch-side analogue of the event engine's queue-depth statistic.
+        """
+        if rng is None:
+            rng = self.rng
+        n = self.n_peers
+        total = n if lookups is None else int(lookups)
+        if total < 0:
+            raise ValueError(f"lookups must be >= 0, got {total}")
+        traffic = np.zeros(n, dtype=np.int64)
+        hop_total = 0
+        hop_max = 0
+        remaining = total
+        while remaining > 0:
+            batch = min(remaining, slab)
+            entries = rng.integers(0, n, size=batch).astype(np.int64)
+            keys = rng.integers(0, self.space.size, size=batch, dtype=np.uint64)
+            _owners, hops = self.route_batch(entries, keys, traffic=traffic)
+            hop_total += int(hops.sum())
+            if batch:
+                hop_max = max(hop_max, int(hops.max()))
+            remaining -= batch
+        hot = int(traffic.argmax()) if n else -1
+        return {
+            "lookups": float(total),
+            "total_hops": float(hop_total),
+            "mean_hops": hop_total / total if total else 0.0,
+            "max_hops": float(hop_max),
+            "hot_peer_messages": float(traffic[hot]) if n else 0.0,
+            "hot_peer_index": float(hot),
+        }
+
+    # ------------------------------------------------------------------
+    # Gossip
+    # ------------------------------------------------------------------
+    def gossip_round(self, *, rng: Optional[np.random.Generator] = None) -> dict[str, float]:
+        """One synchronous push-sum round over the load column.
+
+        Every peer halves its (value, weight) pair and pushes one half to
+        a random finger from its scan row (falling back to the successor
+        when the draw lands on a self-pad) — the classic push-sum gossip
+        for the network-wide mean load, with one ``GOSSIP_PUSH`` per peer
+        recorded in the ledger.  Returns the round's convergence summary:
+        the maximum relative error of the per-peer mean-load estimates
+        against the true mean.
+        """
+        if rng is None:
+            rng = self.rng
+        n = self.n_peers
+        if self._gossip_value is None or self._gossip_weight is None:
+            self._gossip_value = self.counts.astype(np.float64)
+            self._gossip_weight = np.ones(n, dtype=np.float64)
+        value = self._gossip_value
+        weight = self._gossip_weight
+        cols = rng.integers(0, self.scan.shape[1], size=n)
+        partner_ids = self.scan[np.arange(n), cols]
+        partner = np.searchsorted(self.ids, partner_ids).astype(np.int64)
+        # Self-pad (or the degenerate single-peer ring): push clockwise.
+        self_hit = partner_ids == self.ids
+        partner[self_hit] = (np.flatnonzero(self_hit) + 1) % n
+        half_v = value * 0.5
+        half_w = weight * 0.5
+        new_v = half_v.copy()
+        new_w = half_w.copy()
+        np.add.at(new_v, partner, half_v)
+        np.add.at(new_w, partner, half_w)
+        self._gossip_value = new_v
+        self._gossip_weight = new_w
+        self.record(MessageType.GOSSIP_PUSH, count=n, payload=2.0 * n)
+        true_mean = self.counts.mean() if n else 0.0
+        estimates = new_v / new_w
+        if true_mean > 0:
+            max_rel_error = float(np.abs(estimates - true_mean).max() / true_mean)
+        else:
+            max_rel_error = float(np.abs(estimates).max()) if n else 0.0
+        return {
+            "pushes": float(n),
+            "true_mean_load": float(true_mean),
+            "max_rel_error": max_rel_error,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompactRing(peers={self.n_peers}, items={self.total_count}, "
+            f"bits={self.space.bits}, scan_width={self.scan.shape[1]})"
+        )

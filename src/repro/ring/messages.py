@@ -14,7 +14,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from enum import Enum
 
-__all__ = ["MessageType", "MessageStats", "CostSnapshot"]
+__all__ = ["MessageType", "MessageStats", "CostSnapshot", "HOP_MESSAGE_TYPES"]
 
 
 class MessageType(str, Enum):
@@ -64,6 +64,19 @@ class CostSnapshot:
         )
 
 
+#: Message types that count as routing *hops* in the ledger.  Public so
+#: that every accounting path — the synchronous ledger and the event
+#: engine's per-delivery records — shares one definition of "hop".
+HOP_MESSAGE_TYPES = frozenset(
+    {
+        MessageType.LOOKUP_HOP,
+        MessageType.SUCCESSOR_WALK,
+        MessageType.RANK_STEP,
+        MessageType.WALK_STEP,
+    }
+)
+
+
 @dataclass
 class MessageStats:
     """Mutable ledger of all simulated network traffic.
@@ -74,14 +87,7 @@ class MessageStats:
     to attribute cost to an individual operation.
     """
 
-    _HOP_TYPES = frozenset(
-        {
-            MessageType.LOOKUP_HOP,
-            MessageType.SUCCESSOR_WALK,
-            MessageType.RANK_STEP,
-            MessageType.WALK_STEP,
-        }
-    )
+    _HOP_TYPES = HOP_MESSAGE_TYPES
 
     counts: Counter = field(default_factory=Counter)
     payloads: Counter = field(default_factory=Counter)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import bisect
 import os
+import warnings
 from collections import Counter
 from functools import partial
 from typing import Iterable, Iterator, Optional, Sequence
@@ -70,7 +71,11 @@ class RingNetwork:
         # must still behave identically run to run.
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.stats = MessageStats()
-        self.loss_rate = validate_probability("loss_rate", loss_rate)
+        #: Scalar per-message loss probability.  Owned by the attached
+        #: :class:`FaultPlane` — the ``loss_rate`` constructor argument is
+        #: a deprecated shim that installs an equivalent plane below.
+        self.loss_rate = 0.0
+        validate_probability("loss_rate", loss_rate)
         #: Optional unified fault plane (see :mod:`repro.ring.faults`).
         #: ``None`` — and an attached-but-inactive plane — leave every code
         #: path bit-identical to a fault-free network.
@@ -100,6 +105,18 @@ class RingNetwork:
         #: :meth:`note_overlay_change`), which invalidates this token.
         self._exact_ring_token: Optional[int] = None
         self._snapshot = RingSnapshot(self)
+        if loss_rate > 0.0:
+            # Deprecated path: fault behaviour has one owner, the plane.
+            # Installing an equivalent base-loss plane is bit-identical to
+            # the old scalar field — attach() sets self.loss_rate and the
+            # delivery draws stay on the network's own generator.
+            warnings.warn(
+                "the loss_rate constructor argument is deprecated; install "
+                "a FaultPlane(loss_rate=...) via install_faults() instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self.install_faults(FaultPlane(loss_rate=loss_rate))
 
     def delivery_succeeds(self) -> bool:
         """Draw one message-delivery outcome under the loss model.
@@ -140,17 +157,34 @@ class RingNetwork:
         seed: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
         loss_rate: float = 0.0,
-    ) -> "RingNetwork":
+        compact: bool = False,
+    ):
         """Build a stabilized network of ``n_peers`` randomly placed peers.
 
         Peer identifiers are drawn uniformly at random (the distribution a
         cryptographic peer-id hash induces).  Construction is an oracle
         operation: the returned network is fully stabilized with exact
         finger tables and an empty ledger.  ``loss_rate`` turns on the
-        lossy-delivery model for all subsequent cost-counted operations.
+        lossy-delivery model for all subsequent cost-counted operations
+        (deprecated — install a ``FaultPlane`` instead).
+
+        ``compact=True`` returns a :class:`~repro.ring.compact.CompactRing`
+        instead of an object-backed network: the same membership for the
+        same seed (identifier draws are replayed exactly), held as columnar
+        arrays so million-peer rings fit in memory.  The compact backend
+        models the stabilized loss-free ring only, so ``loss_rate`` must be
+        zero and no fault profile attaches.
         """
         if n_peers < 1:
             raise ValueError(f"need at least one peer, got {n_peers}")
+        if compact:
+            from repro.ring.compact import CompactRing  # local: compact -> messages only
+
+            if loss_rate > 0.0:
+                raise ValueError("the compact backend is loss-free; loss_rate must be 0")
+            return CompactRing.build(
+                n_peers, bits=bits, domain=domain, seed=seed, rng=rng
+            )
         if rng is None:
             rng = np.random.default_rng(seed)
         space = IdentifierSpace(bits)

@@ -21,10 +21,12 @@ from repro.ring.node import PeerNode
 __all__ = [
     "RouteResult",
     "RouteOutcome",
+    "RouteStep",
     "route_to_key",
     "route_probes_batch",
     "route_to_value",
     "route_with_policy",
+    "iter_route_steps",
     "successor_walk",
     "RoutingError",
 ]
@@ -249,6 +251,128 @@ def route_to_key(
     finally:
         if hops:
             network.record(MessageType.LOOKUP_HOP, count=hops)
+
+
+class RouteStep(NamedTuple):
+    """One routing decision of :func:`iter_route_steps`.
+
+    ``kind`` is one of:
+
+    * ``"forward"`` — one counted hop to the live peer ``ident``;
+    * ``"timeout"`` — one counted hop towards the departed peer ``ident``
+      (the sender times out and rescans at the same node with it excluded);
+    * ``"deliver"`` — the final counted delivery hop to the owner ``ident``;
+    * ``"done"`` — termination without a message: ``ident`` is the owner
+      (the entry shortcuts, or the current node owns the key itself);
+    * ``"fail"`` — one counted hop that exhausted the hop budget; ``detail``
+      carries the :class:`RoutingError` message the reference would raise.
+    """
+
+    kind: str
+    ident: int
+    detail: str = ""
+
+
+def iter_route_steps(
+    network: RingNetwork,
+    start: PeerNode,
+    key: int,
+    max_hops: int | None = None,
+):
+    """Loss-free routing decisions as a lazy step sequence (no ledger writes).
+
+    This is :func:`route_to_key` factored into per-hop decisions so the
+    event engine (:mod:`repro.ring.events`) can lay each hop out on the
+    simulated clock: same entry shortcuts, same inlined finger scan, same
+    timeout-and-exclude retries, same termination test, raised
+    :class:`RoutingError` for the same stuck/budget states.  Consuming the
+    whole sequence and recording one ``LOOKUP_HOP`` per ``forward`` /
+    ``timeout`` / ``deliver`` / ``fail`` step reproduces the reference's
+    owner, hop count, timeout count, and ledger totals exactly — the
+    replay property the event-engine tests pin.
+
+    Loss-free only: lossy delivery draws from the network RNG *during* the
+    route, which only the synchronous reference may do (stream order).
+    """
+    network.space.validate(key)
+    if network.loss_rate > 0.0:
+        raise ValueError(
+            "iter_route_steps models loss-free routing only; lossy delivery "
+            "must go through route_to_key (RNG stream order)"
+        )
+    if max_hops is None:
+        max_hops = 2 * network.n_peers + network.space.bits
+    current = start
+    if key == current.ident:
+        yield RouteStep("done", current.ident)
+        return
+    if current.predecessor_id is not None and network.try_node(current.predecessor_id):
+        if network.space.in_half_open(key, current.predecessor_id, current.ident):
+            yield RouteStep("done", current.ident)
+            return
+    mask = network.space.mask
+    size = network.space.size
+    nodes_get = network._nodes.get
+    hops = 0
+    while True:
+        excluded: set[int] | None = None
+        ident = current.ident
+        successor_id = current.successor_id
+        if successor_id == ident:
+            successor_id = _live_successor(network, current, _EMPTY_EXCLUSIONS)
+        else:
+            succ = nodes_get(successor_id)
+            if succ is None or not succ.alive:
+                successor_id = _live_successor(network, current, _EMPTY_EXCLUSIONS)
+        if successor_id == ident or 0 < (key - ident) & mask <= (successor_id - ident) & mask:
+            owner = network.node(successor_id)
+            if owner.ident != ident:
+                yield RouteStep("deliver", owner.ident)
+            else:
+                yield RouteStep("done", owner.ident)
+            return
+        next_node = None
+        while next_node is None:
+            if excluded is None:
+                scan = current._finger_scan
+                if scan is None:
+                    scan = current._finger_scan_order()
+                reach = (key - ident) & mask or size
+                candidate = ident
+                for finger_id in scan:
+                    if 0 < (finger_id - ident) & mask < reach:
+                        candidate = finger_id
+                        break
+                if candidate == ident:
+                    successor_id = current.successor_id
+                    if successor_id != ident and 0 < (successor_id - ident) & mask < reach:
+                        candidate = successor_id
+            else:
+                candidate = current.closest_preceding_finger(key, excluded)
+            if candidate == ident:
+                candidate = _live_successor(
+                    network, current, _EMPTY_EXCLUSIONS if excluded is None else excluded
+                )
+            resolved = nodes_get(candidate)
+            hops += 1
+            if hops > max_hops:
+                yield RouteStep(
+                    "fail",
+                    candidate,
+                    f"lookup for key {key} exceeded {max_hops} hops from {start.ident}",
+                )
+                return
+            if resolved is not None and resolved.alive:
+                next_node = resolved
+                yield RouteStep("forward", candidate)
+            else:
+                yield RouteStep("timeout", candidate)
+                if excluded is None:
+                    excluded = set()
+                excluded.add(candidate)
+        if next_node.ident == ident:
+            raise RoutingError(f"lookup for key {key} stuck at peer {current.ident}")
+        current = next_node
 
 
 def route_probes_batch(

@@ -15,6 +15,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.ring.faults import FaultPlane
 from repro.ring.identifier import IdentifierSpace
 from repro.ring.network import RingNetwork
 from repro.ring.node import PeerNode
@@ -55,17 +56,25 @@ def clone_network(network: RingNetwork) -> RingNetwork:
 
     Fault planes are deliberately not cloned: the plane's RNG is stateful
     and cell-specific, so callers must install a fresh one per clone
-    (exactly what F18 does).  Cloning a network with a plane attached is
-    therefore refused rather than silently shared.
+    (exactly what F18 does).  Cloning a network with an *active* plane —
+    structural faults configured or scheduled — is therefore refused
+    rather than silently shared.  An inert plane carrying only a base
+    ``loss_rate`` (the deprecated constructor shim installs exactly this)
+    is pure configuration: the clone gets its own equivalent plane, built
+    from the same seed, and the scalar loss model keeps drawing from the
+    network generator whose state is copied below.
     """
-    if network.faults is not None:
+    if network.faults is not None and network.faults.active:
         raise ValueError(
-            "refusing to clone a network with an attached fault plane; "
+            "refusing to clone a network with an active fault plane; "
             "clone first, then install a fresh plane per clone"
         )
-    clone = RingNetwork(
-        network.space, domain=network.domain, loss_rate=network.loss_rate
-    )
+    clone = RingNetwork(network.space, domain=network.domain)
+    if network.faults is not None:
+        clone.install_faults(
+            FaultPlane(seed=network.faults.seed, loss_rate=network.faults.loss_rate)
+        )
+    clone.loss_rate = network.loss_rate
     source_bg = network.rng.bit_generator
     clone_bg = type(source_bg)()
     clone_bg.state = source_bg.state  # the property returns a fresh dict
@@ -164,7 +173,12 @@ def network_from_dict(payload: dict[str, Any]) -> RingNetwork:
         raise ValueError(f"unsupported checkpoint format version: {version!r}")
     space = IdentifierSpace(int(payload["bits"]))
     domain = tuple(payload["domain"])
-    network = RingNetwork(space, domain=domain, loss_rate=float(payload["loss_rate"]))
+    network = RingNetwork(space, domain=domain)
+    loss_rate = float(payload["loss_rate"])
+    if loss_rate > 0.0:
+        # Checkpoints predate the plane-owned loss model: restore the rate
+        # as an equivalent base-loss plane (the scalar field's one owner).
+        network.install_faults(FaultPlane(loss_rate=loss_rate))
     for entry in payload["peers"]:
         node = PeerNode(int(entry["ident"]), space)
         node.predecessor_id = (

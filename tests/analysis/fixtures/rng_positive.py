@@ -17,4 +17,6 @@ def measured_path() -> float:
     started = time.time()
     stamp = datetime.now()
     _ = stamp
+    posix = time.clock_gettime(time.CLOCK_MONOTONIC)
+    _ = posix
     return time.perf_counter() - started

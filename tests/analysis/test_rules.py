@@ -25,9 +25,10 @@ class TestRngRule:
         # random.random, random.randint, unseeded default_rng, np.random.normal,
         # np.random.permutation
         assert len(rng001) == 5
-        # time.time, datetime.now, time.perf_counter
-        assert len(rng002) == 3
+        # time.time, datetime.now, time.clock_gettime, time.perf_counter
+        assert len(rng002) == 4
         assert any("unseeded" in f.message for f in rng001)
+        assert any("clock_gettime" in f.message for f in rng002)
         assert {f.symbol for f in rng002} == {"measured_path"}
 
     def test_negative_fixture(self, rules):

@@ -44,6 +44,17 @@ class TestPayload:
         assert "python" in payload["machine"]
         # In this checkout the sha must resolve; outside git it may be None.
         assert payload["git_sha"] is None or len(payload["git_sha"]) == 40
+        assert payload["dirty"] is None or isinstance(payload["dirty"], bool)
+
+    def test_sha_resolved_at_bench_time_not_cached(self, monkeypatch):
+        # BENCH_PR6.json shipped with the seed commit's sha because the
+        # stamp was effectively stale; the payload must call git at build
+        # time so it always describes the tree the numbers came from.
+        monkeypatch.setattr(bench_cli, "_git_sha", lambda: "f" * 40)
+        monkeypatch.setattr(bench_cli, "_git_dirty", lambda: True)
+        payload = bench_cli.build_payload({}, scale=1.0, seed=0, repetitions=1)
+        assert payload["git_sha"] == "f" * 40
+        assert payload["dirty"] is True
 
     def test_time_experiment_median(self):
         calls = []
@@ -183,3 +194,52 @@ class TestServingBench:
         assert bench_cli.main(
             ["S1", "--repetitions", "1", "--baseline", str(baseline)]
         ) == 1
+
+
+FAKE_SCALE_METRICS = {
+    "peers_per_s": 150_000.0,
+    "bytes_per_peer": 224.0,
+    "events_per_s": 90_000.0,
+    "max_queue_depth": 4.0,
+}
+
+
+class TestScaleBench:
+    """E1 (compact-ring + event-engine throughput) rides the same CLI."""
+
+    def test_e1_is_a_known_extra_bench(self):
+        # E1 is CLI-only for the same reason as S1: peers/sec and
+        # events/sec are wall-clock, which the registry contract forbids.
+        assert "E1" in bench_cli.EXTRA_BENCHES
+        assert "E1" not in bench_cli.EXPERIMENTS
+        # The legacy alias is the same object, so either name works.
+        assert bench_cli.SERVING_BENCHES is bench_cli.EXTRA_BENCHES
+
+    def test_main_writes_e1_metrics_into_trajectory(self, tmp_path, monkeypatch):
+        monkeypatch.setitem(
+            bench_cli.EXTRA_BENCHES, "E1", lambda scale, seed: dict(FAKE_SCALE_METRICS)
+        )
+        out = tmp_path / "BENCH.json"
+        assert bench_cli.main(["E1", "--json", str(out), "--repetitions", "1"]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["benches"]["E1"]["metrics"] == FAKE_SCALE_METRICS
+        assert "median_s" in payload["benches"]["E1"]
+
+    def test_scale_bench_metrics_shape(self):
+        from repro.experiments.scale_bench import run_scale_bench
+
+        metrics = run_scale_bench(scale=0.01, seed=0)
+        for key in (
+            "peers_per_s",
+            "bytes_per_peer",
+            "scan_width",
+            "mean_hops",
+            "events_per_s",
+            "max_queue_depth",
+        ):
+            assert key in metrics
+            assert isinstance(metrics[key], float)
+        assert metrics["peers"] >= 10_000  # the compact-plane floor
+        assert metrics["bytes_per_peer"] > 0.0
+        assert metrics["mean_hops"] > 1.0
+        assert metrics["storm_events"] > metrics["storm_lookups"]

@@ -1,0 +1,361 @@
+"""Tests for the discrete-event engine: determinism, replay, one clock.
+
+Two contracts carry everything else:
+
+* **Determinism** — a run is a pure function of (seed, schedule).  The
+  event queue orders on ``(time, seq)`` with a monotone insertion
+  counter, so the fired-event trace is byte-identical across repeated
+  runs in one process and across ``parallel_map`` worker counts.
+* **Replay** — in immediate mode (zero latency, no service model) the
+  engine reproduces the synchronous simulator exactly: same owners, same
+  hop counts, same :class:`~repro.ring.messages.MessageStats` ledger.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import parallel_map
+from repro.ring.events import (
+    Event,
+    EventEngine,
+    EventKind,
+    LatencyModel,
+    ServiceModel,
+    schedule_churn_plan,
+    schedule_gossip_push,
+    schedule_lookup,
+    schedule_probe_rpc,
+)
+from repro.ring.network import RingNetwork
+from repro.ring.routing import route_to_key
+from repro.ring.serialization import clone_network
+
+N_PEERS = 96
+STORM = 40
+
+
+def _fresh_network(seed=7, n_peers=N_PEERS):
+    return RingNetwork.create(n_peers, seed=seed)
+
+
+def _storm_tasks(network, engine, seed=3, count=STORM):
+    """Schedule a deterministic batch of concurrent lookups."""
+    rng = np.random.default_rng(seed)
+    ids = network.peer_ids()
+    entries = rng.integers(0, len(ids), size=count)
+    keys = rng.integers(0, network.space.size, size=count, dtype=np.uint64)
+    return [
+        schedule_lookup(engine, network.node(ids[int(e)]), int(k), tag=i)
+        for i, (e, k) in enumerate(zip(entries, keys))
+    ]
+
+
+def _timed_storm_trace(worker_tag):
+    """Top-level (picklable) unit for the cross-process determinism test.
+
+    Builds its own fixture from explicit seeds — the ``parallel_map``
+    contract — runs a timed, queued lookup storm, and returns the trace
+    bytes.  ``worker_tag`` only distinguishes items; it must not leak
+    into the result.
+    """
+    del worker_tag
+    network = _fresh_network()
+    engine = EventEngine(
+        network,
+        seed=11,
+        latency=LatencyModel(base=1.0, jitter=0.5),
+        service=ServiceModel(service_time=0.25),
+        record_trace=True,
+    )
+    _storm_tasks(network, engine)
+    engine.run()
+    return engine.trace_bytes()
+
+
+class TestQueueOrdering:
+    def test_ties_fire_in_insertion_order(self):
+        engine = EventEngine(_fresh_network(seed=1, n_peers=8))
+        fired = []
+        for i in range(5):
+            engine.schedule(1.0, EventKind.TIMER, lambda i=i: fired.append(i), tag=i)
+        engine.schedule(0.5, EventKind.TIMER, lambda: fired.append("early"))
+        engine.run()
+        assert fired == ["early", 0, 1, 2, 3, 4]
+
+    def test_clock_is_monotone_and_matches_events(self):
+        engine = EventEngine(_fresh_network(seed=1, n_peers=8), record_trace=True)
+        for delay in (3.0, 1.0, 2.0, 1.0):
+            engine.schedule(delay, EventKind.TIMER)
+        engine.run()
+        times = [e.time for e in engine.trace]
+        assert times == sorted(times) == [1.0, 1.0, 2.0, 3.0]
+        assert engine.now == 3.0
+        # Equal times fired in insertion order.
+        seqs = [e.seq for e in engine.trace[:2]]
+        assert seqs == sorted(seqs)
+
+    def test_negative_delay_rejected(self):
+        engine = EventEngine(_fresh_network(seed=1, n_peers=8))
+        with pytest.raises(ValueError):
+            engine.schedule(-0.1, EventKind.TIMER)
+
+    def test_run_until_stops_before_future_events(self):
+        engine = EventEngine(_fresh_network(seed=1, n_peers=8))
+        engine.schedule(1.0, EventKind.TIMER)
+        engine.schedule(5.0, EventKind.TIMER)
+        assert engine.run(until=2.0) == 1
+        assert engine.now == 1.0  # the clock never advances past `until`
+        assert engine.pending == 1
+        assert engine.run() == 1
+
+    def test_run_max_events_bounds_count(self):
+        engine = EventEngine(_fresh_network(seed=1, n_peers=8))
+        for _ in range(4):
+            engine.schedule(0.0, EventKind.TIMER)
+        assert engine.run(max_events=3) == 3
+        assert engine.pending == 1
+
+
+class TestDeterminism:
+    def test_trace_byte_identical_across_runs_in_process(self):
+        first = _timed_storm_trace(0)
+        second = _timed_storm_trace(1)
+        assert first == second
+        assert first  # non-empty: the storm actually ran
+
+    def test_trace_byte_identical_across_worker_counts(self):
+        serial = parallel_map(_timed_storm_trace, [0, 1], workers=1)
+        fanned = parallel_map(_timed_storm_trace, [0, 1], workers=2)
+        assert serial == fanned
+        assert serial[0] == serial[1]
+
+    def test_trace_bytes_shape(self):
+        engine = EventEngine(_fresh_network(seed=1, n_peers=8), record_trace=True)
+        assert engine.trace_bytes() == b""
+        engine.schedule(1.5, EventKind.TIMER, src=3, dst=4, tag=9)
+        engine.run()
+        assert engine.trace_bytes() == b"0|1.5|timer|3|4|9\n"
+
+    def test_engine_never_draws_from_network_rng(self):
+        network = _fresh_network()
+        before = network.rng.bit_generator.state["state"]
+        engine = EventEngine(
+            network, seed=5, latency=LatencyModel(base=1.0, jitter=0.5)
+        )
+        _storm_tasks(network, engine)
+        engine.run()
+        assert network.rng.bit_generator.state["state"] == before
+
+
+class TestImmediateReplay:
+    """Immediate mode is the synchronous simulator, event by event."""
+
+    def test_storm_reproduces_synchronous_ledger_and_owners(self):
+        reference = _fresh_network()
+        replayed = clone_network(reference)
+        rng = np.random.default_rng(3)
+        ids = reference.peer_ids()
+        entries = rng.integers(0, len(ids), size=STORM)
+        keys = rng.integers(0, reference.space.size, size=STORM, dtype=np.uint64)
+
+        reference.reset_stats()
+        expected = [
+            route_to_key(reference, reference.node(ids[int(e)]), int(k))
+            for e, k in zip(entries, keys)
+        ]
+
+        replayed.reset_stats()
+        engine = EventEngine(replayed)  # IMMEDIATE latency, no service
+        tasks = [
+            schedule_lookup(engine, replayed.node(ids[int(e)]), int(k), tag=i)
+            for i, (e, k) in enumerate(zip(entries, keys))
+        ]
+        engine.run()
+
+        assert all(task.ok for task in tasks)
+        assert [t.owner_ident for t in tasks] == [r.owner.ident for r in expected]
+        assert [t.hops for t in tasks] == [r.hops for r in expected]
+        assert [t.timeouts for t in tasks] == [r.timeouts for r in expected]
+        assert replayed.stats.as_dict() == reference.stats.as_dict()
+        # Immediate mode: everything fires at the start instant.
+        assert engine.now == 0.0
+        assert all(t.latency == 0.0 for t in tasks)
+
+    def test_replay_holds_with_stale_pointers(self):
+        # Crash a few peers without repair: routes now hit timeouts, and
+        # the engine must count them exactly as the reference does.
+        from repro.ring import chord
+
+        reference = _fresh_network(seed=19)
+        victims = list(reference.peer_ids())[3:30:9]
+        for ident in victims:
+            chord.crash(reference, ident)
+        replayed = clone_network(reference)
+        ids = list(reference.peer_ids())
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, reference.space.size, size=25, dtype=np.uint64)
+
+        reference.reset_stats()
+        expected = [
+            route_to_key(reference, reference.node(ids[i % len(ids)]), int(k))
+            for i, k in enumerate(keys)
+        ]
+        replayed.reset_stats()
+        engine = EventEngine(replayed)
+        tasks = [
+            schedule_lookup(engine, replayed.node(ids[i % len(ids)]), int(k))
+            for i, k in enumerate(keys)
+        ]
+        engine.run()
+        assert sum(t.timeouts for t in tasks) == sum(r.timeouts for r in expected)
+        assert [t.owner_ident for t in tasks] == [r.owner.ident for r in expected]
+        assert replayed.stats.as_dict() == reference.stats.as_dict()
+
+    def test_gossip_and_probe_match_synchronous_ledger(self):
+        network = _fresh_network(seed=2, n_peers=16)
+        a, b = list(network.peer_ids())[:2]
+        engine = EventEngine(network)
+        schedule_gossip_push(engine, a, b, payload_units=3.0)
+        schedule_probe_rpc(engine, a, b, reply_payload=8.0)
+        engine.run()
+        counts = network.stats.as_dict()
+        assert counts["gossip_push"] == 1
+        assert counts["probe_request"] == 1
+        assert counts["probe_reply"] == 1
+        assert network.stats.payload == pytest.approx(11.0)
+
+
+class TestServiceQueueing:
+    def test_queue_depth_tracks_hot_destination(self):
+        network = _fresh_network(seed=4, n_peers=16)
+        dst = list(network.peer_ids())[0]
+        src = list(network.peer_ids())[1]
+        engine = EventEngine(
+            network, latency=LatencyModel.IMMEDIATE, service=ServiceModel(1.0)
+        )
+        for i in range(5):
+            engine.deliver(src, dst, EventKind.MESSAGE, tag=i)
+        assert engine.queue_depth(dst) == 5
+        assert engine.max_queue_depth == 5
+        assert engine.hot_peer == dst
+        engine.run()
+        assert engine.queue_depth(dst) == 0
+        # Single-server FIFO: the k-th message completes at k * service.
+        assert engine.now == 5.0
+
+    def test_no_service_model_means_no_queueing(self):
+        network = _fresh_network(seed=4, n_peers=16)
+        ids = list(network.peer_ids())
+        engine = EventEngine(network, latency=LatencyModel(base=2.0))
+        for i in range(4):
+            engine.deliver(ids[1], ids[0], EventKind.MESSAGE, tag=i)
+        engine.run()
+        assert engine.max_queue_depth == 0
+        assert engine.hot_peer == -1
+        assert engine.now == 2.0
+
+
+class TestModels:
+    def test_latency_sample_jitter_free_draws_nothing(self):
+        rng = np.random.default_rng(0)
+        state = rng.bit_generator.state["state"]
+        assert LatencyModel(base=2.5).sample(rng) == 2.5
+        assert rng.bit_generator.state["state"] == state
+        assert LatencyModel.IMMEDIATE.sample(rng) == 0.0
+
+    def test_latency_jitter_bounded_and_deterministic(self):
+        model = LatencyModel(base=1.0, jitter=0.5)
+        draws = [model.sample(np.random.default_rng(9)) for _ in range(2)]
+        assert draws[0] == draws[1]
+        assert 1.0 <= draws[0] <= 1.5
+
+    def test_invalid_models_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(base=-1.0)
+        with pytest.raises(ValueError):
+            LatencyModel(jitter=-0.5)
+        with pytest.raises(ValueError):
+            ServiceModel(service_time=-0.1)
+
+    def test_event_is_frozen(self):
+        event = Event(time=0.0, seq=0, kind=EventKind.TIMER)
+        with pytest.raises(AttributeError):
+            event.time = 1.0
+
+
+class TestOneClock:
+    """Fault rounds, churn rounds, and messages share one simulated clock."""
+
+    def test_fault_plane_bind_runs_schedule_on_engine(self):
+        from repro.ring.faults import FaultPlane
+
+        network = _fresh_network(seed=6, n_peers=48)
+        plane = FaultPlane(seed=1).at(1, crash_count=2).at(3, crash_count=1)
+        network.install_faults(plane)
+        engine = EventEngine(network, record_trace=True)
+        reports = plane.bind(engine, round_duration=1.0)
+        before = network.n_peers
+        engine.run()
+        # Rounds 0..3 fire (the schedule drains at round 3), one FAULT_ROUND
+        # event per round_duration on the shared clock.
+        assert [r.round for r in reports] == [0, 1, 2, 3]
+        assert [r.crashes for r in reports] == [0, 2, 0, 1]
+        assert network.n_peers == before - 3
+        assert not plane._pending_rounds()
+        fault_rounds = [e for e in engine.trace if e.kind == EventKind.FAULT_ROUND]
+        assert len(fault_rounds) == len(reports)
+        assert [e.time for e in fault_rounds] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_inert_plane_binds_nothing(self):
+        from repro.ring.faults import FaultPlane
+
+        network = _fresh_network(seed=6, n_peers=16)
+        engine = EventEngine(network)
+        assert FaultPlane(seed=2).bind(engine) == []
+        assert engine.pending == 0
+
+    def test_churn_schedule_rounds_matches_synchronous_run(self):
+        from repro.ring.churn import ChurnConfig, ChurnProcess
+
+        config = ChurnConfig(join_rate=0.05, leave_rate=0.05)
+        reference = _fresh_network(seed=8)
+        ref_churn = ChurnProcess(reference, config, rng=np.random.default_rng(13))
+        expected = [ref_churn.run_round() for _ in range(4)]
+
+        replayed = _fresh_network(seed=8)
+        engine = EventEngine(replayed)
+        rep_churn = ChurnProcess(replayed, config, rng=np.random.default_rng(13))
+        reports = rep_churn.schedule_rounds(engine, 4, round_duration=1.0)
+        engine.run()
+        assert len(reports) == 4
+        assert [r.joins for r in reports] == [r.joins for r in expected]
+        assert [(r.graceful_leaves, r.crashes) for r in reports] == [
+            (r.graceful_leaves, r.crashes) for r in expected
+        ]
+        assert sorted(replayed.peer_ids()) == sorted(reference.peer_ids())
+
+    def test_schedule_churn_plan_spreads_individual_transitions(self):
+        from repro.ring.churn import ChurnConfig, ChurnProcess
+
+        network = _fresh_network(seed=9)
+        churn = ChurnProcess(
+            network,
+            ChurnConfig(join_rate=0.08, leave_rate=0.08),
+            rng=np.random.default_rng(21),
+        )
+        engine = EventEngine(network, record_trace=True)
+        plan = schedule_churn_plan(engine, churn, round_duration=1.0)
+        total = len(plan.joins) + len(plan.departures)
+        assert total > 0
+        fired = engine.run()
+        assert fired == total
+        membership_kinds = {EventKind.JOIN, EventKind.LEAVE, EventKind.CRASH}
+        events = [e for e in engine.trace if e.kind in membership_kinds]
+        assert len(events) == total
+        # Spread across the round, not stacked on one boundary instant.
+        assert len({e.time for e in events}) == total
+        assert all(0.0 <= e.time < 1.0 for e in events)
+        for ident in plan.joins:
+            assert ident in network
+        for ident, _is_crash in plan.departures:
+            assert ident not in network
