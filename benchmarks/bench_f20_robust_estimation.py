@@ -1,0 +1,63 @@
+"""F20 — robust estimation: probes vs. epidemics under faults and liars."""
+
+from benchmarks._harness import regenerate
+
+
+def test_f20_robust_estimation(benchmark):
+    table = regenerate(benchmark, "F20", scale=0.25)
+    rows = {
+        (r["faults"], r["liar_fraction"], r["estimator"]): r for r in table.rows
+    }
+    fractions = sorted({r["liar_fraction"] for r in table.rows})
+    estimators = {r["estimator"] for r in table.rows}
+    assert estimators == {"trusting-ht", "robust-ht", "spectra", "push-sum"}
+
+    # Clean cell: everyone is accurate and the hardening costs the
+    # robust estimator essentially nothing over the trusting one.
+    clean = {name: rows[("none", 0.0, name)] for name in estimators}
+    assert all(r["max_err"] < 0.1 for r in clean.values())
+    assert clean["robust-ht"]["max_err"] <= clean["trusting-ht"]["max_err"] + 0.05
+
+    # The acceptance relationship of the robustness PR: wherever at least
+    # 10% of peers lie, the robust-HT probe estimator and the screened
+    # Spectra epidemic both beat the trusting estimator outright — with
+    # and without the heavy fault profile stacked on top.
+    for faults in ("none", "heavy"):
+        for fraction in fractions:
+            if fraction < 0.1:
+                continue
+            trusting = rows[(faults, fraction, "trusting-ht")]["max_err"]
+            assert rows[(faults, fraction, "robust-ht")]["max_err"] < trusting
+            assert rows[(faults, fraction, "spectra")]["max_err"] < trusting
+
+    # Mass conservation is what the atomic exchanges buy: under the heavy
+    # profile push-sum (which destroys in-flight mass on every drop)
+    # collapses while Spectra stays accurate.
+    for fraction in fractions:
+        assert (
+            rows[("heavy", fraction, "spectra")]["max_err"]
+            < rows[("heavy", fraction, "push-sum")]["max_err"]
+        )
+
+    # The price of the epidemic designs is message cost: every epidemic
+    # cell spends strictly more than the probe estimators' costliest cell.
+    probe_cost = max(
+        r["messages"]
+        for r in table.rows
+        if r["estimator"] in ("trusting-ht", "robust-ht")
+    )
+    epidemic_cost = min(
+        r["messages"]
+        for r in table.rows
+        if r["estimator"] in ("spectra", "push-sum")
+    )
+    assert epidemic_cost > probe_cost
+
+    # Probe estimators share collection, so their evidence cost and
+    # coverage are identical cell by cell; only the combiner differs.
+    for faults in ("none", "heavy"):
+        for fraction in fractions:
+            trusting = rows[(faults, fraction, "trusting-ht")]
+            robust = rows[(faults, fraction, "robust-ht")]
+            assert trusting["messages"] == robust["messages"]
+            assert trusting["coverage"] == robust["coverage"]

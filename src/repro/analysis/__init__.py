@@ -12,6 +12,8 @@ VER001    topology/data mutations bump the version tokens caches
           key on
 SUM001    table paths accumulate floats strictly sequentially
 ERR001    routing failures use the ``RouteOutcome`` taxonomy
+ERR002    probe/exchange paths never swallow ``NetworkError`` —
+          failures surface as RouteOutcome/ProbeFailure evidence
 ========  ==========================================================
 
 See docs/STATIC_ANALYSIS.md for the rule catalogue, the suppression

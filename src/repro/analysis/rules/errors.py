@@ -1,9 +1,12 @@
-"""ERR001: the routing layer fails through ``RouteOutcome``, not ad-hoc raises.
+"""ERR001/ERR002: network failures flow through the declared taxonomy.
 
 PR 3 replaced exception-driven failure handling on the routing paths with
 the :class:`~repro.ring.routing.RouteOutcome` taxonomy so estimation can
 degrade gracefully (partial coverage, widened bands) instead of
-propagating exceptions mid-experiment.  Two contracts keep that true:
+propagating exceptions mid-experiment.  Two rules keep that true from
+both sides of the contract:
+
+**ERR001 — the routing layer raises only its taxonomy.**
 
 * functions whose signature promises a ``RouteOutcome`` never raise —
   every failure becomes a taxonomy value (``"partitioned"``,
@@ -12,6 +15,16 @@ propagating exceptions mid-experiment.  Two contracts keep that true:
   taxonomy (``RoutingError``/``NetworkError``) or argument-validation
   errors (``ValueError``/``IndexError``/``TypeError``) — never ad-hoc
   ``RuntimeError``/``Exception`` types a caller cannot dispatch on.
+
+**ERR002 — the probe/exchange layer never swallows that taxonomy.**
+
+The estimation-side complement: a ``try`` handler on a probe or exchange
+path that catches ``NetworkError`` (directly, or via a bare/blanket
+``except``) and neither re-raises nor records the failure as evidence
+(``RouteOutcome`` / ``ProbeFailure`` / ``degraded_from_exception``)
+makes a lost probe look like a probe that was never sent — coverage,
+confidence inflation, and the message ledger all silently lie.
+Failures must be *data* on these paths, never discarded control flow.
 """
 
 from __future__ import annotations
@@ -21,7 +34,7 @@ from typing import ClassVar, Iterable, Optional
 
 from repro.analysis.framework import FileContext, Finding, Rule, register_rule
 
-__all__ = ["RouteOutcomeRule"]
+__all__ = ["RouteOutcomeRule", "ProbeExchangeSwallowRule"]
 
 #: Exception types the routing layer may legitimately raise: its declared
 #: taxonomy plus argument-validation errors raised before any routing work.
@@ -110,4 +123,94 @@ class RouteOutcomeRule(Rule):
                     f"ad-hoc `raise {name}` in the routing layer; raise the "
                     "declared taxonomy (RoutingError/NetworkError) or return "
                     "a RouteOutcome failure",
+                )
+
+
+#: Exception names whose handlers would catch a ``NetworkError``: the
+#: taxonomy itself plus the blanket supertypes.  ``RoutingError`` is the
+#: routing-failure subtype of the taxonomy, so it is covered too.
+_NETWORK_TAXONOMY = frozenset({"NetworkError", "RoutingError"})
+_BLANKET_TYPES = frozenset({"Exception", "BaseException"})
+
+#: Names whose appearance in a handler body shows the failure became
+#: evidence rather than vanishing: the routing taxonomy value, the probe
+#: layer's failure record, or the estimate-layer conversion that encodes
+#: the exception into a ``DegradedEstimate``'s failure reasons.
+_FAILURE_EVIDENCE = frozenset(
+    {"RouteOutcome", "ProbeFailure", "degraded_from_exception"}
+)
+
+
+def _caught_names(handler: ast.ExceptHandler) -> Optional[frozenset[str]]:
+    """Exception class names a handler catches; ``None`` for bare except."""
+    if handler.type is None:
+        return None
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    names: set[str] = set()
+    for node in types:
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return frozenset(names)
+
+
+def _handler_keeps_failure(handler: ast.ExceptHandler) -> bool:
+    """Does the handler re-raise or turn the failure into evidence?"""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Name) and node.id in _FAILURE_EVIDENCE:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _FAILURE_EVIDENCE:
+            return True
+    return False
+
+
+@register_rule
+class ProbeExchangeSwallowRule(Rule):
+    """ERR002 — probe/exchange paths never swallow ``NetworkError``."""
+
+    id: ClassVar[str] = "ERR002"
+    title: ClassVar[str] = "probe/exchange paths never swallow NetworkError"
+    rationale: ClassVar[str] = (
+        "a swallowed delivery failure makes a lost probe look unsent: "
+        "coverage, CI inflation, and the message ledger all lie; failures "
+        "on estimation paths must surface as RouteOutcome/ProbeFailure "
+        "evidence or propagate"
+    )
+    paths: ClassVar[tuple[str, ...]] = (
+        "*repro/core/cdf_sampling.py",
+        "*repro/core/estimator.py",
+        "*repro/core/adaptive.py",
+        "*repro/core/baselines/*.py",
+    )
+
+    def check(self, context: FileContext) -> Iterable[Finding]:
+        try_types: tuple[type, ...] = (ast.Try,)
+        if hasattr(ast, "TryStar"):  # pragma: no branch - version constant
+            try_types = (ast.Try, ast.TryStar)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, try_types):
+                continue
+            for handler in node.handlers:
+                names = _caught_names(handler)
+                if names is None:
+                    reach = "bare `except:`"
+                elif names & _BLANKET_TYPES:
+                    reach = f"blanket `except {sorted(names & _BLANKET_TYPES)[0]}`"
+                elif names & _NETWORK_TAXONOMY:
+                    reach = f"`except {sorted(names & _NETWORK_TAXONOMY)[0]}`"
+                else:
+                    continue
+                if _handler_keeps_failure(handler):
+                    continue
+                yield context.finding(
+                    self,
+                    handler,
+                    f"{reach} on a probe/exchange path swallows delivery "
+                    "failures; re-raise, or record the failure as "
+                    "RouteOutcome/ProbeFailure evidence",
                 )

@@ -4,11 +4,13 @@ from repro.core.baselines.gossip import PushSumHistogramEstimator
 from repro.core.baselines.naive import NaivePeerSamplingEstimator
 from repro.core.baselines.parametric import ParametricEstimator
 from repro.core.baselines.random_walk import RandomWalkEstimator, metropolis_hastings_walk
+from repro.core.baselines.spectra import SpectraEstimator
 
 __all__ = [
     "NaivePeerSamplingEstimator",
     "ParametricEstimator",
     "PushSumHistogramEstimator",
     "RandomWalkEstimator",
+    "SpectraEstimator",
     "metropolis_hastings_walk",
 ]

@@ -176,30 +176,82 @@ class PushSumHistogramEstimator:
         weights = np.ones(n, dtype=float)
         values[initiator_index, self.buckets] = 1.0
 
+        # Fault-aware path, taken only when a fault plane or base message
+        # loss is configured (the fault-free path below is untouched and
+        # byte-identical to its historical behaviour).  Push-sum has no
+        # retransmission story: a dropped push destroys the in-flight half
+        # of the sender's mass *and weight*, biasing the converged ratio —
+        # exactly the failure mode Spectra's atomic exchanges avoid, and
+        # the contrast F20 measures.  Stalled peers neither push nor
+        # receive; pushes to them, across a partition, or over a lossy
+        # link are lost.
+        faults = network.faults
+        plane = faults if faults is not None and faults.active else None
+        loss_rate = network.loss_rate
+        lossy = plane is not None or loss_rate > 0.0
+
         pushes = 0
         targets = np.empty(n, dtype=np.intp)
         inbox_values = np.empty_like(values)
         inbox_weights = np.empty_like(weights)
         integers = generator.integers
-        for _ in range(self.rounds):
-            # Draw each peer's push target in peer order — the exact RNG
-            # sequence the per-peer loop consumed (no draw for a peer with
-            # no live neighbour: it keeps both halves, modelled as a push
-            # to itself that costs no message).
-            for index, candidates in enumerate(candidate_indices):
-                if candidates is None:
-                    targets[index] = index
-                else:
+        if lossy:
+            responsive = [
+                plane is None or not plane.is_stalled(ident) for ident in peer_ids
+            ]
+            lost = np.zeros(n, dtype=bool)
+            for _ in range(self.rounds):
+                lost[:] = False
+                for index, candidates in enumerate(candidate_indices):
+                    if candidates is None or not responsive[index]:
+                        # No live neighbour, or stalled: keeps both halves
+                        # (a free self-push), sends nothing.
+                        targets[index] = index
+                        continue
                     targets[index] = candidates[int(integers(0, len(candidates)))]
                     pushes += 1
-            values *= 0.5
-            weights *= 0.5
-            inbox_values.fill(0.0)
-            inbox_weights.fill(0.0)
-            np.add.at(inbox_values, targets, values)
-            np.add.at(inbox_weights, targets, weights)
-            values += inbox_values
-            weights += inbox_weights
+                    dst_index = int(targets[index])
+                    delivered = True
+                    if plane is not None:
+                        src_id, dst_id = peer_ids[index], peer_ids[dst_index]
+                        if not responsive[dst_index]:
+                            delivered = False
+                        elif not plane.reachable(src_id, dst_id):
+                            delivered = False
+                        elif not plane.link_delivers(src_id, dst_id):
+                            delivered = False
+                    if delivered and loss_rate > 0.0:
+                        delivered = bool(generator.random() >= loss_rate)
+                    lost[index] = not delivered
+                values *= 0.5
+                weights *= 0.5
+                inbox_values.fill(0.0)
+                inbox_weights.fill(0.0)
+                kept = ~lost
+                np.add.at(inbox_values, targets[kept], values[kept])
+                np.add.at(inbox_weights, targets[kept], weights[kept])
+                values += inbox_values
+                weights += inbox_weights
+        else:
+            for _ in range(self.rounds):
+                # Draw each peer's push target in peer order — the exact RNG
+                # sequence the per-peer loop consumed (no draw for a peer with
+                # no live neighbour: it keeps both halves, modelled as a push
+                # to itself that costs no message).
+                for index, candidates in enumerate(candidate_indices):
+                    if candidates is None:
+                        targets[index] = index
+                    else:
+                        targets[index] = candidates[int(integers(0, len(candidates)))]
+                        pushes += 1
+                values *= 0.5
+                weights *= 0.5
+                inbox_values.fill(0.0)
+                inbox_weights.fill(0.0)
+                np.add.at(inbox_values, targets, values)
+                np.add.at(inbox_weights, targets, weights)
+                values += inbox_values
+                weights += inbox_weights
         if pushes:
             # One ledger update for the whole pass; totals are identical to
             # recording each push separately.

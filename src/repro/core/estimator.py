@@ -25,10 +25,19 @@ from repro.core.cdf_sampling import (
     probe_positions,
 )
 from repro.core.estimate import DegradedEstimate, DensityEstimate, zero_evidence_estimate
+from repro.core.robust import (
+    RobustMethod,
+    robust_assemble,
+    validate_mom_groups,
+    validate_robust_method,
+    validate_trim_fraction,
+    winsorize_summaries,
+)
 from repro.ring.faults import RetryPolicy
 from repro.ring.network import RingNetwork
 
 if TYPE_CHECKING:  # runtime imports stay local to avoid module cycles
+    from repro.core.cdf import PiecewiseCDF
     from repro.core.confidence import ConfidenceBand
     from repro.core.synopsis import PeerSummary
 
@@ -87,7 +96,32 @@ class DistributionFreeEstimator:
         When set, replies whose implied density exceeds this multiple of
         the batch median are discarded before assembly — the pollution
         defense of :mod:`repro.core.byzantine`.  ``None`` trusts every
-        reply (the default).
+        reply (the default).  Must exceed 1 when set — a ratio at or below
+        1 would discard every reply denser than the neighbourhood median.
+    robust:
+        Robust combiner over the probe replies (see :mod:`repro.core.robust`).
+        ``None`` (default) is the trusting estimator.  ``"winsorized"``
+        clamps over-dense replies to the batch's ``(1 - trim_fraction)``
+        density quantile and then assembles normally — it transforms the
+        evidence, not the weights, so it composes with either ``combine``
+        mode and is the recommended hardening under order-preserving
+        placement.  ``"trimmed"`` discards the ``trim_fraction``
+        highest- and lowest-density replies before HT weighting;
+        ``"median-of-means"`` splits the batch into ``mom_groups`` groups
+        and takes the pointwise median of the per-group mixtures.  Those
+        two force mixture-family assembly (the robust statistics operate
+        on per-reply weights, which the interpolated reconstruction does
+        not have) and ``combine`` is ignored while they are active.  All
+        compose with ``trim_density_ratio``: the density trim runs first.
+    trim_fraction:
+        Per-side trim fraction for ``robust="trimmed"`` and the cap
+        quantile for ``robust="winsorized"``; in ``[0, 0.5)``.
+    mom_groups:
+        Group count for ``robust="median-of-means"``; at least 1.  The
+        median resists pollution only while a majority of groups is
+        liar-free, so keep groups small enough that
+        ``1 - (1-ε)^(probes/groups) < 1/2`` at the liar fraction ``ε`` you
+        defend against — the default 16 covers ``ε ≈ 0.1`` at 64 probes.
     retry:
         Explicit :class:`~repro.ring.faults.RetryPolicy` for the probe
         lookups.  Setting it (or attaching an active fault plane to the
@@ -107,6 +141,9 @@ class DistributionFreeEstimator:
     interpolation: Literal["linear", "step"] = "linear"
     gap_interpolation: Literal["linear", "log"] = "linear"
     trim_density_ratio: Optional[float] = None
+    robust: Optional[RobustMethod] = None
+    trim_fraction: float = 0.1
+    mom_groups: int = 16
     retry: Optional[RetryPolicy] = None
     name: str = "distribution-free"
 
@@ -117,6 +154,13 @@ class DistributionFreeEstimator:
             raise ValueError(f"synopsis_buckets must be >= 1, got {self.synopsis_buckets}")
         if self.combine not in ("interpolate", "mixture"):
             raise ValueError(f"unknown combine mode {self.combine!r}")
+        if self.trim_density_ratio is not None and self.trim_density_ratio <= 1.0:
+            raise ValueError(
+                f"trim_density_ratio must be > 1, got {self.trim_density_ratio}"
+            )
+        validate_robust_method(self.robust)
+        validate_trim_fraction(self.trim_fraction)
+        validate_mom_groups(self.mom_groups)
 
     def estimate(
         self, network: RingNetwork, rng: Optional[np.random.Generator] = None
@@ -152,16 +196,7 @@ class DistributionFreeEstimator:
 
             summaries = trim_outlier_summaries(summaries, self.trim_density_ratio)
         try:
-            if self.combine == "interpolate":
-                reconstruction = assemble_cdf_interpolated(
-                    summaries, network.domain, self.gap_interpolation
-                )
-                cdf = reconstruction.cdf
-                n_items = reconstruction.total_items
-            else:
-                weights = ht_weights(summaries)
-                cdf = assemble_cdf(summaries, weights, network.domain, self.interpolation)
-                n_items = estimate_total_items(summaries, network.space.size)
+            cdf, n_items = self._assemble(summaries, network)
         except ValueError:
             # Every probed peer was empty: no distribution to reconstruct.
             # Degrade to the explicit zero-evidence prior instead of
@@ -187,6 +222,41 @@ class DistributionFreeEstimator:
             method=self.name,
             latency_rounds=float(latency),
         )
+
+    def _assemble(
+        self, summaries: Sequence[PeerSummary], network: RingNetwork
+    ) -> tuple["PiecewiseCDF", float]:
+        """Assemble ``(F̂, n̂)`` from probe replies per the configured policy.
+
+        Trusting assembly (``robust=None``) reproduces the historical
+        operation order exactly — both estimation paths share this body, so
+        the factoring is byte-neutral.  A configured robust method routes
+        to :func:`repro.core.robust.robust_assemble` instead.  Raises
+        ``ValueError`` on zero usable evidence in every mode.
+        """
+        if self.robust == "winsorized":
+            # Winsorization transforms the evidence, not the weights, so
+            # it hardens whichever assembly is configured — including the
+            # interpolated reconstruction the other combiners cannot use.
+            summaries = winsorize_summaries(summaries, self.trim_fraction)
+        elif self.robust is not None:
+            return robust_assemble(
+                summaries,
+                network.domain,
+                network.space.size,
+                self.robust,
+                self.trim_fraction,
+                self.mom_groups,
+                self.interpolation,
+            )
+        if self.combine == "interpolate":
+            reconstruction = assemble_cdf_interpolated(
+                summaries, network.domain, self.gap_interpolation
+            )
+            return reconstruction.cdf, reconstruction.total_items
+        weights = ht_weights(summaries)
+        cdf = assemble_cdf(summaries, weights, network.domain, self.interpolation)
+        return cdf, estimate_total_items(summaries, network.space.size)
 
     def _estimate_degraded(
         self, network: RingNetwork, rng: Optional[np.random.Generator]
@@ -237,16 +307,7 @@ class DistributionFreeEstimator:
                 reasons or ("no_evidence",),
             )
         try:
-            if self.combine == "interpolate":
-                reconstruction = assemble_cdf_interpolated(
-                    summaries, network.domain, self.gap_interpolation
-                )
-                cdf = reconstruction.cdf
-                n_items = reconstruction.total_items
-            else:
-                weights = ht_weights(summaries)
-                cdf = assemble_cdf(summaries, weights, network.domain, self.interpolation)
-                n_items = estimate_total_items(summaries, network.space.size)
+            cdf, n_items = self._assemble(summaries, network)
         except ValueError:
             return zero_evidence_estimate(
                 network.domain,

@@ -38,10 +38,25 @@ EXPECTATION = (
 LIAR_FRACTIONS = (0.0, 0.05, 0.10, 0.20)
 DISTRIBUTIONS = ("normal", "zipf")
 ATTACK_VALUE = 0.9
+#: Default neighbourhood-density trim threshold for the defended cells.
+#: A reply denser than this multiple of its ring-neighbourhood median is
+#: discarded; 20× sits far above honest normal/zipf density variation yet
+#: far below the 100× pollution attack the sweep injects.
+TRIM_DENSITY_RATIO = 20.0
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ResultTable:
-    """Sweep the liar fraction for trusting vs. trimming estimators."""
+def run(
+    scale: float = 1.0, seed: int = 0, trim_ratio: float = TRIM_DENSITY_RATIO
+) -> ResultTable:
+    """Sweep the liar fraction for trusting vs. trimming estimators.
+
+    ``trim_ratio`` sets the density-trim threshold used by the defended
+    estimators.  It is validated here (and again by the estimator
+    constructors) before any network work starts, so a bad sweep
+    configuration fails fast.
+    """
+    if trim_ratio <= 1.0:
+        raise ValueError(f"trim_ratio must be > 1, got {trim_ratio}")
     table = ResultTable(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
@@ -71,12 +86,16 @@ def run(scale: float = 1.0, seed: int = 0) -> ResultTable:
             for defense, estimator in (
                 ("none", DistributionFreeEstimator(probes=probes)),
                 (
-                    "trim-20x",
-                    DistributionFreeEstimator(probes=probes, trim_density_ratio=20.0),
+                    f"trim-{trim_ratio:g}x",
+                    DistributionFreeEstimator(
+                        probes=probes, trim_density_ratio=trim_ratio
+                    ),
                 ),
                 (
                     "adaptive+trim",
-                    AdaptiveDensityEstimator(probes=probes, trim_density_ratio=20.0),
+                    AdaptiveDensityEstimator(
+                        probes=probes, trim_density_ratio=trim_ratio
+                    ),
                 ),
             ):
                 errors = [

@@ -58,7 +58,9 @@ def _install_scenario(
     if not spec:
         return
     plane = FaultPlane(seed=seed, loss_rate=spec.get("loss_rate", 0.0))
-    network.install_faults(plane)
+    # replace=True: the controlled scenario displaces any whole-suite
+    # profile plane (REPRO_FAULT_PROFILE) the fixture came with.
+    network.install_faults(plane, replace=True)
     stall_fraction = spec.get("stall_fraction", 0.0)
     if stall_fraction:
         plane.at(plane.round, stall_fraction=stall_fraction)

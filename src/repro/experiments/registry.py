@@ -25,6 +25,7 @@ from repro.experiments import (
     exp_method_comparison,
     exp_placement,
     exp_replication,
+    exp_robust_estimation,
     exp_selectivity,
     exp_virtual_nodes,
 )
@@ -69,6 +70,7 @@ EXPERIMENTS: dict[str, Callable[..., ResultTable]] = {
     "F17": exp_byzantine.run,
     "F18": exp_fault_plane.run,
     "F19": exp_congestion.run,
+    "F20": exp_robust_estimation.run,
     "A1": exp_ablations.run_synopsis_ablation,
     "A2": exp_ablations.run_placement_ablation,
     "A3": exp_ablations.run_assembly_ablation,

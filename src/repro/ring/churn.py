@@ -133,7 +133,9 @@ class ChurnProcess:
             raise ValueError("replication_every must be >= 1")
         self._rounds_run = 0
         if self.faults is not None and self.network.faults is not self.faults:
-            self.network.install_faults(self.faults)
+            # The churn process's own plane drives the run by design, even
+            # when a whole-suite profile plane is already attached.
+            self.network.install_faults(self.faults, replace=True)
         if self.replication is not None and self.replication.factor > 1:
             self.replication.replicate_round()
 

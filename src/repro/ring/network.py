@@ -129,7 +129,7 @@ class RingNetwork:
             return True
         return bool(self.rng.random() >= self.loss_rate)
 
-    def install_faults(self, plane: FaultPlane) -> FaultPlane:
+    def install_faults(self, plane: FaultPlane, *, replace: bool = False) -> FaultPlane:
         """Attach a fault plane to this network and return it.
 
         The plane subsumes the scalar loss model: a plane carrying a base
@@ -139,7 +139,22 @@ class RingNetwork:
         loss, scheduled bursts) are consulted only by the policy-aware
         routing path — with none configured, behaviour is bit-identical to
         an unattached network.
+
+        A network has at most one plane.  Attaching a second one used to
+        silently drop the first (last-attached-wins); that is now an
+        error unless ``replace=True`` states the intent — callers that
+        deliberately override an existing plane (a controlled experiment
+        scenario displacing the whole-suite profile, or a fresh plane per
+        measured contender) must say so.  Re-attaching the already
+        installed plane is a no-op-safe idempotent call.  See
+        ``docs/ROBUSTNESS.md`` for the contract.
         """
+        if self.faults is not None and self.faults is not plane and not replace:
+            raise ValueError(
+                "a FaultPlane is already attached to this network; pass "
+                "replace=True to swap it deliberately (the previous "
+                "last-attached-plane-wins behaviour was silent data loss)"
+            )
         self.faults = plane
         plane.attach(self)
         return plane
@@ -204,10 +219,13 @@ class RingNetwork:
         # default), this branch never runs and behaviour is unchanged.
         profile = os.environ.get(FAULT_PROFILE_ENV)
         if profile:
+            # replace=True: the suite profile deliberately overrides the
+            # deprecated loss_rate-shim plane when both are configured.
             network.install_faults(
                 plane_from_profile(
                     profile, seed=seed if seed is not None else 0, ring_size=space.size
-                )
+                ),
+                replace=True,
             )
         return network
 

@@ -1,0 +1,59 @@
+"""ERR002 negative fixture: failures re-raised or recorded as evidence."""
+
+
+class NetworkError(Exception):
+    pass
+
+
+class ProbeFailure:
+    def __init__(self, target, reason):
+        self.target = target
+        self.reason = reason
+
+
+def collect(network, targets):
+    results, failures = [], []
+    for target in targets:
+        try:
+            results.append(network.exchange(target))
+        except NetworkError as exc:
+            failures.append(ProbeFailure(target, str(exc)))
+    return results, failures
+
+
+def strict(network, target):
+    try:
+        return network.exchange(target)
+    except NetworkError:
+        raise
+
+
+def outcome_path(network, target):
+    try:
+        return network.exchange(target)
+    except NetworkError:
+        return RouteOutcome(ok=False, reason="exchange_failed")
+
+
+def estimate(network):
+    try:
+        return network.run()
+    except NetworkError as exc:
+        return degraded_from_exception(exc, network.domain)
+
+
+def unrelated(values):
+    try:
+        return int(values[0])
+    except (ValueError, IndexError):
+        return 0
+
+
+class RouteOutcome:
+    def __init__(self, ok, reason=""):
+        self.ok = ok
+        self.reason = reason
+
+
+def degraded_from_exception(exc, domain):
+    return ("degraded", str(exc), domain)

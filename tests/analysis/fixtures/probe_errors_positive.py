@@ -1,0 +1,32 @@
+"""ERR002 positive fixture: probe paths swallowing delivery failures."""
+
+
+class NetworkError(Exception):
+    pass
+
+
+def collect(network, targets):
+    results = []
+    for target in targets:
+        try:
+            results.append(network.exchange(target))
+        except NetworkError:  # swallowed: the lost probe looks unsent
+            continue
+    return results
+
+
+def harvest(network, targets):
+    out = []
+    for target in targets:
+        try:
+            out.append(network.exchange(target))
+        except Exception:  # blanket catch also swallows NetworkError
+            pass
+    return out
+
+
+def drain(network):
+    try:
+        return network.pull()
+    except:  # noqa: E722  bare catch, failure discarded
+        return None

@@ -97,7 +97,7 @@ class TestOutput:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RNG001", "RNG002", "VER001", "SUM001", "ERR001"):
+        for rule_id in ("RNG001", "RNG002", "VER001", "SUM001", "ERR001", "ERR002"):
             assert rule_id in out
 
     def test_select_limits_rules(self, tmp_path, capsys):

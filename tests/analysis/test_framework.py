@@ -109,13 +109,14 @@ class TestScopes:
 
 
 class TestSelection:
-    def test_all_five_rules_registered(self, rules):
+    def test_all_six_rules_registered(self, rules):
         assert {rule.id for rule in rules} == {
             "RNG001",
             "RNG002",
             "VER001",
             "SUM001",
             "ERR001",
+            "ERR002",
         }
 
     def test_select_subset(self):

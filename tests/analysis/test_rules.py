@@ -110,3 +110,32 @@ class TestRouteOutcomeRule:
     def test_out_of_scope_path_not_checked(self, rules):
         active, _ = lint_fixture("errors_positive.py", "src/repro/core/fake.py", rules)
         assert [f for f in active if f.rule == "ERR001"] == []
+
+
+class TestProbeExchangeSwallowRule:
+    def test_positive_fixture(self, rules):
+        active, _ = lint_fixture(
+            "probe_errors_positive.py", "src/repro/core/cdf_sampling.py", rules
+        )
+        errs = [f for f in active if f.rule == "ERR002"]
+        # except NetworkError: continue, blanket except Exception: pass,
+        # bare except: return None
+        assert len(errs) == 3
+        assert {f.symbol for f in errs} == {"collect", "harvest", "drain"}
+        assert any("bare" in f.message for f in errs)
+        assert any("blanket" in f.message for f in errs)
+
+    def test_negative_fixture(self, rules):
+        active, _ = lint_fixture(
+            "probe_errors_negative.py", "src/repro/core/estimator.py", rules
+        )
+        assert [f for f in active if f.rule == "ERR002"] == []
+
+    def test_out_of_scope_path_not_checked(self, rules):
+        # The ring layer legitimately consumes NetworkError internally
+        # (maintenance best-effort paths); ERR002 scopes to the probe and
+        # exchange modules only.
+        active, _ = lint_fixture(
+            "probe_errors_positive.py", "src/repro/ring/chord.py", rules
+        )
+        assert [f for f in active if f.rule == "ERR002"] == []

@@ -17,7 +17,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "T1", "F1", "F2", "F3", "F4", "F5", "F6", "F7",
             "T2", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16",
-            "F17", "F18", "F19",
+            "F17", "F18", "F19", "F20",
             "A1", "A2", "A3", "A4",
         }
 
