@@ -16,7 +16,14 @@ this rule flags the constructs that break the contract:
   strictly-sequential additions every existing table path uses, so mixing
   the two silently changes table bytes;
 * ``for`` loops over set/dict sources whose bodies ``+=`` into an
-  accumulator.
+  accumulator;
+* vectorized sums — ``np.sum``/``np.nansum`` (or an ``.sum()`` method
+  call) fed from an unordered source, directly or through an array
+  conversion such as ``np.asarray``/``np.fromiter``/``list``.  The
+  columnar estimation plane reduces whole columns in one call; the array
+  being reduced must be built in a defined element order, because the
+  reduction consumes elements positionally and a hash-dependent build
+  order changes the float result just like an unordered loop would.
 
 Integer-only accumulation over sets is order-insensitive in exact
 arithmetic; when such a site is provably integral, suppress it inline
@@ -34,6 +41,10 @@ __all__ = ["SequentialAccumulationRule"]
 
 _DICT_VIEW_METHODS = frozenset({"keys", "values", "items"})
 _SET_BUILTINS = frozenset({"set", "frozenset"})
+_NUMPY_SUMS = frozenset({"numpy.sum", "numpy.nansum"})
+_ARRAY_CONVERSIONS = frozenset(
+    {"numpy.asarray", "numpy.array", "numpy.fromiter", "list", "tuple"}
+)
 
 
 def _unordered_source(node: ast.expr) -> Optional[str]:
@@ -63,6 +74,25 @@ def _comprehension_source(node: ast.expr) -> Optional[str]:
     if isinstance(node, (ast.GeneratorExp, ast.ListComp)) and node.generators:
         return _unordered_source(node.generators[0].iter)
     return None
+
+
+def _unordered_feed(node: ast.expr, resolve) -> Optional[str]:
+    """Unordered source feeding ``node``, looking through array conversions.
+
+    Vectorized reductions consume their input positionally, so an
+    unordered source stays unordered through ``np.asarray(...)`` /
+    ``np.fromiter(...)`` / ``list(...)`` — the conversion freezes *some*
+    hash-dependent order, it does not define one.
+    """
+    while isinstance(node, ast.Call) and node.args:
+        func = node.func
+        is_conversion = (
+            isinstance(func, ast.Name) and func.id in _ARRAY_CONVERSIONS
+        ) or (resolve(func) in _ARRAY_CONVERSIONS)
+        if not is_conversion:
+            break
+        node = node.args[0]
+    return _unordered_source(node) or _comprehension_source(node)
 
 
 def _has_add_augassign(body: Iterable[ast.stmt]) -> bool:
@@ -98,6 +128,34 @@ class SequentialAccumulationRule(Rule):
                         "sequential accumulation used on table paths; use an "
                         "ordered loop or np.add.accumulate",
                     )
+                    continue
+                if dotted in _NUMPY_SUMS and node.args:
+                    source = _unordered_feed(node.args[0], context.imports.resolve)
+                    if source is not None:
+                        name = dotted.rsplit(".", 1)[1]
+                        yield context.finding(
+                            self,
+                            node,
+                            f"`np.{name}` over an array built from {source}: "
+                            "the vectorized reduction consumes elements in "
+                            "whatever hash-dependent order the build froze",
+                        )
+                    continue
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "sum"
+                    and not node.args
+                    and isinstance(node.func.value, ast.Call)
+                ):
+                    source = _unordered_feed(node.func.value, context.imports.resolve)
+                    if source is not None:
+                        yield context.finding(
+                            self,
+                            node,
+                            f"`.sum()` on an array built from {source}: the "
+                            "vectorized reduction consumes elements in "
+                            "whatever hash-dependent order the build froze",
+                        )
                     continue
                 if (
                     isinstance(node.func, ast.Name)

@@ -32,8 +32,8 @@ from repro.core.cdf_sampling import (
     collect_probes_at,
     estimate_peer_count,
 )
+from repro.core.backend import RingBackend
 from repro.core.estimate import DensityEstimate, zero_evidence_estimate
-from repro.ring.network import RingNetwork
 
 __all__ = ["AdaptiveDensityEstimator", "allocate_refinement_probes"]
 
@@ -94,7 +94,7 @@ class AdaptiveDensityEstimator:
             raise ValueError(f"synopsis_buckets must be >= 1, got {self.synopsis_buckets}")
 
     def estimate(
-        self, network: RingNetwork, rng: Optional[np.random.Generator] = None
+        self, network: RingBackend, rng: Optional[np.random.Generator] = None
     ) -> DensityEstimate:
         """Scout with stratified probes, refine into high-mass gaps."""
         faults = network.faults

@@ -1,0 +1,61 @@
+"""One probe surface, two ring backends.
+
+The estimator stack reads a small, stable surface off whatever holds the
+ring: the identifier space, the message ledger, the data domain, the RNG
+that seeds probe entry points, and the version token the serving layer
+keys its cache on.  Both the object backend (:class:`RingNetwork`, peers
+as :class:`~repro.ring.node.PeerNode` objects) and the compact backend
+(:class:`CompactRing`, peers as columnar arrays) provide it, so
+:class:`~repro.core.estimator.DistributionFreeEstimator`,
+:class:`~repro.core.adaptive.AdaptiveDensityEstimator`, and
+:class:`~repro.serve.service.EstimationService` accept either.
+
+:data:`RingBackend` is the union the probe path dispatches on (an
+``isinstance`` check against :class:`CompactRing` selects the columnar
+fast path); :class:`ProbeBackend` is the structural contract both members
+satisfy, kept runtime-checkable so tests can assert conformance.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Union, runtime_checkable
+
+import numpy as np
+
+from repro.ring.compact import CompactRing
+from repro.ring.identifier import IdentifierSpace
+from repro.ring.messages import MessageStats
+from repro.ring.network import RingNetwork
+
+__all__ = ["ProbeBackend", "RingBackend"]
+
+
+@runtime_checkable
+class ProbeBackend(Protocol):
+    """What the estimator stack requires of a ring backend."""
+
+    space: IdentifierSpace
+    stats: MessageStats
+    rng: np.random.Generator
+
+    @property
+    def n_peers(self) -> int:
+        """Current peer count."""
+        ...
+
+    @property
+    def domain(self) -> tuple[float, float]:
+        """The data value domain mapped onto the ring."""
+        ...
+
+    @property
+    def version_token(self) -> tuple[int, int]:
+        """``(topology_version, data_version)`` — the staleness cache key."""
+        ...
+
+
+#: The concrete backends the probe path accepts.  A plain union (not the
+#: protocol) in signatures keeps ``isinstance`` narrowing exact: the
+#: compact branch uses columnar batch routing, everything else the object
+#: backend's node-graph path.
+RingBackend = Union[RingNetwork, CompactRing]

@@ -27,8 +27,15 @@ from typing import TYPE_CHECKING, Literal, Optional, Sequence
 import numpy as np
 from numpy.typing import NDArray
 
+from repro.core.backend import RingBackend
 from repro.core.cdf import PiecewiseCDF
-from repro.core.synopsis import PeerSummary, SegmentSummary, summarize_peer
+from repro.core.synopsis import (
+    PeerSummary,
+    SegmentSummary,
+    summarize_compact,
+    summarize_peer,
+)
+from repro.ring.compact import CompactRing
 from repro.ring.messages import MessageType
 from repro.ring.network import RingNetwork
 from repro.ring.routing import route_probes_batch, route_to_key
@@ -105,7 +112,7 @@ def probe_positions(
 
 
 def collect_probes(
-    network: RingNetwork,
+    network: RingBackend,
     count: int,
     buckets: int,
     rng: Optional[np.random.Generator] = None,
@@ -118,6 +125,12 @@ def collect_probes(
     would), routes to the target position (counted hops), and exchanges one
     request/reply pair with the owner.  Repeat hits on the same peer are
     kept — deduplicating would break the Horvitz–Thompson design.
+
+    Works against either backend: on a :class:`CompactRing` the probes
+    route in one vectorized batch and replies slice the columnar synopsis
+    plane, with targets, entry draws, hop counts, reply contents, and
+    ledger records all bit-identical to the object backend at the same
+    seed.
     """
     generator = rng if rng is not None else network.rng
     targets = probe_positions(count, network.space.size, generator, placement)
@@ -125,7 +138,7 @@ def collect_probes(
 
 
 def collect_probes_at(
-    network: RingNetwork,
+    network: RingBackend,
     targets: Sequence[int],
     buckets: int,
     synopsis_kind: str = "equi-width",
@@ -140,8 +153,11 @@ def collect_probes_at(
     instead of two Python calls per probe.  Totals, hop counts, and reply
     contents are identical to the sequential path.  Under the loss model
     the sequential path runs, preserving the exact interleaving of
-    retransmission draws.
+    retransmission draws.  A :class:`CompactRing` (always loss-free) takes
+    the columnar batch path.
     """
+    if isinstance(network, CompactRing):
+        return _collect_probes_compact(network, targets, buckets, synopsis_kind)
     if network.loss_rate <= 0.0:
         return _collect_probes_batch(network, targets, buckets, synopsis_kind)
     results: list[ProbeResult] = []
@@ -164,7 +180,7 @@ def collect_probes_at(
 
 
 def collect_probes_resilient(
-    network: RingNetwork,
+    network: RingBackend,
     targets: Sequence[int],
     buckets: int,
     synopsis_kind: str = "equi-width",
@@ -184,7 +200,14 @@ def collect_probes_resilient(
     ``policy=None`` selects :data:`~repro.ring.faults.RetryPolicy.DEFAULT`
     (bounded attempts): a resilient collection exists to terminate under
     faults, so unbounded retry must be requested explicitly.
+
+    The compact backend has no fault plane (it models the stabilized
+    loss-free ring), so resilient collection there is the batch fast path
+    with an empty failure list — callers keep one code path for both
+    backends.
     """
+    if isinstance(network, CompactRing):
+        return _collect_probes_compact(network, targets, buckets, synopsis_kind), []
     from repro.ring.faults import RetryPolicy
     from repro.ring.routing import route_with_policy
 
@@ -243,6 +266,44 @@ def _collect_probes_batch(
     if results:
         network.record(MessageType.PROBE_REQUEST, count=len(results))
         network.record(
+            MessageType.PROBE_REPLY,
+            count=len(results),
+            payload=(buckets + 2) * len(results),
+        )
+    return results
+
+
+def _collect_probes_compact(
+    ring: CompactRing,
+    targets: Sequence[int],
+    buckets: int,
+    synopsis_kind: str,
+) -> list[ProbeResult]:
+    """Columnar probe batch: vectorized routing, row-sliced summaries.
+
+    Entry peers come from one vectorized draw against the ring's generator
+    — NumPy's bounded-integer sampling produces the same stream as the
+    object path's per-probe scalar draws, so probe trajectories match the
+    object backend bit for bit at the same seed.  Routing runs in lockstep
+    through :meth:`CompactRing.route_batch` (which posts the bulk
+    ``LOOKUP_HOP`` record), replies are sliced from the synopsis plane by
+    :func:`summarize_compact`, and the request/reply traffic lands in the
+    ledger as the same two bulk records the object batch path posts.
+    """
+    count = len(targets)
+    if count == 0:
+        return []
+    entries = ring.rng.integers(0, ring.n_peers, size=count).astype(np.int64)
+    keys = np.asarray([int(target) for target in targets], dtype=np.uint64)
+    owners, hops = ring.route_batch(entries, keys)
+    summaries = summarize_compact(ring, owners, buckets, kind=synopsis_kind)
+    results = [
+        ProbeResult(target=int(target), summary=summary, hops=int(hop_count))
+        for target, summary, hop_count in zip(targets, summaries, hops)
+    ]
+    if results:
+        ring.record(MessageType.PROBE_REQUEST, count=len(results))
+        ring.record(
             MessageType.PROBE_REPLY,
             count=len(results),
             payload=(buckets + 2) * len(results),

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Literal, Optional, Protocol, Sequence, runtime
 
 import numpy as np
 
+from repro.core.backend import RingBackend
 from repro.core.cdf_sampling import (
     assemble_cdf,
     assemble_cdf_interpolated,
@@ -34,7 +35,6 @@ from repro.core.robust import (
     winsorize_summaries,
 )
 from repro.ring.faults import RetryPolicy
-from repro.ring.network import RingNetwork
 
 if TYPE_CHECKING:  # runtime imports stay local to avoid module cycles
     from repro.core.cdf import PiecewiseCDF
@@ -46,12 +46,18 @@ __all__ = ["DensityEstimator", "DistributionFreeEstimator"]
 
 @runtime_checkable
 class DensityEstimator(Protocol):
-    """Anything that can estimate the global data distribution."""
+    """Anything that can estimate the global data distribution.
+
+    ``network`` is either ring backend (:data:`~repro.core.backend.RingBackend`).
+    The paper's estimators accept both; the epidemic/census baselines need
+    the object backend's node graph and document that narrower requirement
+    themselves.
+    """
 
     name: str
 
     def estimate(
-        self, network: RingNetwork, rng: Optional[np.random.Generator] = None
+        self, network: RingBackend, rng: Optional[np.random.Generator] = None
     ) -> DensityEstimate:
         """Produce an estimate against the network's current state."""
         ...
@@ -163,7 +169,7 @@ class DistributionFreeEstimator:
         validate_mom_groups(self.mom_groups)
 
     def estimate(
-        self, network: RingNetwork, rng: Optional[np.random.Generator] = None
+        self, network: RingBackend, rng: Optional[np.random.Generator] = None
     ) -> DensityEstimate:
         """Probe the network and assemble the distribution-free estimate.
 
@@ -224,7 +230,7 @@ class DistributionFreeEstimator:
         )
 
     def _assemble(
-        self, summaries: Sequence[PeerSummary], network: RingNetwork
+        self, summaries: Sequence[PeerSummary], network: RingBackend
     ) -> tuple["PiecewiseCDF", float]:
         """Assemble ``(F̂, n̂)`` from probe replies per the configured policy.
 
@@ -259,7 +265,7 @@ class DistributionFreeEstimator:
         return cdf, estimate_total_items(summaries, network.space.size)
 
     def _estimate_degraded(
-        self, network: RingNetwork, rng: Optional[np.random.Generator]
+        self, network: RingBackend, rng: Optional[np.random.Generator]
     ) -> DensityEstimate:
         """The resilient estimation path: collect what the network allows.
 

@@ -14,15 +14,17 @@ pieces.  All other peers carry exactly one.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence, Union
 
 import numpy as np
 from numpy.typing import NDArray
 
 from repro.core.cdf import PiecewiseCDF
+from repro.ring.compact import CompactRing
 from repro.ring.network import RingNetwork
 from repro.ring.node import PeerNode
 
-__all__ = ["SegmentSummary", "PeerSummary", "summarize_peer"]
+__all__ = ["SegmentSummary", "PeerSummary", "summarize_peer", "summarize_compact"]
 
 
 @dataclass(frozen=True)
@@ -319,6 +321,84 @@ def _build_summary(
 
         return fabricate_summary(summary, node.byzantine)
     return summary
+
+
+def summarize_compact(
+    ring: CompactRing,
+    peer_indices: Union[Sequence[int], NDArray[np.int64]],
+    buckets: int,
+    kind: str = "equi-width",
+) -> list[PeerSummary]:
+    """Materialize probe replies from the compact ring's synopsis plane.
+
+    The fast path behind batched probing on :class:`CompactRing`: each
+    requested peer's :class:`PeerSummary` is a row slice of the plane —
+    primary-segment bounds from the ``seg_low``/``seg_high`` columns,
+    bucket counts from the ``(n, B)`` histogram matrix, and (for the one
+    peer whose ownership wraps the ring origin) the high-end wrap segment
+    in the same object-backend order.  Rows for uncached peers are gathered
+    in one vectorized slice; summaries are memoized on the ring until the
+    next :meth:`~repro.ring.compact.CompactRing.load_counts` invalidates
+    them, exactly as :func:`summarize_peer` memoizes per store version.
+
+    The plane is built at a fixed resolution, so ``buckets`` must equal
+    ``ring.synopsis_buckets`` and only ``kind="equi-width"`` is available
+    (equi-depth synopses need the raw values, which the compact backend
+    deliberately does not keep).
+    """
+    if buckets < 1:
+        raise ValueError(f"buckets must be >= 1, got {buckets}")
+    if kind not in ("equi-width", "equi-depth"):
+        raise ValueError(f"unknown synopsis kind {kind!r}")
+    if kind != "equi-width":
+        raise ValueError(
+            "the compact backend keeps counts, not values; only "
+            f"equi-width synopses are available, got kind={kind!r}"
+        )
+    if buckets != ring.synopsis_buckets:
+        raise ValueError(
+            f"the compact synopsis plane is built at B={ring.synopsis_buckets} "
+            f"buckets; requested B={buckets} (rebuild the ring with "
+            "synopsis_buckets to change the resolution)"
+        )
+    indices = np.asarray(peer_indices, dtype=np.int64)
+    hist, wrap_hist = ring.synopsis_plane()
+    summaries: dict[int, PeerSummary] = {}
+    fresh = []
+    for raw in indices:
+        index = int(raw)
+        if index in summaries:
+            continue
+        cached = ring.cached_summary(index)
+        if cached is not None:
+            summaries[index] = cached
+        else:
+            fresh.append(index)
+    if fresh:
+        fresh_arr = np.asarray(fresh, dtype=np.int64)
+        rows = hist[fresh_arr]  # one gather for every uncached reply
+        lows = ring.seg_low[fresh_arr]
+        highs = ring.seg_high[fresh_arr]
+        counts = ring.counts[fresh_arr]
+        for offset, index in enumerate(fresh):
+            primary = SegmentSummary.equi_width(
+                float(lows[offset]), float(highs[offset]), rows[offset].copy()
+            )
+            if index == 0 and ring.wrap_bounds is not None:
+                w_low, w_high = ring.wrap_bounds
+                wrap_seg = SegmentSummary.equi_width(w_low, w_high, wrap_hist.copy())
+                segments: tuple[SegmentSummary, ...] = (wrap_seg, primary)
+            else:
+                segments = (primary,)
+            summary = PeerSummary(
+                peer_id=int(ring.ids[index]),
+                segment_length=ring.segment_length(index),
+                local_count=int(counts[offset]),
+                segments=segments,
+            )
+            ring.cache_summary(index, summary)
+            summaries[index] = summary
+    return [summaries[int(index)] for index in indices]
 
 
 def _repair_segments(

@@ -21,13 +21,14 @@ from repro.core.cdf import PiecewiseCDF
 from repro.core.cdf_sampling import assemble_cdf_interpolated, collect_probes
 from repro.core.estimate import DensityEstimate
 from repro.core.estimator import DensityEstimator, DistributionFreeEstimator
+from repro.core.backend import RingBackend
 from repro.ring.network import RingNetwork
 
 __all__ = ["MaintenanceAction", "ContinuousEstimator", "drift_score_between"]
 
 
 def drift_score_between(
-    network: RingNetwork,
+    network: RingBackend,
     model_cdf: PiecewiseCDF,
     check_probes: int,
     synopsis_buckets: int,

@@ -7,11 +7,15 @@ git sha.  With ``--baseline`` pointing at a previously committed file,
 the run fails when any shared bench regressed by more than the threshold
 — the CI smoke check against the repository's committed trajectory.
 
-Besides the registry experiments, two ids run wall-clock benchmarks that
-the registry's bit-identity contract forbids: ``S1``, the serving
-benchmark (:func:`repro.serve.bench.run_serving_bench`), and ``E1``, the
+Besides the registry experiments, three ids run wall-clock benchmarks
+that the registry's bit-identity contract forbids: ``S1``, the serving
+benchmark (:func:`repro.serve.bench.run_serving_bench`); ``E1``, the
 scale benchmark (:func:`repro.experiments.scale_bench.run_scale_bench` —
-million-peer compact-ring throughput plus event-engine storm throughput).
+million-peer compact-ring throughput plus event-engine storm throughput);
+and ``E2``, the scale-estimation benchmark
+(:func:`repro.experiments.estimation_bench.run_estimation_bench` — the
+full estimator stack answering from a million-peer compact ring's
+columnar synopsis plane, with F1-at-scale KS accuracy).
 Their entries carry the full metrics document under ``"metrics"``
 alongside the usual ``median_s``, so the regression check applies to them
 unchanged.
@@ -34,6 +38,7 @@ import sys
 import time
 from typing import Callable, Optional, Sequence
 
+from repro.experiments.estimation_bench import ESTIMATION_BENCH_ID, run_estimation_bench
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.scale_bench import SCALE_BENCH_ID, run_scale_bench
 from repro.serve.bench import SERVING_BENCH_ID, run_serving_bench
@@ -48,6 +53,7 @@ DEFAULT_THRESHOLD = 0.25
 EXTRA_BENCHES: dict[str, Callable[..., dict[str, float]]] = {
     SERVING_BENCH_ID: run_serving_bench,
     SCALE_BENCH_ID: run_scale_bench,
+    ESTIMATION_BENCH_ID: run_estimation_bench,
 }
 
 #: Backwards-compatible alias (same dict object) from when S1 was the only
@@ -290,7 +296,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"{metrics['events_per_s']:,.0f} events/s, "
                     f"max queue {metrics['max_queue_depth']:.0f}"
                 )
-            else:  # pragma: no cover - no third extra bench yet
+            elif experiment_id == ESTIMATION_BENCH_ID:
+                print(
+                    f"{experiment_id}: median {result['median_s']:.3f}s over "
+                    f"{args.repetitions} runs — "
+                    f"{metrics['items_per_s']:,.0f} items/s loaded, "
+                    f"{metrics['bytes_per_peer']:.1f} B/peer "
+                    f"({metrics['synopsis_bytes_per_peer']:.1f} synopsis), "
+                    f"estimate {metrics['estimate_s'] * 1000.0:.1f}ms at "
+                    f"s={metrics['probes']:.0f}, "
+                    f"KS {metrics['ks_256']:.4f}"
+                )
+            else:  # pragma: no cover - no fourth extra bench yet
                 print(
                     f"{experiment_id}: median {result['median_s']:.3f}s over "
                     f"{args.repetitions} runs"

@@ -1,0 +1,123 @@
+"""E2 — the scale-estimation benchmark: full estimator stack at N=10^6.
+
+E1 proved the compact backend can *hold* a million-peer ring; E2 proves
+the estimation pipeline can *answer* from it.  One run builds a
+``compact=True`` ring at N=10^6, loads a seeded dataset through
+:meth:`~repro.ring.compact.CompactRing.load_counts` (which bins every
+value into the columnar synopsis plane in the same pass that assigns it
+an owner), and then measures the three costs the synopsis plane was
+built to pay down:
+
+* **probe latency** — wall time of a 256-probe batch answered entirely
+  from the synopsis matrix (plus mean routing hops, the simulated cost);
+* **memory** — post-load ``bytes_per_peer`` with the synopsis plane
+  itemized separately, off ``memory_report()``;
+* **end-to-end estimate** — wall time of a full
+  :class:`~repro.core.estimator.DistributionFreeEstimator` pass and of an
+  :class:`~repro.serve.service.EstimationService` refresh.
+
+The accuracy half is F1-at-scale: KS error against the empirical CDF of
+the loaded dataset at probe budgets 64 and 256, the paper's central
+accuracy metric evaluated at a network three orders of magnitude larger
+than F1's default fixture.
+
+Like S1/E1 this is not a registry experiment: wall-clock reads are
+instrumentation — reported, never fed back into any simulated result —
+so the logical content of a run remains a pure function of
+``(seed, scale)``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.cdf import empirical_cdf
+from repro.core.estimator import DistributionFreeEstimator
+from repro.core.metrics import ks_distance
+from repro.data.workload import build_dataset
+from repro.experiments.common import scale_int
+from repro.ring.network import RingNetwork
+from repro.serve.service import EstimationService
+
+__all__ = ["run_estimation_bench", "ESTIMATION_BENCH_ID"]
+
+ESTIMATION_BENCH_ID = "E2"
+
+#: Workload shape at ``scale=1.0`` (the acceptance configuration: the
+#: F1-class accuracy run at a million peers and two million items).
+FULL_PEERS = 1_000_000
+FULL_ITEMS = 2_000_000
+DISTRIBUTION = "normal"
+PROBES_LOW = 64
+PROBES_HIGH = 256
+GRID_POINTS = 512
+
+
+def run_estimation_bench(scale: float = 1.0, seed: int = 0) -> dict[str, float]:
+    """Run the scale-estimation benchmark; returns a flat metrics document.
+
+    Every metric is a float so the document drops straight into the
+    ``repro-bench`` trajectory JSON next to the timing fields.
+    """
+    n_peers = scale_int(FULL_PEERS, scale, minimum=10_000)
+    n_items = scale_int(FULL_ITEMS, scale, minimum=20_000)
+
+    dataset = build_dataset(DISTRIBUTION, n_items, seed=seed)
+    domain = dataset.distribution.domain.as_tuple()
+
+    started = time.perf_counter()  # repro-lint: disable=RNG002 (build_s instrumentation; reported, never fed into results)
+    ring = RingNetwork.create(n_peers, seed=seed + 1, domain=domain, compact=True)
+    build_s = time.perf_counter() - started  # repro-lint: disable=RNG002 (build_s instrumentation; reported, never fed into results)
+
+    started = time.perf_counter()  # repro-lint: disable=RNG002 (load throughput instrumentation; reported, never fed into results)
+    ring.load_counts(dataset.values)
+    load_s = time.perf_counter() - started  # repro-lint: disable=RNG002 (load throughput instrumentation; reported, never fed into results)
+
+    report = ring.memory_report()
+
+    # Probe latency: one cold batch (summaries materialized from the
+    # matrix) timed on a clean ledger, so mean hops comes off the batch.
+    ring.stats.reset()
+    estimator_high = DistributionFreeEstimator(probes=PROBES_HIGH)
+    started = time.perf_counter()  # repro-lint: disable=RNG002 (probe latency instrumentation; reported, never fed into results)
+    estimate_high = estimator_high.estimate(ring, rng=np.random.default_rng(seed + 2))
+    estimate_s = time.perf_counter() - started  # repro-lint: disable=RNG002 (probe latency instrumentation; reported, never fed into results)
+
+    estimator_low = DistributionFreeEstimator(probes=PROBES_LOW)
+    estimate_low = estimator_low.estimate(ring, rng=np.random.default_rng(seed + 3))
+
+    # F1-at-scale accuracy: KS against the empirical CDF of the values the
+    # ring actually stores, on the standard metric grid.
+    truth = empirical_cdf(dataset.values)
+    grid = np.linspace(domain[0], domain[1], GRID_POINTS)
+    ks_high = ks_distance(estimate_high.cdf, truth, grid)
+    ks_low = ks_distance(estimate_low.cdf, truth, grid)
+
+    # Serving refresh: the end-to-end wall time a cache rebuild costs.
+    service = EstimationService(ring, rng=np.random.default_rng(seed + 4))
+    started = time.perf_counter()  # repro-lint: disable=RNG002 (refresh latency instrumentation; reported, never fed into results)
+    service.refresh()
+    refresh_s = time.perf_counter() - started  # repro-lint: disable=RNG002 (refresh latency instrumentation; reported, never fed into results)
+
+    return {
+        "peers": float(n_peers),
+        "items": float(n_items),
+        "build_s": build_s,
+        "load_s": load_s,
+        "items_per_s": n_items / load_s if load_s > 0 else 0.0,
+        "bytes_per_peer": float(report["bytes_per_peer"]),
+        "synopsis_bytes_per_peer": float(report["synopsis_bytes"]) / n_peers,
+        "synopsis_buckets": float(report["synopsis_buckets"]),
+        "probes": float(PROBES_HIGH),
+        "estimate_s": estimate_s,
+        "probes_per_s": PROBES_HIGH / estimate_s if estimate_s > 0 else 0.0,
+        "mean_hops": estimate_high.hops / PROBES_HIGH,
+        "messages": float(estimate_high.messages),
+        "ks_64": ks_low,
+        "ks_256": ks_high,
+        "n_items_hat": float(estimate_high.n_items),
+        "n_peers_hat": float(estimate_high.n_peers),
+        "refresh_s": refresh_s,
+    }

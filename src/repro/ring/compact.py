@@ -27,14 +27,17 @@ backend stays the default and is untouched.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
-from numpy.typing import NDArray
+from numpy.typing import ArrayLike, NDArray
 
 from repro.ring.hashing import OrderPreservingHash
 from repro.ring.identifier import IdentifierSpace
 from repro.ring.messages import MessageStats, MessageType
+
+if TYPE_CHECKING:  # summary objects are built by repro.core.synopsis
+    from repro.core.synopsis import PeerSummary
 
 __all__ = ["CompactRing"]
 
@@ -43,6 +46,11 @@ __all__ = ["CompactRing"]
 #: build footprint stays far below one uncompressed ``n x bits`` matrix
 #: (which alone would be 512 MB at N=10^6).
 _SCAN_BLOCK = 65536
+
+#: Values per block when binning a bulk load into the synopsis plane; the
+#: per-block temporaries (keys, owner positions, bucket indices) stay a few
+#: hundred KB regardless of the loaded data volume.
+_LOAD_BLOCK = 65536
 
 #: Default lookups per vectorized slab in :meth:`CompactRing.routing_round`.
 _ROUTE_SLAB = 131072
@@ -76,9 +84,12 @@ class CompactRing:
         *,
         domain: tuple[float, float] = (0.0, 1.0),
         rng: Optional[np.random.Generator] = None,
+        synopsis_buckets: int = 8,
     ) -> None:
         if ids.size < 1:
             raise ValueError("need at least one peer")
+        if synopsis_buckets < 1:
+            raise ValueError(f"synopsis_buckets must be >= 1, got {synopsis_buckets}")
         self.space = space
         self.data_hash = OrderPreservingHash(space, domain[0], domain[1])
         self.rng = rng if rng is not None else np.random.default_rng(0)
@@ -86,6 +97,28 @@ class CompactRing:
         self.ids: NDArray[np.uint64] = np.ascontiguousarray(ids, dtype=np.uint64)
         self.counts: NDArray[np.int64] = np.zeros(ids.size, dtype=np.int64)
         self.scan: NDArray[np.uint64] = self._build_scan(space, self.ids)
+        #: The compact backend never carries a fault plane: it models the
+        #: stabilized, loss-free ring.  The attribute exists so estimators
+        #: can read ``backend.faults`` uniformly across both backends.
+        self.faults: None = None
+        #: Membership is immutable, so the topology token never moves; the
+        #: data token advances on every :meth:`load_counts`, which is what
+        #: the serving layer's version-keyed cache invalidates on.
+        self.topology_version: int = 0
+        self.data_version: int = 0
+        # Columnar synopsis plane: the value-range bounds of every peer's
+        # primary ownership segment (and the single wrap-around segment at
+        # the ring origin), plus the per-peer bucket-count matrix filled by
+        # load_counts.  Bounds are geometry (eager, 16 B/peer); the count
+        # matrix is data (lazy, 8*B B/peer once anything loads).
+        self.synopsis_buckets = int(synopsis_buckets)
+        self.seg_low: NDArray[np.float64]
+        self.seg_high: NDArray[np.float64]
+        self._wrap_bounds: Optional[tuple[float, float]]
+        self._build_segment_bounds()
+        self.hist: Optional[NDArray[np.int64]] = None
+        self._wrap_hist: Optional[NDArray[np.int64]] = None
+        self._summary_cache: dict[int, "PeerSummary"] = {}
         # Push-sum state (created on first gossip round): estimating the
         # network-wide mean load needs one value and one weight column.
         self._gossip_value: Optional[NDArray[np.float64]] = None
@@ -103,6 +136,7 @@ class CompactRing:
         domain: tuple[float, float] = (0.0, 1.0),
         seed: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        synopsis_buckets: int = 8,
     ) -> "CompactRing":
         """Build a stabilized compact ring of ``n_peers`` random peers.
 
@@ -122,7 +156,7 @@ class CompactRing:
             needed = n_peers - ids.size
             draws = rng.integers(0, space.size, size=needed, dtype=np.uint64)
             ids = np.unique(np.concatenate((ids, draws)))
-        return cls(space, ids, domain=domain, rng=rng)
+        return cls(space, ids, domain=domain, rng=rng, synopsis_buckets=synopsis_buckets)
 
     @staticmethod
     def _build_scan(
@@ -167,6 +201,54 @@ class CompactRing:
             row += widths.size
         return scan
 
+    def _build_segment_bounds(self) -> None:
+        """Per-peer value-range bounds of the synopsis plane.
+
+        Replicates :func:`repro.core.synopsis._build_summary`'s geometry
+        exactly, vectorized: peer ``i``'s arc ``(ids[i-1], ids[i]]`` maps to
+        the value range ``[to_value(ids[i-1]+1), to_value(ids[i]+1))`` by
+        monotonicity of the hash, the top identifier's successor wraps to
+        the domain high, peer 0 owns ``[low, to_value(ids[0]+1))`` plus the
+        wrap-around high-end segment, and float-degenerate ranges widen by
+        one ulp (the object path's ``nonempty``).  ``uint64 -> float64``
+        conversion followed by division by the exact power of two ``2^m``
+        rounds identically to Python's correctly rounded int/int division,
+        so every bound is bit-identical to the scalar ``to_value``.
+        """
+        low = self.data_hash.low
+        high = self.data_hash.high
+        n = self.ids.size
+        if n == 1:
+            # A single peer owns the whole ring, hence the whole domain.
+            self.seg_low = np.array([low], dtype=np.float64)
+            self.seg_high = np.array([high], dtype=np.float64)
+            self._wrap_bounds = None
+            return
+        after = self.ids + np.uint64(1)  # wraps to 0 only at the top identifier
+        u = after.astype(np.float64) / float(self.space.size)
+        edges = low + u * (high - low)
+        seg_high = edges.copy()
+        top_wraps = bool(self.ids[-1] == np.uint64(self.space.mask))
+        if top_wraps:
+            seg_high[-1] = high
+        seg_low = np.empty(n, dtype=np.float64)
+        seg_low[0] = low
+        seg_low[1:] = edges[:-1]
+        degenerate = ~(seg_low < seg_high)
+        if degenerate.any():
+            seg_high[degenerate] = np.nextafter(seg_low[degenerate], np.inf)
+        self.seg_low = seg_low
+        self.seg_high = seg_high
+        if top_wraps:
+            # first_start == 0: peer 0's ownership is [0, ids[0]] only.
+            self._wrap_bounds = None
+        else:
+            w_low = float(edges[-1])
+            w_high = high
+            if not w_low < w_high:
+                w_high = float(np.nextafter(w_low, np.inf))
+            self._wrap_bounds = (w_low, w_high)
+
     # ------------------------------------------------------------------
     # Basic views
     # ------------------------------------------------------------------
@@ -174,6 +256,53 @@ class CompactRing:
     def n_peers(self) -> int:
         """Number of peers."""
         return int(self.ids.size)
+
+    @property
+    def domain(self) -> tuple[float, float]:
+        """The data value domain mapped onto the ring."""
+        return (self.data_hash.low, self.data_hash.high)
+
+    @property
+    def version_token(self) -> tuple[int, int]:
+        """``(topology_version, data_version)`` — the serving-layer cache key."""
+        return (self.topology_version, self.data_version)
+
+    def segment_length(self, index: int) -> int:
+        """Ownership arc length ``ℓ_p`` of the peer at ``index``.
+
+        Masked subtraction makes ``ids[0] - ids[-1]`` the correct clockwise
+        distance for the origin-wrapping peer; the single-peer ring owns
+        all ``2^m`` identifiers.
+        """
+        if self.ids.size == 1:
+            return int(self.space.size)
+        return (int(self.ids[index]) - int(self.ids[index - 1])) & self.space.mask
+
+    def synopsis_plane(self) -> tuple[NDArray[np.int64], NDArray[np.int64]]:
+        """The bucket-count matrix and the wrap segment's row, allocated lazily.
+
+        ``hist[i]`` holds peer ``i``'s primary-segment bucket counts over
+        ``[seg_low[i], seg_high[i])``; the separate wrap row holds peer 0's
+        high-end segment (at most one peer wraps the ring origin).
+        """
+        if self.hist is None:
+            self.hist = np.zeros((self.ids.size, self.synopsis_buckets), dtype=np.int64)
+        if self._wrap_hist is None:
+            self._wrap_hist = np.zeros(self.synopsis_buckets, dtype=np.int64)
+        return self.hist, self._wrap_hist
+
+    @property
+    def wrap_bounds(self) -> Optional[tuple[float, float]]:
+        """Value bounds of peer 0's high-end wrap segment (None if it has none)."""
+        return self._wrap_bounds
+
+    def cached_summary(self, index: int) -> Optional["PeerSummary"]:
+        """The memoized probe reply for peer ``index`` (invalidated per load)."""
+        return self._summary_cache.get(index)
+
+    def cache_summary(self, index: int, summary: "PeerSummary") -> None:
+        """Memoize a built probe reply until the next :meth:`load_counts`."""
+        self._summary_cache[index] = summary
 
     @property
     def total_count(self) -> int:
@@ -195,40 +324,133 @@ class CompactRing:
             "ids": float(self.ids.nbytes),
             "counts": float(self.counts.nbytes),
             "scan": float(self.scan.nbytes),
+            "synopsis_seg_low": float(self.seg_low.nbytes),
+            "synopsis_seg_high": float(self.seg_high.nbytes),
         }
+        if self.hist is not None:
+            columns["synopsis_hist"] = float(self.hist.nbytes)
+        if self._wrap_hist is not None:
+            columns["synopsis_wrap_hist"] = float(self._wrap_hist.nbytes)
         if self._gossip_value is not None:
             columns["gossip_value"] = float(self._gossip_value.nbytes)
         if self._gossip_weight is not None:
             columns["gossip_weight"] = float(self._gossip_weight.nbytes)
         total = sum(columns.values())  # repro-lint: disable=SUM001 (byte-count bookkeeping; order-insensitive)
+        synopsis_bytes = (
+            columns["synopsis_seg_low"]
+            + columns["synopsis_seg_high"]
+            + columns.get("synopsis_hist", 0.0)
+            + columns.get("synopsis_wrap_hist", 0.0)
+        )
         report = dict(columns)
         report["total_bytes"] = total
         report["bytes_per_peer"] = total / self.n_peers
         report["scan_width"] = float(self.scan.shape[1])
+        report["synopsis_bytes"] = synopsis_bytes
+        report["synopsis_buckets"] = float(self.synopsis_buckets)
         return report
 
     # ------------------------------------------------------------------
     # Data plane
     # ------------------------------------------------------------------
-    def load_counts(self, values) -> None:
-        """Place data values on their owners, keeping *counts* only.
+    def load_counts(self, values: ArrayLike) -> None:
+        """Place data values on their owners: counts plus bucket synopses.
 
-        The compact backend stores the load column, not the items: one
-        vectorized hash + ``searchsorted`` + ``bincount`` pass adds each
-        value to its owner's count (the same owner
-        :meth:`RingNetwork.load_data` resolves), and the values are
-        discarded — memory stays O(n_peers) regardless of data volume.
+        The compact backend stores the load column and the synopsis plane,
+        not the items: blockwise (so the transient keys/positions/buckets
+        never exceed one ``_LOAD_BLOCK`` slab regardless of data volume),
+        each value is hashed, ``searchsorted`` to its owner (the same owner
+        :meth:`RingNetwork.load_data` resolves), counted, and binned into
+        the owner's histogram row with the exact
+        :meth:`~repro.ring.storage.LocalStore.histogram_range` bucket
+        arithmetic — including the object path's straggler repair for
+        values that float rounding pushes outside every segment.  The
+        values themselves are discarded; memory stays O(n_peers).
+
+        Raises ``ValueError`` up front — the object backend's storage
+        taxonomy — when the values cannot be coerced to floats or contain
+        non-finite entries.
         """
-        arr = np.asarray(values, dtype=float)
+        arr = np.asarray(values, dtype=float).ravel()
         if arr.size == 0:
             return
-        keys = self.data_hash.map_values(arr)
-        positions = np.searchsorted(self.ids, keys, side="left")
-        positions[positions == self.ids.size] = 0
-        self.counts += np.bincount(positions, minlength=self.ids.size).astype(np.int64)
+        if not np.isfinite(arr).all():
+            raise ValueError(
+                "could not place data values: non-finite entries (nan/inf) "
+                "have no position on the ring"
+            )
+        hist, wrap_hist = self.synopsis_plane()
+        hist_flat = hist.reshape(-1)
+        n = self.ids.size
+        buckets = self.synopsis_buckets
+        for block_lo in range(0, arr.size, _LOAD_BLOCK):
+            chunk = arr[block_lo : block_lo + _LOAD_BLOCK]
+            keys = self.data_hash.map_values(chunk)
+            positions = np.searchsorted(self.ids, keys, side="left")
+            positions[positions == n] = 0
+            self.counts += np.bincount(positions, minlength=n).astype(np.int64)
+            lows = self.seg_low[positions]
+            highs = self.seg_high[positions]
+            in_primary = (chunk >= lows) & (chunk < highs)
+            prim = np.flatnonzero(in_primary)
+            if prim.size:
+                # The quotient is non-negative inside the range, so int
+                # truncation equals floor; only the top clamp remains —
+                # byte-for-byte the histogram_range expression.
+                bucket = (
+                    (chunk[prim] - lows[prim]) / (highs[prim] - lows[prim]) * buckets
+                ).astype(np.int64)
+                np.minimum(bucket, buckets - 1, out=bucket)
+                np.add.at(hist_flat, positions[prim] * buckets + bucket, 1)
+            out = ~in_primary
+            if self._wrap_bounds is not None and out.any():
+                w_low, w_high = self._wrap_bounds
+                wrap = out & (positions == 0) & (chunk >= w_low) & (chunk < w_high)
+                wrap_i = np.flatnonzero(wrap)
+                if wrap_i.size:
+                    bucket = (
+                        (chunk[wrap_i] - w_low) / (w_high - w_low) * buckets
+                    ).astype(np.int64)
+                    np.minimum(bucket, buckets - 1, out=bucket)
+                    np.add.at(wrap_hist, bucket, 1)
+                    out &= ~wrap
+            for stray in np.flatnonzero(out):
+                self._bin_straggler(float(chunk[stray]), int(positions[stray]), hist, wrap_hist)
+        self.data_version += 1
+        self._summary_cache.clear()
         # New load invalidates any in-progress push-sum estimate.
         self._gossip_value = None
         self._gossip_weight = None
+
+    def _bin_straggler(
+        self,
+        value: float,
+        owner: int,
+        hist: NDArray[np.int64],
+        wrap_hist: NDArray[np.int64],
+    ) -> None:
+        """Fold one float-edge straggler into the nearest segment's edge bucket.
+
+        Mirrors :func:`repro.core.synopsis._repair_segments` exactly:
+        segments in the object backend's order (wrap segment first for the
+        origin peer), nearest boundary wins with first-wins ties, and the
+        value lands in bucket 0 below the segment or the top bucket above.
+        """
+        segments: list[tuple[float, float, NDArray[np.int64]]] = []
+        if owner == 0 and self._wrap_bounds is not None:
+            w_low, w_high = self._wrap_bounds
+            segments.append((w_low, w_high, wrap_hist))
+        segments.append(
+            (float(self.seg_low[owner]), float(self.seg_high[owner]), hist[owner])
+        )
+        distances = [
+            min(abs(value - seg_low), abs(value - seg_high))
+            for seg_low, seg_high, _ in segments
+        ]
+        index = int(np.argmin(distances))
+        seg_low, _seg_high, row = segments[index]
+        bucket = 0 if value < seg_low else self.synopsis_buckets - 1
+        row[bucket] += 1
 
     # ------------------------------------------------------------------
     # Routing

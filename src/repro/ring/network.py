@@ -173,6 +173,7 @@ class RingNetwork:
         rng: Optional[np.random.Generator] = None,
         loss_rate: float = 0.0,
         compact: bool = False,
+        synopsis_buckets: int = 8,
     ):
         """Build a stabilized network of ``n_peers`` randomly placed peers.
 
@@ -188,7 +189,10 @@ class RingNetwork:
         same seed (identifier draws are replayed exactly), held as columnar
         arrays so million-peer rings fit in memory.  The compact backend
         models the stabilized loss-free ring only, so ``loss_rate`` must be
-        zero and no fault profile attaches.
+        zero and no fault profile attaches.  ``synopsis_buckets`` sizes the
+        compact backend's columnar synopsis plane (its fixed probe-reply
+        histogram resolution); the object backend builds synopses at probe
+        time for any requested width and ignores it.
         """
         if n_peers < 1:
             raise ValueError(f"need at least one peer, got {n_peers}")
@@ -198,7 +202,12 @@ class RingNetwork:
             if loss_rate > 0.0:
                 raise ValueError("the compact backend is loss-free; loss_rate must be 0")
             return CompactRing.build(
-                n_peers, bits=bits, domain=domain, seed=seed, rng=rng
+                n_peers,
+                bits=bits,
+                domain=domain,
+                seed=seed,
+                rng=rng,
+                synopsis_buckets=synopsis_buckets,
             )
         if rng is None:
             rng = np.random.default_rng(seed)

@@ -33,10 +33,11 @@ from typing import Optional
 import numpy as np
 from numpy.typing import NDArray
 
+from repro.core.backend import RingBackend
 from repro.core.estimate import DensityEstimate
 from repro.core.estimator import DensityEstimator, DistributionFreeEstimator
 from repro.core.tracking import drift_score_between
-from repro.ring.network import NetworkError, RingNetwork
+from repro.ring.network import NetworkError
 from repro.ring.routing import RoutingError
 from repro.serve.cache import CacheStats, EpochKey, VersionKeyedCache
 from repro.serve.policy import AdaptiveRefreshPolicy, RefreshDecision, StalenessSLO
@@ -73,7 +74,10 @@ class EstimationService:
     Parameters
     ----------
     network:
-        The live network the served estimate describes.
+        The live ring the served estimate describes — either backend
+        (:data:`~repro.core.backend.RingBackend`); a
+        :class:`~repro.ring.compact.CompactRing` serves million-peer
+        rings from its columnar synopsis plane.
     estimator:
         Builds (and rebuilds) the served estimate.  Defaults to the
         paper's distribution-free estimator.
@@ -90,7 +94,7 @@ class EstimationService:
 
     def __init__(
         self,
-        network: RingNetwork,
+        network: RingBackend,
         estimator: Optional[DensityEstimator] = None,
         slo: Optional[StalenessSLO] = None,
         cache_entries: int = 256,

@@ -17,3 +17,8 @@ for value in values:
 labels = []
 for name in {"a", "b"}:  # unordered source but no += accumulator
     labels.append(name)
+
+matrix = np.zeros((4, 8))
+column_totals = matrix.sum(axis=1)          # ordered array: fine
+vector_total = np.sum(np.asarray(values))   # ordered list: fine
+sorted_total = np.sum(np.asarray(sorted(weights.values())))

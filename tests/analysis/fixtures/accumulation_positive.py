@@ -2,6 +2,8 @@
 
 import math
 
+import numpy as np
+
 weights = {"a": 0.25, "b": 0.5, "c": 0.25}
 
 total_from_set = sum({0.1, 0.2, 0.7})
@@ -12,3 +14,7 @@ total_compensated = math.fsum([0.1, 0.2, 0.7])
 running = 0.0
 for value in {1.0, 2.0, 3.0}:
     running += value
+
+vector_from_set = np.sum(np.asarray(list({0.1, 0.2, 0.7})))
+vector_from_view = np.nansum(np.fromiter(weights.values(), dtype=float))
+method_from_set = np.array(list({0.1, 0.2, 0.7})).sum()

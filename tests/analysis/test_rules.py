@@ -80,9 +80,13 @@ class TestAccumulationRule:
         )
         sums = [f for f in active if f.rule == "SUM001"]
         # sum(set), sum(dict view), sum(genexp over dict view), math.fsum,
-        # loop over set literal feeding +=
-        assert len(sums) == 5
+        # loop over set literal feeding +=, np.sum over a set-fed asarray,
+        # np.nansum over a dict-view fromiter, .sum() on a set-fed array
+        assert len(sums) == 8
         assert any("fsum" in f.message for f in sums)
+        assert any("np.sum" in f.message for f in sums)
+        assert any("np.nansum" in f.message for f in sums)
+        assert any("`.sum()`" in f.message for f in sums)
 
     def test_negative_fixture(self, rules):
         active, _ = lint_fixture(

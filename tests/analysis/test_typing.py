@@ -23,6 +23,8 @@ SCOPED = [
     *sorted((REPO_ROOT / "src" / "repro" / "core").rglob("*.py")),
     REPO_ROOT / "src" / "repro" / "ring" / "snapshot.py",
     REPO_ROOT / "src" / "repro" / "ring" / "mutation.py",
+    REPO_ROOT / "src" / "repro" / "ring" / "compact.py",
+    REPO_ROOT / "src" / "repro" / "experiments" / "estimation_bench.py",
 ]
 
 

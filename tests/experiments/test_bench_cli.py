@@ -243,3 +243,55 @@ class TestScaleBench:
         assert metrics["bytes_per_peer"] > 0.0
         assert metrics["mean_hops"] > 1.0
         assert metrics["storm_events"] > metrics["storm_lookups"]
+
+
+FAKE_ESTIMATION_METRICS = {
+    "items_per_s": 1_900_000.0,
+    "bytes_per_peer": 296.0,
+    "synopsis_bytes_per_peer": 80.0,
+    "estimate_s": 0.01,
+    "probes": 256.0,
+    "ks_256": 0.13,
+}
+
+
+class TestEstimationBench:
+    """E2 (full estimator stack on the compact backend) rides the same CLI."""
+
+    def test_e2_is_a_known_extra_bench(self):
+        # E2 is CLI-only for the same reason as S1/E1: load throughput and
+        # estimate wall time are wall-clock, which the registry forbids.
+        assert "E2" in bench_cli.EXTRA_BENCHES
+        assert "E2" not in bench_cli.EXPERIMENTS
+
+    def test_main_writes_e2_metrics_into_trajectory(self, tmp_path, monkeypatch):
+        monkeypatch.setitem(
+            bench_cli.EXTRA_BENCHES,
+            "E2",
+            lambda scale, seed: dict(FAKE_ESTIMATION_METRICS),
+        )
+        out = tmp_path / "BENCH.json"
+        assert bench_cli.main(["E2", "--json", str(out), "--repetitions", "1"]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["benches"]["E2"]["metrics"] == FAKE_ESTIMATION_METRICS
+        assert "median_s" in payload["benches"]["E2"]
+
+    def test_estimation_bench_metrics_shape(self):
+        from repro.experiments.estimation_bench import run_estimation_bench
+
+        metrics = run_estimation_bench(scale=0.01, seed=0)
+        for key in (
+            "items_per_s",
+            "bytes_per_peer",
+            "synopsis_bytes_per_peer",
+            "estimate_s",
+            "ks_64",
+            "ks_256",
+            "refresh_s",
+        ):
+            assert key in metrics
+            assert isinstance(metrics[key], float)
+        assert metrics["peers"] >= 10_000  # the compact-plane floor
+        assert metrics["synopsis_bytes_per_peer"] >= 80.0  # plane allocated
+        assert 0.0 < metrics["ks_256"] < 0.5  # estimation ran, not garbage
+        assert metrics["mean_hops"] > 1.0

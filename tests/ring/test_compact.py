@@ -178,10 +178,19 @@ class TestMemoryFootprint:
         _network, compact = _pair(n=64, seed=2)
         report = compact.memory_report()
         assert report["total_bytes"] == (
-            report["ids"] + report["counts"] + report["scan"]
+            report["ids"]
+            + report["counts"]
+            + report["scan"]
+            + report["synopsis_seg_low"]
+            + report["synopsis_seg_high"]
         )
         assert report["bytes_per_peer"] == report["total_bytes"] / 64.0
         assert report["scan_width"] == float(compact.scan.shape[1])
+        # The bucket-count matrix is lazy: geometry only before any load.
+        assert report["synopsis_bytes"] == (
+            report["synopsis_seg_low"] + report["synopsis_seg_high"]
+        )
+        assert "synopsis_hist" not in report
 
     def test_bytes_per_peer_within_ci_budget_at_1e5(self):
         ring = CompactRing.build(100_000, seed=0)
