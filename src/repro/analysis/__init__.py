@@ -14,7 +14,17 @@ SUM001    table paths accumulate floats strictly sequentially
 ERR001    routing failures use the ``RouteOutcome`` taxonomy
 ERR002    probe/exchange paths never swallow ``NetworkError`` —
           failures surface as RouteOutcome/ProbeFailure evidence
+ARCH001   the layer contract over the whole-program import graph
+          (declared as data in :mod:`repro.analysis.project`)
+PAR001    both ring backends serve the full ``RingBackend``
+          dispatch surface with compatible signatures
+DET001    interprocedural taint: no measured-path consumption of
+          returns derived from wall-clock/global-RNG reads
 ========  ==========================================================
+
+The last three are *whole-program* rules (:class:`ProjectRule`): they run
+once per invocation over the project graph built from the same ASTs the
+per-file pass parsed.
 
 See docs/STATIC_ANALYSIS.md for the rule catalogue, the suppression
 syntax, and the ratchet-baseline workflow.
@@ -25,12 +35,15 @@ from repro.analysis.framework import (
     FileContext,
     Finding,
     ImportMap,
+    ProjectRule,
     Rule,
     Suppression,
     all_rules,
     canonical_path,
+    clear_caches,
     lint_file,
     lint_paths,
+    lint_project_sources,
     lint_source,
     parse_suppressions,
     register_rule,
@@ -43,12 +56,15 @@ __all__ = [
     "FileContext",
     "Finding",
     "ImportMap",
+    "ProjectRule",
     "Rule",
     "Suppression",
     "all_rules",
     "canonical_path",
+    "clear_caches",
     "lint_file",
     "lint_paths",
+    "lint_project_sources",
     "lint_source",
     "parse_suppressions",
     "register_rule",

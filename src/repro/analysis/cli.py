@@ -70,9 +70,23 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (default: text)",
+        help=(
+            "output format (default: text); `github` emits GitHub Actions "
+            "::error annotations so findings surface inline on PRs"
+        ),
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help=(
+            "fnmatch pattern over canonical paths to skip (repeatable), "
+            "e.g. 'tests/analysis/fixtures/*' for deliberate-violation "
+            "fixtures"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -106,6 +120,23 @@ def _print_finding(finding: Finding, label: str = "") -> None:
     )
 
 
+def _escape_annotation(text: str) -> str:
+    """Escape a message for the GitHub Actions annotation grammar."""
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _print_github_annotation(finding: Finding) -> None:
+    message = finding.message
+    if finding.symbol:
+        message += f" (in `{finding.symbol}`)"
+    print(
+        f"::{finding.severity} file={finding.path},line={finding.line},"
+        f"col={finding.column + 1},"
+        f"title={_escape_annotation(f'repro-lint {finding.rule}')}"
+        f"::{_escape_annotation(message)}"
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -131,7 +162,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"no such file or directory: {missing}", file=sys.stderr)
         return 2
 
-    findings, suppressed = lint_paths(paths, rules)
+    findings, suppressed = lint_paths(paths, rules, exclude=tuple(args.exclude))
 
     baseline_path: Optional[Path] = None
     if not args.no_baseline:
@@ -175,6 +206,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             },
         }
         print(json.dumps(payload, indent=2))
+    elif args.format == "github":
+        for finding in partition.new:
+            _print_github_annotation(finding)
+        for key, count in sorted(partition.stale.items()):
+            print(
+                "::warning title=repro-lint stale baseline::"
+                + _escape_annotation(
+                    f"stale baseline entry ({count} surplus): {key} — run "
+                    "`repro-lint --update-baseline` to ratchet down"
+                )
+            )
+        new = len(partition.new)
+        print(
+            f"{new} finding{'s' if new != 1 else ''} "
+            f"({len(partition.accepted)} baselined, {len(suppressed)} suppressed)"
+        )
     else:
         for finding in partition.new:
             _print_finding(finding)

@@ -36,13 +36,25 @@ import fnmatch
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import ClassVar, Iterable, Iterator, Literal, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    ClassVar,
+    Iterable,
+    Iterator,
+    Literal,
+    Optional,
+    Sequence,
+)
+
+if TYPE_CHECKING:
+    from repro.analysis.project import ProjectGraph
 
 __all__ = [
     "Finding",
     "Suppression",
     "FileContext",
     "Rule",
+    "ProjectRule",
     "ImportMap",
     "register_rule",
     "all_rules",
@@ -50,9 +62,11 @@ __all__ = [
     "lint_source",
     "lint_file",
     "lint_paths",
+    "lint_project_sources",
     "iter_python_files",
     "canonical_path",
     "parse_suppressions",
+    "clear_caches",
     "SUPPRESSION_RULE_ID",
     "PARSE_RULE_ID",
 ]
@@ -303,6 +317,28 @@ class Rule(abc.ABC):
         """Yield findings for one parsed file."""
 
 
+class ProjectRule(Rule):
+    """A rule over the whole-program graph instead of one file.
+
+    Subclasses implement :meth:`check_project` against the
+    :class:`~repro.analysis.project.ProjectGraph` built from *all* linted
+    files in one pass (reusing the per-file ASTs).  The per-file
+    :meth:`check` hook is a no-op; the linting entry points run project
+    rules once per invocation, after the per-file pass.  Findings are
+    still attributed to a concrete file/line, so inline suppressions and
+    the :attr:`paths` scope apply exactly as they do for file rules —
+    and because baseline keys exclude line numbers, project findings get
+    stable ``{rule}::{path}::{symbol}::{message}`` keys for free.
+    """
+
+    def check(self, context: FileContext) -> Iterable[Finding]:
+        return ()
+
+    @abc.abstractmethod
+    def check_project(self, project: "ProjectGraph") -> Iterable[Finding]:
+        """Yield findings over the whole program."""
+
+
 _REGISTRY: dict[str, type[Rule]] = {}
 
 
@@ -343,16 +379,154 @@ def select_rules(
 def canonical_path(path: Path | str) -> str:
     """Stable repository-relative posix path for findings and baselines.
 
-    Anything up to and including a leading ``**/src/`` prefix is trimmed,
-    so linting ``src/repro`` from the repo root, an absolute path, or a
-    copied tree all produce identical finding keys.
+    Anything up to and including a leading ``**/src/`` prefix is trimmed
+    (falling back to a ``**/tests/`` prefix for the test tree), so linting
+    ``src/repro`` from the repo root, an absolute path, or a copied tree
+    all produce identical finding keys.
     """
     posix = Path(path).as_posix()
     parts = posix.split("/")
-    for index in range(len(parts) - 1, -1, -1):
-        if parts[index] == "src":
-            return "/".join(parts[index:])
+    for anchor in ("src", "tests"):
+        for index in range(len(parts) - 1, -1, -1):
+            if parts[index] == anchor:
+                return "/".join(parts[index:])
     return posix.lstrip("./") or posix
+
+
+@dataclass
+class _ParsedFile:
+    """One parsed file, shared between the per-file and project passes."""
+
+    path: str  # canonical
+    source: str
+    context: Optional[FileContext]  # None when the file does not parse
+    suppressions: dict[int, Suppression]
+    pre_findings: tuple[Finding, ...]  # parse errors + malformed suppressions
+    cache_token: Optional[tuple[str, int, int]] = None  # (resolved, mtime, size)
+
+
+def _parse(source: str, path: str) -> _ParsedFile:
+    """Parse one module once; all downstream passes reuse the result."""
+    path = canonical_path(path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        parse_finding = Finding(
+            rule=PARSE_RULE_ID,
+            path=path,
+            line=exc.lineno or 1,
+            column=(exc.offset or 1) - 1,
+            message=f"file does not parse: {exc.msg}",
+            symbol="",
+            severity="error",
+        )
+        return _ParsedFile(path, source, None, {}, (parse_finding,))
+    suppressions, malformed = parse_suppressions(source, path)
+    context = FileContext(path, source, tree)
+    return _ParsedFile(path, source, context, suppressions, tuple(malformed))
+
+
+def _apply_suppression(
+    parsed: _ParsedFile,
+    finding: Finding,
+    active: list[Finding],
+    suppressed: list[Finding],
+) -> None:
+    suppression = parsed.suppressions.get(finding.line)
+    if suppression is not None and suppression.covers(finding.rule):
+        suppressed.append(finding)
+    else:
+        active.append(finding)
+
+
+def _lint_parsed(
+    parsed: _ParsedFile, rules: Sequence[Rule]
+) -> tuple[list[Finding], list[Finding]]:
+    """The per-file pass over one parsed module."""
+    active: list[Finding] = list(parsed.pre_findings)
+    suppressed: list[Finding] = []
+    if parsed.context is not None:
+        for rule in rules:
+            if not rule.applies_to(parsed.path):
+                continue
+            for finding in rule.check(parsed.context):
+                _apply_suppression(parsed, finding, active, suppressed)
+    active.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    return active, suppressed
+
+
+def _project_pass(
+    parsed_files: Sequence[_ParsedFile], rules: Sequence[Rule]
+) -> tuple[list[Finding], list[Finding]]:
+    """Run the whole-program rules once over all parsed files."""
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
+    if not project_rules:
+        return [], []
+    graph = _project_graph(parsed_files)
+    by_path = {parsed.path: parsed for parsed in parsed_files}
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for rule in project_rules:
+        for finding in rule.check_project(graph):
+            if not rule.applies_to(finding.path):
+                continue
+            parsed = by_path.get(finding.path)
+            if parsed is None:
+                active.append(finding)
+            else:
+                _apply_suppression(parsed, finding, active, suppressed)
+    active.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    return active, suppressed
+
+
+# Per-process caches: the CLI and the test-suite both invoke the linter many
+# times over the same unchanged tree; parse each file and build the project
+# graph once per (content, rule-set-independent) state.
+_FILE_CACHE: dict[str, _ParsedFile] = {}
+_GRAPH_CACHE: dict[frozenset[tuple[str, int, int]], "ProjectGraph"] = {}
+
+
+def clear_caches() -> None:
+    """Drop the per-process parse/graph caches (test isolation hook)."""
+    _FILE_CACHE.clear()
+    _GRAPH_CACHE.clear()
+
+
+def _load_file(path: Path) -> _ParsedFile:
+    resolved = str(path.resolve())
+    stat = path.stat()
+    token = (resolved, stat.st_mtime_ns, stat.st_size)
+    cached = _FILE_CACHE.get(resolved)
+    if cached is not None and cached.cache_token == token:
+        return cached
+    parsed = _parse(path.read_text(encoding="utf-8"), str(path))
+    parsed.cache_token = token
+    _FILE_CACHE[resolved] = parsed
+    return parsed
+
+
+def _project_graph(parsed_files: Sequence[_ParsedFile]) -> "ProjectGraph":
+    # Deferred import: framework -> project is function-local so the
+    # analysis package stays acyclic at module load (ARCH001's own bar).
+    from repro.analysis.project import ProjectGraph
+
+    tokens = [parsed.cache_token for parsed in parsed_files]
+    key: Optional[frozenset[tuple[str, int, int]]] = None
+    if all(token is not None for token in tokens):
+        key = frozenset(token for token in tokens if token is not None)
+        cached = _GRAPH_CACHE.get(key)
+        if cached is not None:
+            return cached
+    graph = ProjectGraph.build(
+        [
+            (parsed.context, parsed.suppressions)
+            for parsed in parsed_files
+            if parsed.context is not None
+        ]
+    )
+    if key is not None:
+        _GRAPH_CACHE[key] = graph
+    return graph
 
 
 def lint_source(
@@ -364,40 +538,31 @@ def lint_source(
 
     ``active`` contains every finding that counts against the run —
     including malformed-suppression and parse-error findings; ``suppressed``
-    holds findings silenced by a well-formed inline suppression.
+    holds findings silenced by a well-formed inline suppression.  Only the
+    per-file pass runs here; project rules need the whole program
+    (:func:`lint_project_sources` / :func:`lint_paths`).
     """
-    path = canonical_path(path)
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        return (
-            [
-                Finding(
-                    rule=PARSE_RULE_ID,
-                    path=path,
-                    line=exc.lineno or 1,
-                    column=(exc.offset or 1) - 1,
-                    message=f"file does not parse: {exc.msg}",
-                    symbol="",
-                    severity="error",
-                )
-            ],
-            [],
-        )
-    context = FileContext(path, source, tree)
-    suppressions, malformed = parse_suppressions(source, path)
-    active: list[Finding] = list(malformed)
+    return _lint_parsed(_parse(source, path), rules)
+
+
+def lint_project_sources(
+    sources: Sequence[tuple[str, str]], rules: Sequence[Rule]
+) -> tuple[list[Finding], list[Finding]]:
+    """Lint ``(path, source)`` modules as one program; per-file + project pass.
+
+    The in-memory analogue of :func:`lint_paths`, used by fixture and
+    mutation tests to lint a synthetic tree without touching disk.
+    """
+    parsed_files = [_parse(source, path) for path, source in sources]
+    active: list[Finding] = []
     suppressed: list[Finding] = []
-    for rule in rules:
-        if not rule.applies_to(path):
-            continue
-        for finding in rule.check(context):
-            suppression = suppressions.get(finding.line)
-            if suppression is not None and suppression.covers(finding.rule):
-                suppressed.append(finding)
-            else:
-                active.append(finding)
-    active.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    for parsed in parsed_files:
+        file_active, file_suppressed = _lint_parsed(parsed, rules)
+        active.extend(file_active)
+        suppressed.extend(file_suppressed)
+    project_active, project_suppressed = _project_pass(parsed_files, rules)
+    active.extend(project_active)
+    suppressed.extend(project_suppressed)
     return active, suppressed
 
 
@@ -425,13 +590,44 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
 
 
 def lint_paths(
-    paths: Sequence[Path], rules: Sequence[Rule]
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    exclude: Sequence[str] = (),
 ) -> tuple[list[Finding], list[Finding]]:
-    """Lint files and directories; returns ``(active, suppressed)``."""
+    """Lint files and directories; returns ``(active, suppressed)``.
+
+    Runs the per-file pass on every file, then the whole-program pass
+    (for any :class:`ProjectRule` in ``rules``) over the same ASTs.
+    ``exclude`` holds fnmatch patterns (e.g. ``tests/analysis/fixtures/*``)
+    to skip deliberate-violation fixtures; patterns are tested against
+    both the path as given and its canonical form, because fixture trees
+    embed their own ``src/`` anchor and canonicalize into it.
+    """
     active: list[Finding] = []
     suppressed: list[Finding] = []
+    parsed_files: list[_ParsedFile] = []
+    cwd = Path.cwd()
     for file_path in iter_python_files(paths):
-        file_active, file_suppressed = lint_file(file_path, rules)
+        candidates = [Path(file_path).as_posix()]
+        candidates.append(canonical_path(candidates[0]))
+        try:
+            candidates.append(
+                Path(file_path).resolve().relative_to(cwd).as_posix()
+            )
+        except ValueError:
+            pass
+        if any(
+            fnmatch.fnmatch(candidate, pattern)
+            for candidate in candidates
+            for pattern in exclude
+        ):
+            continue
+        parsed = _load_file(file_path)
+        parsed_files.append(parsed)
+        file_active, file_suppressed = _lint_parsed(parsed, rules)
         active.extend(file_active)
         suppressed.extend(file_suppressed)
+    project_active, project_suppressed = _project_pass(parsed_files, rules)
+    active.extend(project_active)
+    suppressed.extend(project_suppressed)
     return active, suppressed

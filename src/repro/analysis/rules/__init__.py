@@ -4,8 +4,28 @@ Importing this package registers every built-in rule with the framework
 registry (each rule module applies :func:`repro.analysis.framework.
 register_rule` at import time).  Third-party or experiment-local rules can
 do the same before calling :func:`repro.analysis.framework.select_rules`.
+
+``arch``/``parity``/``taint`` hold the whole-program rules (ARCH001,
+PAR001, DET001) built on :mod:`repro.analysis.project`; the rest are
+single-file rules.
 """
 
-from repro.analysis.rules import accumulation, errors, rng, versioning
+from repro.analysis.rules import (
+    accumulation,
+    arch,
+    errors,
+    parity,
+    rng,
+    taint,
+    versioning,
+)
 
-__all__ = ["rng", "versioning", "accumulation", "errors"]
+__all__ = [
+    "rng",
+    "versioning",
+    "accumulation",
+    "errors",
+    "arch",
+    "parity",
+    "taint",
+]

@@ -33,7 +33,7 @@ with that reason rather than weakening the rule.
 from __future__ import annotations
 
 import ast
-from typing import ClassVar, Iterable, Optional
+from typing import Callable, ClassVar, Iterable, Optional
 
 from repro.analysis.framework import FileContext, Finding, Rule, register_rule
 
@@ -76,7 +76,9 @@ def _comprehension_source(node: ast.expr) -> Optional[str]:
     return None
 
 
-def _unordered_feed(node: ast.expr, resolve) -> Optional[str]:
+def _unordered_feed(
+    node: ast.expr, resolve: Callable[[ast.expr], Optional[str]]
+) -> Optional[str]:
     """Unordered source feeding ``node``, looking through array conversions.
 
     Vectorized reductions consume their input positionally, so an

@@ -1,0 +1,129 @@
+"""ARCH001: the layer contract, enforced over the import graph.
+
+The package layering (``experiments -> apps -> serve -> core -> ring ->
+data``, with ``analysis/`` stdlib-only off to the side) is what keeps the
+measured core swappable and the linter trustworthy: ``core/`` coupling to
+``serve/`` would let serving concerns leak into measured estimators, and
+``ring/`` importing ``core/`` would invert the dependency the backend
+protocol exists to break.  The contract is declared as data
+(:data:`repro.analysis.project.LAYER_CONTRACT`) and rendered into
+docs/STATIC_ANALYSIS.md from that same data.
+
+Semantics:
+
+* runtime imports (module-level *and* function-local) must respect the
+  contract; ``if TYPE_CHECKING:`` imports are exempt — they never execute,
+  and type-only edges are exactly how the contract says cross-layer
+  *annotations* should be spelled;
+* ``analysis/`` may import nothing outside the stdlib (not even numpy):
+  the linter must never import the tree it lints;
+* import cycles anywhere are errors, computed over *load-time* edges only
+  (deferring an import inside a function is the sanctioned way to break a
+  load cycle, so deferred/type-only edges do not count).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterable
+
+from repro.analysis.framework import Finding, ProjectRule, register_rule
+from repro.analysis.project import (
+    FACADE_MODULES,
+    LAYER_CONTRACT,
+    LAYER_OVERRIDES,
+    STDLIB_ONLY_PACKAGES,
+    ImportEdge,
+    ModuleInfo,
+    ProjectGraph,
+    is_stdlib_module,
+    package_of,
+)
+
+__all__ = ["LayerContractRule"]
+
+
+def _target_package(target: str) -> str:
+    """Layer package of an import target, honouring module overrides."""
+    for module, package in LAYER_OVERRIDES.items():
+        if target == module or target.startswith(module + "."):
+            return package
+    return package_of(target)
+
+
+@register_rule
+class LayerContractRule(ProjectRule):
+    """ARCH001 — package layering and import-cycle contract."""
+
+    id: ClassVar[str] = "ARCH001"
+    title: ClassVar[str] = "layer contract over the import graph"
+    rationale: ClassVar[str] = (
+        "core stays swappable and the linter stays trustworthy only if "
+        "imports flow down the layer order and never form cycles"
+    )
+    paths: ClassVar[tuple[str, ...]] = ("src/*",)
+
+    def check_project(self, project: ProjectGraph) -> Iterable[Finding]:
+        for info in project.modules.values():
+            if info.name in FACADE_MODULES:
+                continue
+            if info.package not in LAYER_CONTRACT:
+                continue  # tests/scratch trees are outside the contract
+            for edge in info.edges:
+                finding = self._check_edge(info, edge)
+                if finding is not None:
+                    yield finding
+        yield from self._check_cycles(project)
+
+    def _check_edge(self, info: ModuleInfo, edge: ImportEdge) -> Finding | None:
+        if edge.type_only:
+            return None
+        target = edge.target
+        if target == "repro" or target.startswith("repro."):
+            if target == "repro":
+                return info.finding(
+                    self,
+                    edge.node,
+                    "imports the `repro` package facade; import the "
+                    "providing module directly",
+                )
+            target_pkg = _target_package(target)
+            if target_pkg == info.package:
+                return None
+            allowed = LAYER_CONTRACT[info.package]
+            if target_pkg not in allowed:
+                permitted = ", ".join(sorted(allowed)) or "nothing first-party"
+                return info.finding(
+                    self,
+                    edge.node,
+                    f"`{info.package}/` must not import `{target_pkg}/` "
+                    f"(layer contract allows: {permitted})",
+                )
+            return None
+        if info.package in STDLIB_ONLY_PACKAGES and not is_stdlib_module(target):
+            return info.finding(
+                self,
+                edge.node,
+                f"`{info.package}/` imports only the stdlib, but imports "
+                f"`{target}`; the linter must not depend on the tree it lints",
+            )
+        return None
+
+    def _check_cycles(self, project: ProjectGraph) -> Iterable[Finding]:
+        for component in project.runtime_cycles():
+            anchor_name = component[0]
+            info = project.modules[anchor_name]
+            in_cycle = set(component)
+            anchor: ast.AST = info.context.tree
+            for edge in info.edges:
+                if edge.deferred or edge.type_only:
+                    continue
+                target = project.project_module(edge.target)
+                if target in in_cycle:
+                    anchor = edge.node
+                    break
+            yield info.finding(
+                self,
+                anchor,
+                "import cycle at module load: " + " <-> ".join(component),
+            )

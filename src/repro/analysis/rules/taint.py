@@ -1,0 +1,252 @@
+"""DET001: interprocedural determinism taint over the call graph.
+
+RNG002 flags a wall-clock read *at the read site*, and an inline
+suppression sanctions that one site (the ``wall_s`` reporting column).
+That left a dataflow hole: a helper can perform the (suppressed or
+out-of-module) banned read, return the value, and a measured-path caller
+consumes it with no banned call in its own file — invisible to every
+file-local rule.  This rule closes the hole:
+
+* **sources** — the banned reads of RNG001/RNG002 (wall-clock state,
+  stdlib/global-numpy RNG, unseeded ``default_rng()``), *including
+  suppressed ones*: a suppression sanctions the read for reporting, not
+  downstream consumption of the value;
+* **propagation** — within each top-level function, taint flows through
+  assignments, container mutation (``walls.append(...)``), loops, and
+  into return expressions; a function whose return derives from a source
+  is tainted, and taint propagates through project-resolvable calls to a
+  fixed point;
+* **sanitization** — a tainted value passed as a keyword named in
+  :data:`repro.analysis.project.REPORT_FIELDS` (``wall_s`` /
+  ``wall_s_std``) or assigned to an attribute of that name is *reporting*
+  and stops propagating: that is the sanctioned shape for elapsed-time
+  columns;
+* **sinks** — a call that consumes (does not merely discard) a tainted
+  return inside a measured-path package
+  (:data:`repro.analysis.project.MEASURED_PACKAGES`, minus the declared
+  harness modules) is a finding at the call site.
+
+Method returns are not tracked (the call graph resolves top-level
+functions only); RNG002 still covers direct reads everywhere in src/.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterable, Optional
+
+from repro.analysis.framework import Finding, ProjectRule, register_rule
+from repro.analysis.project import (
+    HARNESS_MODULES,
+    MEASURED_PACKAGES,
+    REPORT_FIELDS,
+    FunctionNode,
+    ModuleInfo,
+    ProjectGraph,
+)
+from repro.analysis.rules.rng import banned_source_description
+
+__all__ = ["DeterminismTaintRule"]
+
+#: Mutating container methods that propagate taint from argument to base.
+_MUTATORS = frozenset({"append", "extend", "insert", "add", "update"})
+
+
+class _FunctionTaint:
+    """Flow-insensitive taint of one function's locals and return value."""
+
+    def __init__(
+        self,
+        project: ProjectGraph,
+        info: ModuleInfo,
+        func: FunctionNode,
+        tainted: dict[str, str],
+    ) -> None:
+        self._project = project
+        self._info = info
+        self._func = func
+        self._tainted = tainted
+        self._locals: dict[str, str] = {}
+        self.return_origin: Optional[str] = None
+
+    def run(self) -> Optional[str]:
+        key = f"{self._info.name}.{self._func.name}"
+        for _ in range(4):  # nested flows settle in a few passes
+            before = (len(self._locals), self.return_origin)
+            self._sweep()
+            if (len(self._locals), self.return_origin) == before:
+                break
+        if self.return_origin is not None and " in `" not in self.return_origin:
+            return f"{self.return_origin} in `{key}`"
+        return self.return_origin
+
+    def _sweep(self) -> None:
+        for node in ast.walk(self._func):
+            if isinstance(node, ast.Assign):
+                origin = self._expr_origin(node.value)
+                if origin is not None:
+                    for target in node.targets:
+                        self._taint_target(target, origin)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                origin = self._expr_origin(node.value)
+                if origin is not None:
+                    self._taint_target(node.target, origin)
+            elif isinstance(node, ast.AugAssign):
+                origin = self._expr_origin(node.value)
+                if origin is not None:
+                    self._taint_target(node.target, origin)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                origin = self._expr_origin(node.iter)
+                if origin is not None:
+                    self._taint_target(node.target, origin)
+            elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                self._mutation(node.value)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                origin = self._expr_origin(node.value)
+                if origin is not None and self.return_origin is None:
+                    self.return_origin = origin
+
+    def _mutation(self, call: ast.Call) -> None:
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATORS
+            and isinstance(func.value, ast.Name)
+        ):
+            for arg in call.args:
+                origin = self._expr_origin(arg)
+                if origin is not None:
+                    self._locals.setdefault(func.value.id, origin)
+                    return
+
+    def _taint_target(self, target: ast.expr, origin: str) -> None:
+        if isinstance(target, ast.Name):
+            self._locals.setdefault(target.id, origin)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._taint_target(element, origin)
+        elif isinstance(target, ast.Starred):
+            self._taint_target(target.value, origin)
+        elif isinstance(target, ast.Subscript):
+            self._taint_target(target.value, origin)
+        elif isinstance(target, ast.Attribute):
+            # ``report.wall_s = elapsed`` is the sanctioned reporting shape;
+            # other attribute stores escape this summary (per-object state
+            # is out of scope for a return-value analysis).
+            return
+
+    def _expr_origin(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Call):
+            dotted = self._info.context.imports.resolve(node.func)
+            if dotted is not None:
+                description = banned_source_description(node, dotted)
+                if description is not None:
+                    return description
+            key = self._project.resolve_call(self._info, node.func)
+            if key is not None and key in self._tainted:
+                return self._tainted[key]
+            children: list[ast.AST] = [node.func, *node.args]
+            children.extend(
+                keyword.value
+                for keyword in node.keywords
+                if keyword.arg not in REPORT_FIELDS
+            )
+            for child in children:
+                origin = self._expr_origin(child)
+                if origin is not None:
+                    return origin
+            return None
+        if isinstance(node, ast.Name):
+            return self._locals.get(node.id)
+        if isinstance(node, ast.Lambda):
+            return None
+        for child in ast.iter_child_nodes(node):
+            origin = self._expr_origin(child)
+            if origin is not None:
+                return origin
+        return None
+
+
+def _tainted_functions(project: ProjectGraph) -> dict[str, str]:
+    """Fixed point: dotted function name -> origin of its return taint."""
+    tainted: dict[str, str] = {}
+    changed = True
+    while changed:
+        changed = False
+        for info in project.modules.values():
+            for name, func in info.functions.items():
+                key = f"{info.name}.{name}"
+                if key in tainted:
+                    continue
+                origin = _FunctionTaint(project, info, func, tainted).run()
+                if origin is not None:
+                    tainted[key] = origin
+                    changed = True
+    return tainted
+
+
+def _in_measured_scope(info: ModuleInfo) -> bool:
+    return (
+        info.name.startswith("repro.")
+        and info.package in MEASURED_PACKAGES
+        and info.name not in HARNESS_MODULES
+    )
+
+
+@register_rule
+class DeterminismTaintRule(ProjectRule):
+    """DET001 — no laundered wall-clock/entropy on measured paths."""
+
+    id: ClassVar[str] = "DET001"
+    title: ClassVar[str] = "interprocedural determinism taint"
+    rationale: ClassVar[str] = (
+        "a helper can read the clock (even with a sanctioned suppression) "
+        "and return the value; any measured-path caller consuming that "
+        "return is machine-dependent even though its own file is clean"
+    )
+    paths: ClassVar[tuple[str, ...]] = ("src/*",)
+
+    def check_project(self, project: ProjectGraph) -> Iterable[Finding]:
+        tainted = _tainted_functions(project)
+        if not tainted:
+            return
+        for info in project.modules.values():
+            if not _in_measured_scope(info):
+                continue
+            # A bare expression statement discards the return: calling a
+            # tainted function for its side effects consumes nothing.
+            # Anything feeding a REPORT_FIELDS keyword or attribute store
+            # is the sanctioned reporting shape, matching the propagation
+            # rules above.
+            discarded = {
+                id(stmt.value)
+                for stmt in ast.walk(info.context.tree)
+                if isinstance(stmt, ast.Expr)
+            }
+            for node in ast.walk(info.context.tree):
+                if isinstance(node, ast.Call):
+                    for keyword in node.keywords:
+                        if keyword.arg in REPORT_FIELDS:
+                            discarded.update(
+                                id(sub) for sub in ast.walk(keyword.value)
+                            )
+                elif isinstance(node, ast.Assign):
+                    if all(
+                        isinstance(target, ast.Attribute)
+                        and target.attr in REPORT_FIELDS
+                        for target in node.targets
+                    ):
+                        discarded.update(id(sub) for sub in ast.walk(node.value))
+            for node in ast.walk(info.context.tree):
+                if not isinstance(node, ast.Call) or id(node) in discarded:
+                    continue
+                key = project.resolve_call(info, node.func)
+                if key is None or key not in tainted:
+                    continue
+                yield info.finding(
+                    self,
+                    node,
+                    f"measured-path code consumes the return of `{key}`, "
+                    f"which derives from a {tainted[key]}; results must be "
+                    "a function of (seed, scale) only",
+                )

@@ -453,7 +453,7 @@ class FaultPlane:
         plane: same marking semantics, but victims are drawn from the
         plane's deterministic generator.
         """
-        from repro.core.byzantine import ByzantineBehavior, corrupt_network
+        from repro.core.byzantine import ByzantineBehavior, corrupt_network  # repro-lint: disable=ARCH001 (deliberate upward call: the fault plane fronts the core Byzantine marker for compatibility; deferred so ring/ stays import-clean at load)
 
         if behavior is None:
             behavior = ByzantineBehavior()

@@ -20,3 +20,16 @@ def rules():
 def fixture_source(name: str) -> str:
     """Source text of one fixture module."""
     return (FIXTURES / name).read_text(encoding="utf-8")
+
+
+def project_fixture_sources(name: str) -> list[tuple[str, str]]:
+    """``(path, source)`` pairs of one project-fixture tree.
+
+    Paths are relative to the fixture root (``src/repro/...``), so the
+    canonical-path and module-name machinery sees a normal project.
+    """
+    root = FIXTURES / "project" / name
+    return [
+        (path.relative_to(root).as_posix(), path.read_text(encoding="utf-8"))
+        for path in sorted(root.rglob("*.py"))
+    ]

@@ -1,0 +1,5 @@
+"""SUM001 suppressed fixture: a documented order-independent sum."""
+
+counts = {"a": 3, "b": 5}
+
+total = sum(counts.values())  # repro-lint: disable=SUM001 (integer counts: exact in any order)

@@ -1,0 +1,12 @@
+"""ERR001 suppressed fixture: a documented out-of-taxonomy raise."""
+
+
+def route_with_policy(network, key: int) -> "RouteOutcome":
+    if key < 0:
+        raise ValueError("key must be non-negative")  # repro-lint: disable=ERR001 (caller bug, not a routing failure)
+    return RouteOutcome(ok=True)
+
+
+class RouteOutcome:
+    def __init__(self, ok: bool) -> None:
+        self.ok = ok

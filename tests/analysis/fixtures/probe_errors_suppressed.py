@@ -1,0 +1,15 @@
+"""ERR002 suppressed fixture: a documented best-effort swallow."""
+
+
+class NetworkError(Exception):
+    pass
+
+
+def collect(network, targets):
+    results = []
+    for target in targets:
+        try:
+            results.append(network.exchange(target))
+        except NetworkError:  # repro-lint: disable=ERR002 (warm-up probe: evidence ledger not yet open)
+            continue
+    return results

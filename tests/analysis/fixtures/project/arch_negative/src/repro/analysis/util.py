@@ -1,0 +1,6 @@
+"""ARCH001 negative: the analysis layer sticking to the stdlib."""
+
+import ast
+import fnmatch
+
+__all__ = ["ast", "fnmatch"]

@@ -1,0 +1,8 @@
+"""ARCH001 negative: core/ importing ring/ flows down the layer order."""
+
+from repro.ring.network import RingNetwork
+
+
+class PeerSummary:
+    def __init__(self, network: RingNetwork) -> None:
+        self.network = network

@@ -1,0 +1,9 @@
+"""ARCH001 negative: imports events at load; events defers its way back."""
+
+from repro.ring.events import drive
+from repro.ring.network import RingNetwork
+
+
+def churn_round(network: RingNetwork) -> int:
+    del drive
+    return 0

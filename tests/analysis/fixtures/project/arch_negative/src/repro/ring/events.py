@@ -1,0 +1,9 @@
+"""ARCH001 negative: a deferred same-package import breaks no cycle."""
+
+from repro.ring.network import RingNetwork
+
+
+def drive(network: RingNetwork) -> int:
+    from repro.ring.churn import churn_round  # load-cycle break: legal
+
+    return churn_round(network)

@@ -1,0 +1,11 @@
+"""ARCH001 negative: type-only upward reference and a clean layer edge."""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.synopsis import PeerSummary
+
+
+class RingNetwork:
+    def summarize(self) -> "PeerSummary":
+        raise NotImplementedError

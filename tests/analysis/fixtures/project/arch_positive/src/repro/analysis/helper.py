@@ -1,0 +1,5 @@
+"""ARCH001 positive: the stdlib-only linter importing numpy."""
+
+import numpy as np
+
+ZERO = np.float64(0.0)

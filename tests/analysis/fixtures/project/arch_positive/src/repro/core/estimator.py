@@ -1,0 +1,5 @@
+"""ARCH001 positive: core/ reaching up into serve/."""
+
+from repro.serve.cache import EstimateCache
+
+CACHE = EstimateCache()

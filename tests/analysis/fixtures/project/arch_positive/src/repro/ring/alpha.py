@@ -1,0 +1,7 @@
+"""ARCH001 positive: one half of a load-time import cycle."""
+
+from repro.ring.beta import beta_value
+
+
+def alpha_value() -> int:
+    return beta_value() + 1

@@ -1,0 +1,7 @@
+"""ARCH001 positive: the other half of the load-time import cycle."""
+
+from repro.ring.alpha import alpha_value
+
+
+def beta_value() -> int:
+    return alpha_value() - 1

@@ -1,0 +1,5 @@
+"""Target module for the layering violation below."""
+
+
+class EstimateCache:
+    pass

@@ -1,0 +1,5 @@
+"""Target of the documented upward call in the suppressed fixture."""
+
+
+def mark_byzantine(network: object, fraction: float) -> int:
+    return 0

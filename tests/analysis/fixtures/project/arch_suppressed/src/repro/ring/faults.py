@@ -1,0 +1,7 @@
+"""ARCH001 suppressed: a documented compatibility shim calling upward."""
+
+
+def corrupt(network: object, fraction: float) -> int:
+    from repro.core.byzantine import mark_byzantine  # repro-lint: disable=ARCH001 (compatibility shim: the fault plane fronts the core marker)
+
+    return mark_byzantine(network, fraction)

@@ -1,0 +1,13 @@
+"""DET001 negative: measured-path uses that do not consume the taint."""
+
+from repro.core.timing import build_run, elapsed_since
+
+
+def warm_cache(start: float) -> None:
+    # Bare statement: the tainted return is discarded, not consumed.
+    elapsed_since(start)
+
+
+def summarize(samples: int, start: float) -> dict:
+    # ``build_run`` confines the clock to wall_s, so its return is clean.
+    return build_run(samples, start)

@@ -1,0 +1,14 @@
+"""DET001 negative: the same laundering helper (source, no sink here)."""
+
+import time
+
+
+def elapsed_since(start: float) -> float:
+    now = time.perf_counter()  # repro-lint: disable=RNG002 (wall_s reporting helper)
+    return now - start
+
+
+def build_run(samples: int, start: float) -> dict:
+    # Tainted value confined to the sanctioned wall_s report field: the
+    # return of this function is NOT tainted.
+    return dict(samples=samples, wall_s=elapsed_since(start))

@@ -1,0 +1,7 @@
+"""DET001 negative: the reporting layer may consume elapsed time."""
+
+from repro.core.timing import elapsed_since
+
+
+def wall_column(start: float) -> float:
+    return elapsed_since(start)

@@ -1,0 +1,7 @@
+"""DET001 positive: a measured path consuming the laundered clock."""
+
+from repro.core.timing import elapsed_since
+
+
+def probe_budget_left(start: float, budget: float) -> float:
+    return budget - elapsed_since(start)

@@ -1,0 +1,8 @@
+"""DET001 positive: a helper laundering a sanctioned wall-clock read."""
+
+import time
+
+
+def elapsed_since(start: float) -> float:
+    now = time.perf_counter()  # repro-lint: disable=RNG002 (wall_s reporting helper)
+    return now - start

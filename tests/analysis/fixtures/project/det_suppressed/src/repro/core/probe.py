@@ -1,0 +1,7 @@
+"""DET001 suppressed: a documented measured-path consumption."""
+
+from repro.core.timing import elapsed_since
+
+
+def probe_budget_left(start: float, budget: float) -> float:
+    return budget - elapsed_since(start)  # repro-lint: disable=DET001 (budget guard: affects probe count cap only, not any reported value)

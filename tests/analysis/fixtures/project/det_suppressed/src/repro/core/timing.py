@@ -1,0 +1,8 @@
+"""DET001 suppressed: the laundering helper."""
+
+import time
+
+
+def elapsed_since(start: float) -> float:
+    now = time.perf_counter()  # repro-lint: disable=RNG002 (wall_s reporting helper)
+    return now - start

@@ -1,0 +1,11 @@
+"""PAR001 negative: isinstance narrowing sanctions backend-only members."""
+
+from repro.core.backend import RingBackend
+from repro.ring.compact import CompactRing
+
+
+def run(network: RingBackend) -> float:
+    network.record()
+    if isinstance(network, CompactRing):
+        return network.segment_length()
+    return network.object_walk()

@@ -1,0 +1,13 @@
+"""PAR001 negative: the compact backend, with one backend-only member."""
+
+
+class CompactRing:
+    @property
+    def version_token(self) -> tuple:
+        return (0, 0)
+
+    def record(self, n: int = 1) -> None:
+        pass
+
+    def segment_length(self) -> float:
+        return 0.0

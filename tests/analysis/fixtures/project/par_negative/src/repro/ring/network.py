@@ -1,0 +1,13 @@
+"""PAR001 negative: the object backend, with one backend-only member."""
+
+
+class RingNetwork:
+    @property
+    def version_token(self) -> tuple:
+        return (0, 0)
+
+    def record(self, n: int = 1) -> None:
+        pass
+
+    def object_walk(self) -> float:
+        return 0.0

@@ -1,0 +1,18 @@
+"""PAR001 positive: the protocol and union the stack dispatches through."""
+
+from typing import Protocol, Union
+
+from repro.ring.compact import CompactRing
+from repro.ring.network import RingNetwork
+
+
+class ProbeBackend(Protocol):
+    @property
+    def version_token(self) -> tuple:
+        ...
+
+    def record(self, n: int = 1) -> None:
+        ...
+
+
+RingBackend = Union[RingNetwork, CompactRing]

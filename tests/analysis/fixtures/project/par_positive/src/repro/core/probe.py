@@ -1,0 +1,8 @@
+"""PAR001 positive: a dispatch site through the backend union."""
+
+from repro.core.backend import RingBackend
+
+
+def run(network: RingBackend) -> int:
+    network.record()
+    return network.random_peer(None)

@@ -1,0 +1,13 @@
+"""PAR001 positive: the object backend carries the full surface."""
+
+
+class RingNetwork:
+    @property
+    def version_token(self) -> tuple:
+        return (0, 0)
+
+    def record(self, n: int = 1) -> None:
+        pass
+
+    def random_peer(self, rng: object) -> int:
+        return 0

@@ -1,0 +1,15 @@
+"""PAR001 suppressed: protocol declaring a member one backend lacks."""
+
+from typing import Protocol, Union
+
+from repro.ring.compact import CompactRing
+from repro.ring.network import RingNetwork
+
+
+class ProbeBackend(Protocol):
+    @property
+    def version_token(self) -> tuple:
+        ...
+
+
+RingBackend = Union[RingNetwork, CompactRing]

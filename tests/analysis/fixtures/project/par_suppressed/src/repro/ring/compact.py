@@ -1,0 +1,6 @@
+"""PAR001 suppressed: a documented, temporary parity gap."""
+
+
+class CompactRing:  # repro-lint: disable=PAR001 (fixture: staged migration, parity restored in the follow-up)
+    def record(self, n: int = 1) -> None:
+        pass

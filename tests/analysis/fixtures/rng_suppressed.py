@@ -1,6 +1,9 @@
-"""Suppression fixture: one documented exemption, one missing its reason."""
+"""Suppression fixture: documented exemptions, one missing its reason."""
 
 import time
 
+import numpy as np
+
 started = time.perf_counter()  # repro-lint: disable=RNG002 (wall_s instrumentation only)
 elapsed = time.perf_counter() - started  # repro-lint: disable=RNG002
+entropy_rng = np.random.default_rng()  # repro-lint: disable=RNG001 (fixture: OS-entropy seeding demo)

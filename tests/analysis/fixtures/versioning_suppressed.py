@@ -1,0 +1,9 @@
+"""VER001 suppressed fixture: a documented bump-elsewhere exemption."""
+
+
+class Network:
+    def splice_pointer(self, node) -> None:
+        node.predecessor_id = 9  # repro-lint: disable=VER001 (caller stabilize() bumps once per round)
+
+    def note_overlay_change(self) -> None:
+        self.topology_version += 1

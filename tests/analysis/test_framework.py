@@ -109,7 +109,7 @@ class TestScopes:
 
 
 class TestSelection:
-    def test_all_six_rules_registered(self, rules):
+    def test_all_nine_rules_registered(self, rules):
         assert {rule.id for rule in rules} == {
             "RNG001",
             "RNG002",
@@ -117,6 +117,9 @@ class TestSelection:
             "SUM001",
             "ERR001",
             "ERR002",
+            "ARCH001",
+            "PAR001",
+            "DET001",
         }
 
     def test_select_subset(self):

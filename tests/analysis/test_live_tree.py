@@ -7,14 +7,24 @@ the normal test suite too — not just the separate lint job.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 
-from repro.analysis import Baseline, lint_paths, parse_suppressions, select_rules
+from repro.analysis import (
+    Baseline,
+    clear_caches,
+    lint_paths,
+    parse_suppressions,
+    select_rules,
+)
 from repro.analysis.cli import main
+from repro.analysis.framework import _load_file
+from repro.analysis.project import render_layer_contract
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 SRC = REPO_ROOT / "src" / "repro"
 BASELINE = REPO_ROOT / "lint-baseline.json"
+DOCS = REPO_ROOT / "docs" / "STATIC_ANALYSIS.md"
 
 
 def test_live_tree_clean_modulo_baseline(capsys):
@@ -35,6 +45,42 @@ def test_baseline_is_loadable_and_not_hand_grown():
     # empty after the PR-5 cleanup.  If a future change genuinely must add
     # debt, this pin forces the discussion in review.
     assert baseline.entries == {}
+
+
+def test_whole_program_pass_is_fast_enough_for_a_commit_hook():
+    """Full lint of src/repro (per-file + project pass) stays under 5s.
+
+    The analysis plane reuses one parse per file across both passes; if
+    this pin breaks, someone added a second parse or a quadratic rule.
+    Cold caches: this measures the worst case a commit hook sees.
+    """
+    clear_caches()
+    start = time.perf_counter()
+    lint_paths([SRC], select_rules())
+    elapsed = time.perf_counter() - start
+    assert elapsed < 5.0, f"whole-program lint took {elapsed:.2f}s (pin: 5s)"
+
+
+def test_parse_cache_reuses_file_entries_across_runs():
+    """A second lint of the same unmodified tree reparses nothing."""
+    clear_caches()
+    lint_paths([SRC], select_rules())
+    probe = SRC / "analysis" / "framework.py"
+    first = _load_file(probe)
+    lint_paths([SRC], select_rules())
+    assert _load_file(probe) is first, "unchanged file was reparsed"
+    clear_caches()
+    assert _load_file(probe) is not first
+
+
+def test_layer_contract_doc_matches_code():
+    """docs/STATIC_ANALYSIS.md embeds the rendered contract verbatim.
+
+    The contract lives in code (repro.analysis.project.LAYER_CONTRACT);
+    the doc table is generated from it, so editing one without the other
+    fails here.
+    """
+    assert render_layer_contract() in DOCS.read_text(encoding="utf-8")
 
 
 def test_suppressions_documented_in_tree_are_exercised():

@@ -1,0 +1,124 @@
+"""Seeded-bug mutations: each whole-program rule catches a realistic break.
+
+Acceptance gate for the analysis plane: take the real tree, introduce a
+bug the per-file rules cannot see (a layering import, a backend method
+deletion, a helper-laundered clock read), and show the pre-existing rule
+set passes while the new whole-program rule fires.  Everything runs on
+in-memory copies — the working tree is never modified.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_project_sources, select_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The per-file rules that existed before the whole-program plane.
+PRE_EXISTING = ["RNG001", "RNG002", "VER001", "SUM001", "ERR001", "ERR002"]
+
+
+@pytest.fixture(scope="module")
+def tree() -> dict[str, str]:
+    """path -> source for every shipped module, keyed by canonical path."""
+    sources = {}
+    for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+        sources[path.relative_to(REPO_ROOT).as_posix()] = path.read_text(
+            encoding="utf-8"
+        )
+    return sources
+
+
+def lint(sources: dict[str, str], rules):
+    return lint_project_sources(sorted(sources.items()), select_rules(rules))
+
+
+def assert_pre_existing_rules_pass(sources: dict[str, str]) -> None:
+    active, _ = lint(sources, PRE_EXISTING)
+    assert active == [], "the seeded bug must be invisible to per-file rules"
+
+
+class TestLayeringMutation:
+    def test_upward_import_caught_only_by_arch001(self, tree):
+        mutated = dict(tree)
+        target = "src/repro/core/estimator.py"
+        mutated[target] = (
+            "from repro.serve.cache import EstimateCache\n" + mutated[target]
+        )
+        assert_pre_existing_rules_pass(mutated)
+        active, _ = lint(mutated, ["ARCH001"])
+        assert any(
+            f.rule == "ARCH001"
+            and f.path == target
+            and "`core/` must not import `serve/`" in f.message
+            for f in active
+        )
+
+    def test_unmutated_tree_is_clean(self, tree):
+        active, _ = lint(tree, ["ARCH001"])
+        assert active == []
+
+
+class TestParityMutation:
+    def test_removed_backend_member_caught_only_by_par001(self, tree):
+        mutated = dict(tree)
+        target = "src/repro/ring/compact.py"
+        pattern = re.compile(
+            r"    @property\n    def version_token\(self\).*?(?=\n    @|\n    def )",
+            re.S,
+        )
+        mutated[target], count = pattern.subn("", mutated[target], count=1)
+        assert count == 1, "mutation must actually remove version_token"
+        assert_pre_existing_rules_pass(mutated)
+        active, _ = lint(mutated, ["PAR001"])
+        assert any(
+            f.rule == "PAR001"
+            and f.path == target
+            and "lacks `version_token`" in f.message
+            for f in active
+        )
+
+    def test_unmutated_tree_is_clean(self, tree):
+        active, _ = lint(tree, ["PAR001"])
+        assert active == []
+
+
+class TestDeterminismMutation:
+    def test_laundered_clock_caught_only_by_det001(self, tree):
+        mutated = dict(tree)
+        helper = "src/repro/core/timing_helper.py"
+        consumer = "src/repro/core/cdf_sampling.py"
+        mutated[helper] = (
+            '"""Seeded bug: a helper laundering the wall clock."""\n'
+            "\n"
+            "import time\n"
+            "\n"
+            "\n"
+            "def elapsed_since(start: float) -> float:\n"
+            "    now = time.perf_counter()  # repro-lint: disable=RNG002 (wall_s reporting helper)\n"
+            "    return now - start\n"
+        )
+        mutated[consumer] += (
+            "\n"
+            "\n"
+            "def probe_budget_left(start: float, budget: float) -> float:\n"
+            "    from repro.core.timing_helper import elapsed_since\n"
+            "\n"
+            "    return budget - elapsed_since(start)\n"
+        )
+        assert_pre_existing_rules_pass(mutated)
+        active, _ = lint(mutated, ["DET001"])
+        assert any(
+            f.rule == "DET001"
+            and f.path == consumer
+            and "repro.core.timing_helper.elapsed_since" in f.message
+            for f in active
+        )
+
+    def test_unmutated_tree_is_clean(self, tree):
+        active, _ = lint(tree, ["DET001"])
+        assert active == []

@@ -1,0 +1,85 @@
+"""Meta-test: the rule catalogue is complete.
+
+Every registered rule must ship a positive/negative/suppressed fixture
+triple and a ``--list-rules`` catalogue entry.  Adding a rule without
+fixtures fails here, not in review.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import lint_project_sources, lint_source, select_rules
+from repro.analysis.cli import main
+
+from tests.analysis.conftest import (
+    FIXTURES,
+    fixture_source,
+    project_fixture_sources,
+)
+
+# rule id -> (fixture stem, lint path) for per-file rules, or
+# (fixture stem, None) for whole-program rules whose fixtures are
+# project trees under fixtures/project/<stem>_{positive,negative,suppressed}.
+# The lint path must satisfy the rule's `paths` scoping.
+MANIFEST: dict[str, tuple[str, str | None]] = {
+    "RNG001": ("rng", "src/repro/core/fake.py"),
+    "RNG002": ("rng", "src/repro/core/fake.py"),
+    "SUM001": ("accumulation", "src/repro/core/fake.py"),
+    "VER001": ("versioning", "src/repro/ring/network.py"),
+    "ERR001": ("errors", "src/repro/ring/routing.py"),
+    "ERR002": ("probe_errors", "src/repro/core/cdf_sampling.py"),
+    "ARCH001": ("arch", None),
+    "PAR001": ("par", None),
+    "DET001": ("det", None),
+}
+
+ALL_RULE_IDS = sorted(rule.id for rule in select_rules())
+
+
+def lint_variant(rule_id: str, variant: str):
+    stem, path = MANIFEST[rule_id]
+    rules = select_rules([rule_id])
+    if path is None:
+        return lint_project_sources(
+            project_fixture_sources(f"{stem}_{variant}"), rules
+        )
+    return lint_source(fixture_source(f"{stem}_{variant}.py"), path, rules)
+
+
+class TestCatalogueComplete:
+    def test_manifest_covers_registry_exactly(self):
+        assert sorted(MANIFEST) == ALL_RULE_IDS
+
+    @pytest.mark.parametrize("rule_id", sorted(MANIFEST))
+    def test_fixture_triple_exists(self, rule_id):
+        stem, path = MANIFEST[rule_id]
+        for variant in ("positive", "negative", "suppressed"):
+            if path is None:
+                target = FIXTURES / "project" / f"{stem}_{variant}"
+                assert target.is_dir(), f"missing fixture tree {target}"
+            else:
+                target = FIXTURES / f"{stem}_{variant}.py"
+                assert target.is_file(), f"missing fixture {target}"
+
+    @pytest.mark.parametrize("rule_id", sorted(MANIFEST))
+    def test_positive_fixture_fires(self, rule_id):
+        active, _ = lint_variant(rule_id, "positive")
+        assert any(f.rule == rule_id for f in active)
+
+    @pytest.mark.parametrize("rule_id", sorted(MANIFEST))
+    def test_negative_fixture_is_clean(self, rule_id):
+        active, suppressed = lint_variant(rule_id, "negative")
+        assert [f for f in active if f.rule == rule_id] == []
+        assert [f for f in suppressed if f.rule == rule_id] == []
+
+    @pytest.mark.parametrize("rule_id", sorted(MANIFEST))
+    def test_suppressed_fixture_is_silenced(self, rule_id):
+        _, suppressed = lint_variant(rule_id, "suppressed")
+        assert any(f.rule == rule_id for f in suppressed)
+
+    def test_list_rules_catalogues_every_rule(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ALL_RULE_IDS:
+            assert rule_id in out

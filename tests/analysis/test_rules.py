@@ -41,9 +41,9 @@ class TestRngRule:
         active, suppressed = lint_fixture(
             "rng_suppressed.py", "src/repro/core/fake.py", rules
         )
-        # Line 5 carries a documented exemption; line 6 has no reason, so
-        # its RNG002 finding stays active alongside the SUP001 finding.
-        assert [f.rule for f in suppressed] == ["RNG002"]
+        # Lines 7 and 9 carry documented exemptions; line 8 has no reason,
+        # so its RNG002 finding stays active alongside the SUP001 finding.
+        assert sorted(f.rule for f in suppressed) == ["RNG001", "RNG002"]
         assert sorted(f.rule for f in active) == ["RNG002", "SUP001"]
 
 

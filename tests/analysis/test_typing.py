@@ -20,10 +20,12 @@ import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 SCOPED = [
+    *sorted((REPO_ROOT / "src" / "repro" / "analysis").rglob("*.py")),
     *sorted((REPO_ROOT / "src" / "repro" / "core").rglob("*.py")),
     REPO_ROOT / "src" / "repro" / "ring" / "snapshot.py",
     REPO_ROOT / "src" / "repro" / "ring" / "mutation.py",
     REPO_ROOT / "src" / "repro" / "ring" / "compact.py",
+    REPO_ROOT / "src" / "repro" / "serve" / "metrics.py",
     REPO_ROOT / "src" / "repro" / "experiments" / "estimation_bench.py",
 ]
 
